@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on minimal environments that lack the
+``wheel`` package required by the PEP 660 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Affine function classification (paper Section 2.2)."""
+
+from repro.affine.operations import AffineOp, AffineTransform, apply_ops, compose_key
+from repro.affine.classify import AffineClassifier, Classification
+from repro.affine.cache import ClassificationCache
+
+__all__ = [
+    "AffineOp",
+    "AffineTransform",
+    "apply_ops",
+    "compose_key",
+    "AffineClassifier",
+    "Classification",
+    "ClassificationCache",
+]

@@ -1,0 +1,50 @@
+"""Classification cache (paper §4.1: "no Boolean function needs to be classified twice")."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.affine.classify import AffineClassifier, Classification
+
+
+class ClassificationCache:
+    """Memoising front-end for an :class:`AffineClassifier`.
+
+    During cut rewriting the same cut functions recur constantly (carry
+    chains, S-box slices, …); the paper highlights the cache as one of the two
+    techniques that make classification affordable.  The cache also records
+    hit statistics so the ablation benchmarks can report its effectiveness.
+    """
+
+    def __init__(self, classifier: Optional[AffineClassifier] = None) -> None:
+        self.classifier = classifier or AffineClassifier()
+        self._entries: Dict[Tuple[int, int], Classification] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def classify(self, table: int, num_vars: int) -> Classification:
+        """Classify with memoisation."""
+        key = (table, num_vars)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.classifier.classify(table, num_vars)
+        self._entries[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of classification requests served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all cached classifications and statistics."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

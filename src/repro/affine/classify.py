@@ -1,0 +1,286 @@
+"""Affine classification of Boolean functions.
+
+The classifier computes, for a given truth table ``f``, a *representative*
+``r`` of its affine equivalence class together with the affine transform that
+maps ``r`` back to ``f``.  Two strategies are implemented:
+
+* ``exhaustive`` (n <= 3): enumerate the full affine group and pick the
+  lexicographically smallest truth table — a perfect canonical form;
+* ``spectral`` (any n, default for n >= 4): the greedy Rademacher–Walsh
+  canonisation in the spirit of the paper's classification routine
+  ([25], Miller & Soeken): move the largest-magnitude spectral coefficient to
+  position 0 with disjoint translations, normalise its sign with an output
+  complement, then place the largest reachable coefficients on the
+  first-order positions ``e_1 .. e_n`` with variable swaps/translations and
+  normalise their signs with input complements.  Ties are explored with
+  bounded backtracking controlled by ``iteration_limit`` (the paper uses an
+  iteration limit of 100 000 and omits classes that exceed it).
+
+The greedy strategy is not guaranteed to be perfectly canonical for ties deep
+in the spectrum; this only affects database/cache hit rates, never functional
+correctness, because the returned transform is exact by construction and is
+verified before being returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro import gf2
+from repro.affine.operations import AffineOp, AffineTransform
+from repro.tt.bits import num_bits, table_mask
+from repro.tt.operations import apply_input_transform
+from repro.tt.spectrum import walsh_spectrum
+
+
+@dataclass
+class Classification:
+    """Result of classifying one function."""
+
+    table: int
+    num_vars: int
+    representative: int
+    #: transform mapping the *representative* back to the classified function:
+    #: ``f(x) = representative(A x ^ b) ^ <c, x> ^ d``.
+    from_representative: AffineTransform
+    #: elementary operations mapping the classified function to the
+    #: representative (paper Definition 2.1 direction).
+    ops: List[AffineOp] = field(default_factory=list)
+    #: classification strategy that produced the result.
+    method: str = "spectral"
+    #: False when the tie-exploration budget was exhausted (result still valid).
+    canonical: bool = True
+
+    def verify(self) -> bool:
+        """Check that the stored transform indeed rebuilds the function."""
+        return self.from_representative.apply_to_table(self.representative) == self.table
+
+
+class _State:
+    """Running (table, forward transform, op list) during a canonisation pass."""
+
+    __slots__ = ("table", "transform", "ops", "num_vars")
+
+    def __init__(self, table: int, num_vars: int, transform: AffineTransform,
+                 ops: List[AffineOp]):
+        self.table = table
+        self.num_vars = num_vars
+        self.transform = transform
+        self.ops = ops
+
+    def copy(self) -> "_State":
+        return _State(self.table, self.num_vars, self.transform.copy(), list(self.ops))
+
+    def apply_op(self, op: AffineOp) -> None:
+        self.table = op.apply_to_table(self.table, self.num_vars)
+        self.transform.apply_op(op)
+        self.ops.append(op)
+
+    def apply_matrix(self, matrix: List[int]) -> None:
+        self.table = apply_input_transform(self.table, matrix, 0, self.num_vars)
+        self.transform.apply_input_matrix(matrix, 0)
+        self.ops.extend(_matrix_to_ops(matrix))
+
+
+class AffineClassifier:
+    """Affine classification with configurable strategy and tie budget."""
+
+    def __init__(self, exhaustive_limit: int = 3, iteration_limit: int = 64) -> None:
+        self.exhaustive_limit = exhaustive_limit
+        self.iteration_limit = iteration_limit
+        self._group_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def classify(self, table: int, num_vars: int) -> Classification:
+        """Classify a function given by its truth table."""
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        table &= table_mask(num_vars)
+        if num_vars <= self.exhaustive_limit:
+            result = self._classify_exhaustive(table, num_vars)
+        else:
+            result = self._classify_spectral(table, num_vars)
+        if not result.verify():  # pragma: no cover - defensive
+            raise AssertionError("affine classification produced an invalid transform")
+        return result
+
+    # ------------------------------------------------------------------
+    # exhaustive strategy (small n)
+    # ------------------------------------------------------------------
+    def _general_linear_group(self, num_vars: int) -> List[List[int]]:
+        if num_vars in self._group_cache:
+            return self._group_cache[num_vars]
+        matrices: List[List[int]] = []
+        size = num_bits(num_vars)
+
+        def recurse(rows: List[int]) -> None:
+            if len(rows) == num_vars:
+                matrices.append(list(rows))
+                return
+            for candidate in range(1, size):
+                rows.append(candidate)
+                if gf2.rank(rows) == len(rows):
+                    recurse(rows)
+                rows.pop()
+
+        if num_vars == 0:
+            matrices.append([])
+        else:
+            recurse([])
+        self._group_cache[num_vars] = matrices
+        return matrices
+
+    def _classify_exhaustive(self, table: int, num_vars: int) -> Classification:
+        best: Optional[Tuple[int, AffineTransform]] = None
+        size = num_bits(num_vars)
+        for matrix in self._general_linear_group(num_vars):
+            for offset in range(size):
+                for linear in range(size):
+                    for const in (0, 1):
+                        transform = AffineTransform(num_vars, list(matrix), offset, linear, const)
+                        candidate = transform.apply_to_table(table)
+                        if best is None or candidate < best[0]:
+                            best = (candidate, transform)
+        assert best is not None
+        representative, forward = best
+        return Classification(
+            table=table,
+            num_vars=num_vars,
+            representative=representative,
+            from_representative=forward.inverse(),
+            ops=forward.to_ops(),
+            method="exhaustive",
+            canonical=True,
+        )
+
+    # ------------------------------------------------------------------
+    # spectral strategy
+    # ------------------------------------------------------------------
+    def _classify_spectral(self, table: int, num_vars: int) -> Classification:
+        budget = [self.iteration_limit]
+        best: List[Optional[Tuple[int, AffineTransform, List[AffineOp]]]] = [None]
+
+        def consider(state: _State) -> None:
+            if best[0] is None or state.table < best[0][0]:
+                best[0] = (state.table, state.transform.copy(), list(state.ops))
+
+        spectrum = walsh_spectrum(table, num_vars)
+        size = num_bits(num_vars)
+        max_magnitude = max(abs(value) for value in spectrum)
+        zero_targets = [w for w in range(size) if abs(spectrum[w]) == max_magnitude]
+
+        for index, target in enumerate(zero_targets):
+            if index > 0 and (budget[0] <= 0 or best[0] is not None and index >= 4):
+                break
+            state = _State(table, num_vars, AffineTransform.identity(num_vars), [])
+            self._greedy_pass(state, target, budget, consider, allow_branching=(index == 0))
+
+        assert best[0] is not None
+        representative, forward, ops = best[0]
+        return Classification(
+            table=table,
+            num_vars=num_vars,
+            representative=representative,
+            from_representative=forward.inverse(),
+            ops=ops,
+            method="spectral",
+            canonical=budget[0] > 0,
+        )
+
+    def _greedy_pass(self, state: _State, zero_target: int, budget: List[int],
+                     consider: Callable[[_State], None], allow_branching: bool) -> None:
+        """One canonisation pass; ties may spawn bounded greedy sub-passes."""
+        budget[0] -= 1
+        num_vars = state.num_vars
+        size = num_bits(num_vars)
+
+        # Step 1: disjoint translations move the chosen coefficient to index 0,
+        # an output complement makes it positive.
+        if zero_target:
+            for var in range(num_vars):
+                if (zero_target >> var) & 1:
+                    state.apply_op(AffineOp("xor_output", var))
+        if walsh_spectrum(state.table, num_vars)[0] < 0:
+            state.apply_op(AffineOp("flip_output"))
+
+        # Step 2: place the largest reachable coefficients on e_0 .. e_{n-1}.
+        for position in range(num_vars):
+            spectrum = walsh_spectrum(state.table, num_vars)
+            candidates = [w for w in range(1, size) if (w >> position) != 0]
+            if not candidates:
+                break
+            best_magnitude = max(abs(spectrum[w]) for w in candidates)
+            tied = [w for w in candidates if abs(spectrum[w]) == best_magnitude]
+
+            if allow_branching:
+                for alternative in tied[1:]:
+                    if budget[0] <= 0:
+                        break
+                    budget[0] -= 1
+                    branch = state.copy()
+                    self._place(branch, alternative, position)
+                    self._finish_greedily(branch, position + 1)
+                    consider(branch)
+
+            self._place(state, tied[0], position)
+
+        consider(state)
+
+    def _finish_greedily(self, state: _State, start_position: int) -> None:
+        """Complete a pass without any further branching."""
+        num_vars = state.num_vars
+        size = num_bits(num_vars)
+        for position in range(start_position, num_vars):
+            spectrum = walsh_spectrum(state.table, num_vars)
+            candidates = [w for w in range(1, size) if (w >> position) != 0]
+            if not candidates:
+                break
+            best_magnitude = max(abs(spectrum[w]) for w in candidates)
+            source = next(w for w in candidates if abs(spectrum[w]) == best_magnitude)
+            self._place(state, source, position)
+
+    def _place(self, state: _State, source: int, position: int) -> None:
+        """Move the coefficient at ``source`` to ``e_position`` and fix its sign."""
+        matrix = self._placement_matrix(source, position, state.num_vars)
+        state.apply_matrix(matrix)
+        if walsh_spectrum(state.table, state.num_vars)[1 << position] < 0:
+            state.apply_op(AffineOp("flip_input", position))
+
+    def _placement_matrix(self, source: int, position: int, num_vars: int) -> List[int]:
+        """Invertible ``M`` with row ``j = e_j`` for ``j < position`` and row
+        ``position = source``; remaining rows complete the basis greedily.
+
+        Applying ``x -> M x`` to the function maps spectral index ``source``
+        to ``e_position`` while fixing indices ``0, e_0, .., e_{position-1}``.
+        """
+        rows: List[int] = [1 << j for j in range(position)]
+        rows.append(source)
+        for var in range(num_vars):
+            if len(rows) == num_vars:
+                break
+            candidate = 1 << var
+            if gf2.rank(rows + [candidate]) == len(rows) + 1:
+                rows.append(candidate)
+        if len(rows) != num_vars or not gf2.is_invertible(rows):
+            raise AssertionError("failed to build placement matrix")
+        return rows
+
+
+def _matrix_to_ops(matrix: List[int]) -> List[AffineOp]:
+    """Elementary swap/translate operations whose composition is ``x -> M x``.
+
+    Applying the returned operations to a function, in order, has the same
+    effect as substituting ``x -> M x`` into it.
+    """
+    ops: List[AffineOp] = []
+    factors = gf2.elementary_decomposition(matrix)
+    for kind, a, b in reversed(factors):
+        if kind == "swap":
+            if a != b:
+                ops.append(AffineOp("swap", a, b))
+        else:
+            ops.append(AffineOp("translate", a, b))
+    return ops

@@ -1,0 +1,27 @@
+"""Metrics and experiment-table rendering."""
+
+from repro.analysis.metrics import (
+    NetworkMetrics,
+    measure,
+    improvement,
+    geometric_mean,
+    normalized_geometric_mean,
+)
+from repro.analysis.tables import (
+    TableRow,
+    render_results_table,
+    render_paper_comparison,
+    rows_to_markdown,
+)
+
+__all__ = [
+    "NetworkMetrics",
+    "measure",
+    "improvement",
+    "geometric_mean",
+    "normalized_geometric_mean",
+    "TableRow",
+    "render_results_table",
+    "render_paper_comparison",
+    "rows_to_markdown",
+]

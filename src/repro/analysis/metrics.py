@@ -1,0 +1,64 @@
+"""Metrics used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.xag.depth import depth, multiplicative_depth
+from repro.xag.graph import Xag
+
+
+@dataclass(frozen=True)
+class NetworkMetrics:
+    """Size and depth metrics of one network."""
+
+    num_pis: int
+    num_pos: int
+    num_ands: int
+    num_xors: int
+    depth: int
+    multiplicative_depth: int
+
+    @property
+    def num_gates(self) -> int:
+        """Total gate count."""
+        return self.num_ands + self.num_xors
+
+
+def measure(xag: Xag) -> NetworkMetrics:
+    """Collect all metrics of a network."""
+    return NetworkMetrics(
+        num_pis=xag.num_pis,
+        num_pos=xag.num_pos,
+        num_ands=xag.num_ands,
+        num_xors=xag.num_xors,
+        depth=depth(xag),
+        multiplicative_depth=multiplicative_depth(xag),
+    )
+
+
+def improvement(before: int, after: int) -> float:
+    """Fractional reduction (0.34 = "34 % fewer")."""
+    if before == 0:
+        return 0.0
+    return 1.0 - after / before
+
+
+def geometric_mean(values: Iterable[float]) -> Optional[float]:
+    """Geometric mean; ``None`` for an empty input, zero entries are skipped."""
+    logs = [math.log(value) for value in values if value > 0]
+    if not logs:
+        return None
+    return math.exp(sum(logs) / len(logs))
+
+
+def normalized_geometric_mean(befores: Sequence[int], afters: Sequence[int]) -> Optional[float]:
+    """Geometric mean of per-benchmark ``after / before`` ratios.
+
+    This is the "Normalized geometric mean" row of the paper's Table 1 (the
+    initial networks normalise to 1.0, the optimised columns to < 1.0).
+    """
+    ratios = [after / before for before, after in zip(befores, afters) if before > 0]
+    return geometric_mean(ratios)

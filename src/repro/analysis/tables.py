@@ -1,0 +1,117 @@
+"""Renderers for the paper's experiment tables.
+
+The harness in ``benchmarks/`` produces one :class:`TableRow` per benchmark by
+running :func:`repro.rewriting.flow.paper_flow`; the functions here format the
+rows in the same layout as the paper's Table 1 / Table 2 (initial, one round,
+repeat-until-convergence) and add a paper-vs-measured comparison so the
+EXPERIMENTS.md log can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.metrics import normalized_geometric_mean
+from repro.circuits.benchmark_case import BenchmarkCase
+from repro.rewriting.flow import PaperFlowResult
+
+
+@dataclass
+class TableRow:
+    """Measured numbers for one benchmark row."""
+
+    case: BenchmarkCase
+    result: PaperFlowResult
+
+    @property
+    def name(self) -> str:
+        return self.case.name
+
+
+def _format_percent(value: float) -> str:
+    return f"{round(100 * value):d} %"
+
+
+def render_results_table(rows: Sequence[TableRow], title: str) -> str:
+    """Render rows in the layout of the paper's tables."""
+    header = (
+        f"{'Name':<22} {'In':>5} {'Out':>5} | {'AND':>7} {'XOR':>7} | "
+        f"{'AND':>7} {'XOR':>7} {'time[s]':>8} {'impr':>6} | "
+        f"{'AND':>7} {'XOR':>7} {'time[s]':>8} {'impr':>6}"
+    )
+    subheader = (
+        f"{'':<22} {'':>5} {'':>5} | {'Initial':>15} | "
+        f"{'One round':>30} | {'Repeat until convergence':>30}"
+    )
+    lines = [title, subheader, header, "-" * len(header)]
+    for row in rows:
+        result = row.result
+        lines.append(
+            f"{row.name:<22} {result.num_inputs:>5} {result.num_outputs:>5} | "
+            f"{result.initial.num_ands:>7} {result.initial.num_xors:>7} | "
+            f"{result.after_one_round.num_ands:>7} {result.after_one_round.num_xors:>7} "
+            f"{result.one_round_seconds:>8.2f} {_format_percent(result.one_round_improvement):>6} | "
+            f"{result.after_convergence.num_ands:>7} {result.after_convergence.num_xors:>7} "
+            f"{result.convergence_seconds:>8.2f} {_format_percent(result.convergence_improvement):>6}"
+        )
+    geomean_one = normalized_geometric_mean(
+        [row.result.initial.num_ands for row in rows],
+        [row.result.after_one_round.num_ands for row in rows])
+    geomean_conv = normalized_geometric_mean(
+        [row.result.initial.num_ands for row in rows],
+        [row.result.after_convergence.num_ands for row in rows])
+    lines.append("-" * len(header))
+    if geomean_one is not None and geomean_conv is not None:
+        lines.append(
+            f"{'Normalized geometric mean':<36} | {'1.00':>15} | "
+            f"{geomean_one:>30.2f} | {geomean_conv:>30.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_paper_comparison(rows: Sequence[TableRow], title: str) -> str:
+    """Paper-vs-measured comparison of the convergence improvement per row."""
+    header = (
+        f"{'Name':<22} {'paper init AND':>15} {'ours init AND':>14} "
+        f"{'paper impr':>11} {'ours impr':>10} {'shape':>7}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for row in rows:
+        paper = row.case.paper
+        ours = row.result
+        paper_impr = paper.convergence_improvement or paper.one_round_improvement
+        ours_impr = ours.convergence_improvement
+        shape_ok = _same_shape(paper_impr, ours_impr)
+        lines.append(
+            f"{row.name:<22} {paper.initial_and:>15} {ours.initial.num_ands:>14} "
+            f"{_format_percent(paper_impr):>11} {_format_percent(ours_impr):>10} "
+            f"{'ok' if shape_ok else 'DIFF':>7}"
+        )
+    return "\n".join(lines)
+
+
+def _same_shape(paper_improvement: float, measured_improvement: float) -> bool:
+    """Loose agreement check: both negligible, or both substantial and within 30 points."""
+    if paper_improvement < 0.05:
+        return measured_improvement < 0.20
+    return measured_improvement > 0.05 and abs(paper_improvement - measured_improvement) < 0.35
+
+
+def rows_to_markdown(rows: Sequence[TableRow], title: str) -> str:
+    """Markdown rendering used to regenerate EXPERIMENTS.md sections."""
+    lines = [f"### {title}", "",
+             "| Benchmark | In | Out | Initial AND/XOR | One round AND (impr) | "
+             "Convergence AND (impr) | Paper initial AND | Paper conv. impr |",
+             "|---|---|---|---|---|---|---|---|"]
+    for row in rows:
+        paper = row.case.paper
+        result = row.result
+        lines.append(
+            f"| {row.name} | {result.num_inputs} | {result.num_outputs} "
+            f"| {result.initial.num_ands}/{result.initial.num_xors} "
+            f"| {result.after_one_round.num_ands} ({_format_percent(result.one_round_improvement)}) "
+            f"| {result.after_convergence.num_ands} ({_format_percent(result.convergence_improvement)}) "
+            f"| {paper.initial_and} | {_format_percent(paper.convergence_improvement)} |"
+        )
+    return "\n".join(lines)

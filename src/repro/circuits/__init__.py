@@ -1,0 +1,19 @@
+"""Benchmark circuit generators (EPFL-style and MPC/FHE suites)."""
+
+from repro.circuits.benchmark_case import BenchmarkCase, PaperNumbers
+from repro.circuits import word
+from repro.circuits import arithmetic
+from repro.circuits import control
+from repro.circuits import galois
+from repro.circuits.epfl import epfl_benchmarks, epfl_benchmark_map
+
+__all__ = [
+    "BenchmarkCase",
+    "PaperNumbers",
+    "word",
+    "arithmetic",
+    "control",
+    "galois",
+    "epfl_benchmarks",
+    "epfl_benchmark_map",
+]

@@ -1,0 +1,249 @@
+"""EPFL-style arithmetic benchmark generators.
+
+Each generator returns a self-contained :class:`~repro.xag.graph.Xag`.  The
+bit-widths are parameters so the same generators serve both the reduced-scale
+default benchmarks (pure-Python friendly) and the paper-scale variants
+(``REPRO_FULL_SCALE=1``); see DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import word as W
+from repro.xag.graph import FALSE, Xag
+
+
+def full_adder(style: str = "naive") -> Xag:
+    """Single-bit full adder (the running example of the paper, Fig. 1/2)."""
+    xag = Xag()
+    xag.name = "full_adder"
+    a = xag.create_pi("a")
+    b = xag.create_pi("b")
+    cin = xag.create_pi("cin")
+    total, carry = W.full_adder(xag, a, b, cin, style=style)
+    xag.create_po(total, "sum")
+    xag.create_po(carry, "cout")
+    return xag
+
+
+def adder(width: int = 32, style: str = "naive") -> Xag:
+    """Ripple-carry adder: two ``width``-bit inputs, ``width + 1`` outputs."""
+    xag = Xag()
+    xag.name = f"adder_{width}"
+    a = W.input_word(xag, width, "a")
+    b = W.input_word(xag, width, "b")
+    total, carry = W.ripple_add(xag, a, b, style=style)
+    W.output_word(xag, total, "s")
+    xag.create_po(carry, "cout")
+    return xag
+
+
+def subtractor(width: int = 32, style: str = "naive") -> Xag:
+    """Subtractor ``a - b`` with borrow-complement output."""
+    xag = Xag()
+    xag.name = f"subtractor_{width}"
+    a = W.input_word(xag, width, "a")
+    b = W.input_word(xag, width, "b")
+    difference, no_borrow = W.subtract(xag, a, b, style=style)
+    W.output_word(xag, difference, "d")
+    xag.create_po(no_borrow, "no_borrow")
+    return xag
+
+
+def multiplier(width: int = 8, style: str = "naive") -> Xag:
+    """Array multiplier with a ``2 * width``-bit product."""
+    xag = Xag()
+    xag.name = f"multiplier_{width}"
+    a = W.input_word(xag, width, "a")
+    b = W.input_word(xag, width, "b")
+    product = W.multiply(xag, a, b, style=style)
+    W.output_word(xag, product, "p")
+    return xag
+
+
+def square(width: int = 8, style: str = "naive") -> Xag:
+    """Squarer (single input, ``2 * width``-bit output)."""
+    xag = Xag()
+    xag.name = f"square_{width}"
+    a = W.input_word(xag, width, "a")
+    product = W.multiply(xag, a, a, style=style)
+    W.output_word(xag, product, "p")
+    return xag
+
+
+def comparator(width: int = 32, signed: bool = False, strict: bool = True,
+               style: str = "naive") -> Xag:
+    """Single-output comparator (``a < b`` or ``a <= b``), signed or unsigned.
+
+    These are the four "Comp. 32-bit" rows of Table 2.
+    """
+    kind = f"{'s' if signed else 'u'}{'lt' if strict else 'leq'}"
+    xag = Xag()
+    xag.name = f"comparator_{kind}_{width}"
+    a = W.input_word(xag, width, "a")
+    b = W.input_word(xag, width, "b")
+    if signed:
+        out = W.less_than_signed(xag, a, b, style=style) if strict \
+            else W.less_equal_signed(xag, a, b, style=style)
+    else:
+        out = W.less_than_unsigned(xag, a, b, style=style) if strict \
+            else W.less_equal_unsigned(xag, a, b, style=style)
+    xag.create_po(out, "lt" if strict else "leq")
+    return xag
+
+
+def max_unit(width: int = 32, operands: int = 4, style: str = "naive") -> Xag:
+    """Maximum of ``operands`` unsigned words (EPFL ``max`` has 4 × 128 bits)."""
+    xag = Xag()
+    xag.name = f"max_{operands}x{width}"
+    words = [W.input_word(xag, width, f"w{i}_") for i in range(operands)]
+    current = words[0]
+    for contender in words[1:]:
+        is_less = W.less_than_unsigned(xag, current, contender, style=style)
+        current = W.mux_word(xag, is_less, contender, current)
+    W.output_word(xag, current, "max")
+    return xag
+
+
+def barrel_shifter(width: int = 32, rotate: bool = False) -> Xag:
+    """Logarithmic barrel shifter (left shift / rotate by a variable amount)."""
+    if width & (width - 1):
+        raise ValueError("barrel shifter width must be a power of two")
+    stages = width.bit_length() - 1
+    xag = Xag()
+    xag.name = f"barrel_shifter_{width}"
+    data = W.input_word(xag, width, "d")
+    amount = W.input_word(xag, stages, "s")
+    current = data
+    for stage in range(stages):
+        step = 1 << stage
+        if rotate:
+            shifted = W.rotate_left(current, step)
+        else:
+            shifted = W.shift_left(xag, current, step)
+        current = W.mux_word(xag, amount[stage], shifted, current)
+    W.output_word(xag, current, "q")
+    return xag
+
+
+def divisor(width: int = 8, style: str = "naive") -> Xag:
+    """Restoring divider: quotient and remainder of ``a / b``.
+
+    Division by zero yields quotient all-ones and remainder ``a`` (as in the
+    usual restoring-array behaviour); the benchmark only cares about circuit
+    structure, not the exceptional convention.
+    """
+    xag = Xag()
+    xag.name = f"divisor_{width}"
+    dividend = W.input_word(xag, width, "a")
+    divisor_word = W.input_word(xag, width, "b")
+    remainder = W.constant_word(xag, 0, width + 1)
+    extended_divisor = list(divisor_word) + [xag.get_constant(False)]
+    quotient = [FALSE] * width
+    for step in range(width - 1, -1, -1):
+        remainder = [dividend[step]] + remainder[:width]
+        difference, no_borrow = W.subtract(xag, remainder, extended_divisor, style=style)
+        quotient[step] = no_borrow
+        remainder = W.mux_word(xag, no_borrow, difference, remainder)
+    W.output_word(xag, quotient, "q")
+    W.output_word(xag, remainder[:width], "r")
+    return xag
+
+
+def square_root(width: int = 16, style: str = "naive") -> Xag:
+    """Integer square root by the restoring digit-recurrence algorithm."""
+    if width % 2:
+        raise ValueError("square-root width must be even")
+    half = width // 2
+    xag = Xag()
+    xag.name = f"square_root_{width}"
+    radicand = W.input_word(xag, width, "a")
+    remainder = W.constant_word(xag, 0, width + 2)
+    root = W.constant_word(xag, 0, half)
+    for step in range(half - 1, -1, -1):
+        # bring down two bits
+        remainder = [radicand[2 * step], radicand[2 * step + 1]] + remainder[:width]
+        # trial subtrahend: (root << 2) | 01
+        trial = [xag.get_constant(True), xag.get_constant(False)] + list(root) \
+            + [xag.get_constant(False)] * (width - len(root))
+        difference, no_borrow = W.subtract(xag, remainder, trial, style=style)
+        remainder = W.mux_word(xag, no_borrow, difference, remainder)
+        root = [no_borrow] + root[:half - 1]
+    W.output_word(xag, root, "root")
+    return xag
+
+
+def leading_one_position(xag: Xag, word, style: str = "naive"):
+    """Position (binary) and validity flag of the most significant set bit."""
+    width = len(word)
+    bits = max(1, (width - 1).bit_length())
+    position = W.constant_word(xag, 0, bits)
+    found = xag.get_constant(False)
+    for index in range(width - 1, -1, -1):
+        is_new = xag.create_and(word[index], xag.create_not(found))
+        encoded = W.constant_word(xag, index, bits)
+        position = W.mux_word(xag, is_new, encoded, position)
+        found = xag.create_or(found, word[index])
+    return position, found
+
+
+def log2_unit(width: int = 16, fractional_bits: int = 4, style: str = "naive") -> Xag:
+    """Fixed-point base-2 logarithm approximation.
+
+    Substitutes the EPFL ``log2`` netlist (DESIGN.md): a leading-one detector
+    provides the integer part, the normalised mantissa is obtained with a mux
+    ladder, and the fractional part uses the linear interpolation
+    ``log2(1 + m) ≈ m`` refined with one multiplication (``m - m*(1-m)/2``
+    truncated), so the circuit mixes comparator, shifter and multiplier
+    structure just like the original benchmark.
+    """
+    xag = Xag()
+    xag.name = f"log2_{width}"
+    value = W.input_word(xag, width, "a")
+    int_part, valid = leading_one_position(xag, value, style=style)
+
+    # normalise: shift the leading one to the top using a mux ladder driven by
+    # the integer part bits (a right barrel shifter by (width-1-position)).
+    mantissa = list(value)
+    for stage in range(len(int_part)):
+        step = 1 << stage
+        shifted = W.shift_left(xag, mantissa, step)
+        # shift left when the corresponding position bit is 0 (i.e. leading
+        # one is further down) — approximation of the normaliser structure.
+        mantissa = W.mux_word(xag, xag.create_not(int_part[stage]), shifted, mantissa)
+    mantissa_top = mantissa[width - 1 - fractional_bits:width - 1] if fractional_bits else []
+
+    # fractional refinement: m - (m * m) / 2, truncated to `fractional_bits`.
+    if fractional_bits:
+        m_squared = W.multiply(xag, mantissa_top, mantissa_top,
+                               result_width=fractional_bits, style=style)
+        half_sq = W.shift_right(xag, m_squared, 1)
+        fraction, _ = W.subtract(xag, mantissa_top, half_sq, style=style)
+    else:
+        fraction = []
+    for index, bit in enumerate(fraction):
+        xag.create_po(bit, f"frac{index}")
+    W.output_word(xag, int_part, "int")
+    xag.create_po(valid, "valid")
+    return xag
+
+
+def sine_unit(width: int = 12, style: str = "naive") -> Xag:
+    """Fixed-point sine approximation by an odd polynomial.
+
+    Substitutes the EPFL ``sine`` netlist (DESIGN.md): evaluates
+    ``x - x^3/6 + x^5/120`` in fixed point with array multipliers, which has
+    the multiplier-plus-adder structure of the original benchmark.
+    """
+    xag = Xag()
+    xag.name = f"sine_{width}"
+    x = W.input_word(xag, width, "x")
+    x2 = W.multiply(xag, x, x, result_width=width, style=style)
+    x3 = W.multiply(xag, x2, x, result_width=width, style=style)
+    x5 = W.multiply(xag, x3, x2, result_width=width, style=style)
+    # 1/6 ~ x3 >> 3 + x3 >> 5 ; 1/120 ~ x5 >> 7 (coarse fixed point constants)
+    term3 = W.add_modular(xag, W.shift_right(xag, x3, 3), W.shift_right(xag, x3, 5), style=style)
+    term5 = W.shift_right(xag, x5, 7)
+    partial, _ = W.subtract(xag, x, term3, style=style)
+    result = W.add_modular(xag, partial, term5, style=style)
+    W.output_word(xag, result, "sin")
+    return xag

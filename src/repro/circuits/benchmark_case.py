@@ -1,0 +1,48 @@
+"""Benchmark registry data types shared by the EPFL and MPC/FHE suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.xag.graph import Xag
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """Numbers reported by the paper for one benchmark row (Tables 1 and 2).
+
+    ``None`` entries correspond to the ``//`` cells of the paper (no
+    improvement possible, so no convergence run was reported).
+    """
+
+    inputs: int
+    outputs: int
+    initial_and: int
+    initial_xor: int
+    one_round_and: Optional[int]
+    one_round_xor: Optional[int]
+    one_round_improvement: float
+    convergence_and: Optional[int]
+    convergence_xor: Optional[int]
+    convergence_improvement: float
+
+
+@dataclass
+class BenchmarkCase:
+    """One reproducible benchmark: generators plus the paper's reference row."""
+
+    name: str
+    #: "arithmetic", "control" (Table 1) or "mpc" (Table 2).
+    group: str
+    paper: PaperNumbers
+    #: reduced-scale generator used by default (pure-Python friendly).
+    build_default: Callable[[], Xag]
+    #: paper-scale generator (used when ``REPRO_FULL_SCALE=1``).
+    build_full: Callable[[], Xag]
+    #: short note on how the default scale differs from the paper's netlist.
+    scale_note: str = ""
+
+    def build(self, full_scale: bool = False) -> Xag:
+        """Instantiate the benchmark at the requested scale."""
+        return self.build_full() if full_scale else self.build_default()

@@ -1,0 +1,200 @@
+"""EPFL-style "random/control" benchmark generators.
+
+The EPFL random-control benchmarks (arbiter, decoder, i2c, mem_ctrl, …) are
+control-dominated netlists.  Where a precise functional specification is
+public (decoder, priority encoder, voter, arbiter, int-to-float) the generator
+implements it; for the netlists that are just frozen RTL dumps (cavlc, i2c,
+mem_ctrl, router, alu control) a *seeded synthetic control-logic generator*
+with matching input/output character is used instead — see the substitution
+table in DESIGN.md.  The important property for the experiment is preserved:
+these circuits are AND/OR-dominated with little XOR structure, which is why
+the paper reports much smaller gains on them than on arithmetic benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.circuits import word as W
+from repro.mc.symmetric import add_hamming_weight
+from repro.xag.graph import Xag
+
+
+def decoder(address_bits: int = 8) -> Xag:
+    """Full ``address_bits`` → ``2**address_bits`` one-hot decoder."""
+    xag = Xag()
+    xag.name = f"decoder_{address_bits}"
+    address = W.input_word(xag, address_bits, "a")
+    inverted = [xag.create_not(bit) for bit in address]
+    for row in range(1 << address_bits):
+        literals = [address[i] if (row >> i) & 1 else inverted[i] for i in range(address_bits)]
+        xag.create_po(xag.create_and_multi(literals), f"d{row}")
+    return xag
+
+
+def priority_encoder(width: int = 32) -> Xag:
+    """Priority encoder: index of the most significant asserted request."""
+    xag = Xag()
+    xag.name = f"priority_encoder_{width}"
+    requests = W.input_word(xag, width, "r")
+    bits = max(1, (width - 1).bit_length())
+    index = W.constant_word(xag, 0, bits)
+    found = xag.get_constant(False)
+    for position in range(width - 1, -1, -1):
+        is_new = xag.create_and(requests[position], xag.create_not(found))
+        encoded = W.constant_word(xag, position, bits)
+        index = W.mux_word(xag, is_new, encoded, index)
+        found = xag.create_or(found, requests[position])
+    W.output_word(xag, index, "idx")
+    xag.create_po(found, "valid")
+    return xag
+
+
+def round_robin_arbiter(num_requests: int = 16) -> Xag:
+    """Combinational round-robin arbiter.
+
+    Inputs are the request lines plus a one-hot-encoded priority pointer; the
+    grant goes to the first request at or after the pointer position
+    (wrapping).  This is the classical "double priority chain" construction.
+    """
+    xag = Xag()
+    xag.name = f"arbiter_{num_requests}"
+    requests = W.input_word(xag, num_requests, "req")
+    pointer = W.input_word(xag, num_requests, "ptr")
+
+    # masked requests: only those at or after the pointer position
+    seen_pointer = xag.get_constant(False)
+    masked: List[int] = []
+    for i in range(num_requests):
+        seen_pointer = xag.create_or(seen_pointer, pointer[i])
+        masked.append(xag.create_and(requests[i], seen_pointer))
+
+    def priority_chain(lines: List[int]) -> List[int]:
+        taken = xag.get_constant(False)
+        grants = []
+        for line in lines:
+            grants.append(xag.create_and(line, xag.create_not(taken)))
+            taken = xag.create_or(taken, line)
+        return grants
+
+    any_masked = xag.create_or_multi(masked)
+    grants_masked = priority_chain(masked)
+    grants_unmasked = priority_chain(requests)
+    grants = [xag.create_mux(any_masked, gm, gu)
+              for gm, gu in zip(grants_masked, grants_unmasked)]
+    for i, grant in enumerate(grants):
+        xag.create_po(grant, f"gnt{i}")
+    xag.create_po(xag.create_or_multi(requests), "busy")
+    return xag
+
+
+def voter(num_inputs: int = 63) -> Xag:
+    """Majority voter over ``num_inputs`` lines (EPFL ``voter`` has 1001)."""
+    xag = Xag()
+    xag.name = f"voter_{num_inputs}"
+    votes = W.input_word(xag, num_inputs, "v")
+    weight = add_hamming_weight(xag, votes)
+    threshold = W.constant_word(xag, num_inputs // 2, len(weight))
+    majority = xag.create_not(W.less_equal_unsigned(xag, weight, threshold))
+    xag.create_po(majority, "majority")
+    return xag
+
+
+def int_to_float(width: int = 11, exponent_bits: int = 4, mantissa_bits: int = 3) -> Xag:
+    """Unsigned integer to tiny floating-point converter (EPFL ``int2float``)."""
+    xag = Xag()
+    xag.name = f"int2float_{width}"
+    value = W.input_word(xag, width, "i")
+
+    # leading-one detection gives the exponent
+    position_bits = max(1, (width - 1).bit_length())
+    position = W.constant_word(xag, 0, position_bits)
+    found = xag.get_constant(False)
+    for index in range(width - 1, -1, -1):
+        is_new = xag.create_and(value[index], xag.create_not(found))
+        encoded = W.constant_word(xag, index, position_bits)
+        position = W.mux_word(xag, is_new, encoded, position)
+        found = xag.create_or(found, value[index])
+
+    # normalise the mantissa with a mux ladder (shift left so the leading one
+    # moves to the top), then take the bits just below it.
+    mantissa = list(value)
+    for stage in range(position_bits):
+        step = 1 << stage
+        shifted = W.shift_left(xag, mantissa, step)
+        mantissa = W.mux_word(xag, xag.create_not(position[stage]), shifted, mantissa)
+    mantissa_out = mantissa[width - 1 - mantissa_bits:width - 1]
+
+    exponent = position[:exponent_bits] if len(position) >= exponent_bits else \
+        position + [xag.get_constant(False)] * (exponent_bits - len(position))
+    W.output_word(xag, mantissa_out, "m")
+    W.output_word(xag, exponent, "e")
+    xag.create_po(found, "nonzero")
+    return xag
+
+
+def random_control(name: str, num_inputs: int, num_outputs: int, num_gates: int,
+                   seed: int, xor_fraction: float = 0.08) -> Xag:
+    """Seeded synthetic control logic.
+
+    Builds a random DAG of mostly AND/OR/NOT gates (a small ``xor_fraction``
+    mirrors the low XOR content of real control netlists) with the requested
+    interface size.  Used as the stand-in for the EPFL benchmarks whose exact
+    functionality is not publicly specified (see DESIGN.md).
+    """
+    rng = random.Random(seed)
+    xag = Xag()
+    xag.name = name
+    inputs = W.input_word(xag, num_inputs, "x")
+    signals = list(inputs)
+    for _ in range(num_gates):
+        a = rng.choice(signals)
+        b = rng.choice(signals)
+        if rng.random() < 0.35:
+            a = xag.create_not(a)
+        if rng.random() < 0.35:
+            b = xag.create_not(b)
+        roll = rng.random()
+        if roll < xor_fraction:
+            signal = xag.create_xor(a, b)
+        elif roll < 0.55 + xor_fraction / 2:
+            signal = xag.create_and(a, b)
+        else:
+            signal = xag.create_or(a, b)
+        signals.append(signal)
+    # outputs are drawn from the deepest signals to keep the logic connected
+    candidates = signals[num_inputs:] or signals
+    for index in range(num_outputs):
+        xag.create_po(candidates[-(1 + index % len(candidates))], f"y{index}")
+    return xag
+
+
+def alu_control_unit(seed: int = 2019) -> Xag:
+    """Stand-in for the EPFL ``ctrl`` benchmark (7 inputs, 26 outputs)."""
+    return random_control("alu_ctrl", num_inputs=7, num_outputs=26, num_gates=90, seed=seed)
+
+
+def cavlc_like(seed: int = 2020) -> Xag:
+    """Stand-in for the EPFL ``cavlc`` benchmark (10 inputs, 11 outputs)."""
+    return random_control("cavlc", num_inputs=10, num_outputs=11, num_gates=420, seed=seed,
+                          xor_fraction=0.05)
+
+
+def i2c_like(seed: int = 2021, scale: int = 1) -> Xag:
+    """Stand-in for the EPFL ``i2c`` controller (147 inputs, 142 outputs)."""
+    return random_control("i2c", num_inputs=147 // scale, num_outputs=142 // scale,
+                          num_gates=800 // scale, seed=seed, xor_fraction=0.03)
+
+
+def memory_controller_like(seed: int = 2022, scale: int = 4) -> Xag:
+    """Stand-in for the EPFL ``mem_ctrl`` benchmark (1204 inputs, 1231 outputs)."""
+    return random_control("mem_ctrl", num_inputs=max(8, 1204 // scale),
+                          num_outputs=max(8, 1231 // scale),
+                          num_gates=max(64, 7500 // scale), seed=seed, xor_fraction=0.05)
+
+
+def router_like(seed: int = 2023) -> Xag:
+    """Stand-in for the EPFL ``router`` benchmark (60 inputs, 30 outputs)."""
+    return random_control("router", num_inputs=60, num_outputs=30, num_gates=95, seed=seed,
+                          xor_fraction=0.02)

@@ -1,0 +1,22 @@
+"""Cryptographic benchmark circuit generators (Table 2 of the paper)."""
+
+from repro.circuits.crypto.aes import aes128, aes_sbox_only, sbox_value, aes128_encrypt_reference
+from repro.circuits.crypto.feistel import des_like, des_like_reference
+from repro.circuits.crypto.md5 import md5_block
+from repro.circuits.crypto.sha1 import sha1_block
+from repro.circuits.crypto.sha2 import sha256_block
+from repro.circuits.crypto.registry import mpc_benchmarks, mpc_benchmark_map
+
+__all__ = [
+    "aes128",
+    "aes_sbox_only",
+    "sbox_value",
+    "aes128_encrypt_reference",
+    "des_like",
+    "des_like_reference",
+    "md5_block",
+    "sha1_block",
+    "sha256_block",
+    "mpc_benchmarks",
+    "mpc_benchmark_map",
+]

@@ -1,0 +1,136 @@
+"""Shared word-level helpers for the hash-function circuit generators."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuits import word as W
+from repro.xag.graph import Xag
+
+WORD_BITS = 32
+
+
+def add32(xag: Xag, a: Sequence[int], b: Sequence[int], style: str = "naive") -> List[int]:
+    """Addition modulo 2^32."""
+    return W.add_modular(xag, a, b, style=style)
+
+
+def add32_many(xag: Xag, operands: Sequence[Sequence[int]], style: str = "naive") -> List[int]:
+    """Sum of several 32-bit words modulo 2^32."""
+    result = list(operands[0])
+    for operand in operands[1:]:
+        result = add32(xag, result, operand, style=style)
+    return result
+
+
+def add_constant32(xag: Xag, a: Sequence[int], constant: int, style: str = "naive") -> List[int]:
+    """Addition of a compile-time constant modulo 2^32."""
+    return add32(xag, a, W.constant_word(xag, constant, WORD_BITS), style=style)
+
+
+def rotl32(word: Sequence[int], amount: int) -> List[int]:
+    """32-bit left rotation (wires only)."""
+    return W.rotate_left(list(word), amount)
+
+
+def rotr32(word: Sequence[int], amount: int) -> List[int]:
+    """32-bit right rotation (wires only)."""
+    return W.rotate_right(list(word), amount)
+
+
+def shr32(xag: Xag, word: Sequence[int], amount: int) -> List[int]:
+    """32-bit logical right shift."""
+    return W.shift_right(xag, list(word), amount)
+
+
+def choose(xag: Xag, x: Sequence[int], y: Sequence[int], z: Sequence[int],
+           style: str = "naive") -> List[int]:
+    """Bitwise CH(x, y, z) = (x AND y) OR (NOT x AND z).
+
+    The naive style spends 3 AND gates per bit (matching the benchmark
+    netlists the paper starts from); the compact style uses the single-AND
+    multiplexer form the optimiser is expected to discover.
+    """
+    if style == "compact":
+        return [xag.create_mux(xb, yb, zb) for xb, yb, zb in zip(x, y, z)]
+    return [xag.create_or(xag.create_and(xb, yb), xag.create_and(xag.create_not(xb), zb))
+            for xb, yb, zb in zip(x, y, z)]
+
+
+def majority(xag: Xag, x: Sequence[int], y: Sequence[int], z: Sequence[int],
+             style: str = "naive") -> List[int]:
+    """Bitwise MAJ(x, y, z)."""
+    if style == "compact":
+        return [xag.create_maj(xb, yb, zb) for xb, yb, zb in zip(x, y, z)]
+    return [xag.create_maj_naive(xb, yb, zb) for xb, yb, zb in zip(x, y, z)]
+
+
+def parity(xag: Xag, x: Sequence[int], y: Sequence[int], z: Sequence[int]) -> List[int]:
+    """Bitwise XOR of three words (free of AND gates)."""
+    return [xag.create_xor(xag.create_xor(xb, yb), zb) for xb, yb, zb in zip(x, y, z)]
+
+
+def xor_words(xag: Xag, words: Sequence[Sequence[int]]) -> List[int]:
+    """Bitwise XOR of several words."""
+    result = list(words[0])
+    for other in words[1:]:
+        result = [xag.create_xor(a, b) for a, b in zip(result, other)]
+    return result
+
+
+def message_words(xag: Xag, count: int = 16) -> List[List[int]]:
+    """Create ``count`` 32-bit message-word inputs (bit 0 of word 0 first)."""
+    return [W.input_word(xag, WORD_BITS, f"m{i}_") for i in range(count)]
+
+
+def output_words(xag: Xag, words: Sequence[Sequence[int]], prefix: str = "h") -> None:
+    """Register digest words as primary outputs."""
+    for index, word in enumerate(words):
+        W.output_word(xag, word, f"{prefix}{index}_")
+
+
+def pack_block_little_endian(message: bytes) -> List[int]:
+    """Pad a short message to one 512-bit MD5 block and return word values.
+
+    Only messages short enough for single-block padding (< 56 bytes) are
+    supported, which is all the validation tests need.
+    """
+    if len(message) >= 56:
+        raise ValueError("single-block packing requires messages shorter than 56 bytes")
+    padded = bytearray(message)
+    padded.append(0x80)
+    padded.extend(b"\x00" * (56 - len(padded)))
+    bit_length = 8 * len(message)
+    padded.extend(bit_length.to_bytes(8, "little"))
+    return [int.from_bytes(padded[4 * i:4 * i + 4], "little") for i in range(16)]
+
+
+def pack_block_big_endian(message: bytes) -> List[int]:
+    """Pad a short message to one 512-bit SHA block and return word values."""
+    if len(message) >= 56:
+        raise ValueError("single-block packing requires messages shorter than 56 bytes")
+    padded = bytearray(message)
+    padded.append(0x80)
+    padded.extend(b"\x00" * (56 - len(padded)))
+    bit_length = 8 * len(message)
+    padded.extend(bit_length.to_bytes(8, "big"))
+    return [int.from_bytes(padded[4 * i:4 * i + 4], "big") for i in range(16)]
+
+
+def block_to_input_bits(words: Sequence[int]) -> List[int]:
+    """Convert 16 message-word values into the circuit's input bit pattern."""
+    bits: List[int] = []
+    for word in words:
+        bits.extend((word >> i) & 1 for i in range(WORD_BITS))
+    return bits
+
+
+def digest_from_outputs(output_bits: Sequence[int], num_words: int,
+                        byteorder: str) -> bytes:
+    """Re-assemble a digest from the simulated output bits."""
+    digest = bytearray()
+    for index in range(num_words):
+        word_bits = output_bits[WORD_BITS * index:WORD_BITS * (index + 1)]
+        value = sum(bit << i for i, bit in enumerate(word_bits))
+        digest.extend(value.to_bytes(4, byteorder))
+    return bytes(digest)

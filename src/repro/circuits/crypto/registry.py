@@ -1,0 +1,129 @@
+"""Registry of the Table 2 (MPC & FHE) reproduction benchmarks.
+
+The generators mirror the KU Leuven / Bristol circuit collection the paper
+optimises: block ciphers, hash functions and the arithmetic helper circuits.
+Reduced-scale defaults (fewer rounds / smaller widths) keep the pure-Python
+flow tractable; the paper-scale variants are full AES-128, the full 16-round
+Feistel network and the full-round hash compression functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits import arithmetic as A
+from repro.circuits.benchmark_case import BenchmarkCase, PaperNumbers
+from repro.circuits.crypto.aes import aes128
+from repro.circuits.crypto.feistel import des_like
+from repro.circuits.crypto.md5 import md5_block
+from repro.circuits.crypto.sha1 import sha1_block
+from repro.circuits.crypto.sha2 import sha256_block
+
+
+def mpc_benchmarks() -> List[BenchmarkCase]:
+    """All Table 2 benchmark cases."""
+    return [
+        BenchmarkCase(
+            name="aes_128", group="mpc",
+            paper=PaperNumbers(256, 128, 6800, 25124, 6800, 25124, 0.0, None, None, 0.0),
+            build_default=lambda: aes128(num_rounds=1),
+            build_full=lambda: aes128(num_rounds=10),
+            scale_note="composite-field S-box AES; 1 round default vs full 10 rounds",
+        ),
+        BenchmarkCase(
+            name="aes_128_expanded", group="mpc",
+            paper=PaperNumbers(1536, 128, 5440, 20325, 5440, 20325, 0.0, None, None, 0.0),
+            build_default=lambda: aes128(expanded_key_inputs=True, num_rounds=1),
+            build_full=lambda: aes128(expanded_key_inputs=True, num_rounds=10),
+            scale_note="round keys as inputs; 1 round default vs 10",
+        ),
+        BenchmarkCase(
+            name="des", group="mpc",
+            paper=PaperNumbers(128, 64, 18124, 1337, 17404, 4096, 0.04, 15093, 11105, 0.17),
+            build_default=lambda: des_like(num_rounds=2),
+            build_full=lambda: des_like(num_rounds=16),
+            scale_note="DES-like Feistel network (see DESIGN.md); 2 rounds default vs 16",
+        ),
+        BenchmarkCase(
+            name="des_expanded", group="mpc",
+            paper=PaperNumbers(832, 64, 18175, 1348, 17403, 4168, 0.04, 15126, 11263, 0.17),
+            build_default=lambda: des_like(expanded_key_inputs=True, num_rounds=2),
+            build_full=lambda: des_like(expanded_key_inputs=True, num_rounds=16),
+            scale_note="round keys as inputs; 2 rounds default vs 16",
+        ),
+        BenchmarkCase(
+            name="md5", group="mpc",
+            paper=PaperNumbers(512, 128, 29084, 14133, 12300, 29270, 0.58, 9381, 30325, 0.68),
+            build_default=lambda: md5_block(num_steps=6),
+            build_full=lambda: md5_block(num_steps=64),
+            scale_note="MD5 compression; 6 steps default vs 64",
+        ),
+        BenchmarkCase(
+            name="sha1", group="mpc",
+            paper=PaperNumbers(512, 160, 37172, 24166, 17141, 42415, 0.54, 11820, 44311, 0.68),
+            build_default=lambda: sha1_block(num_steps=6),
+            build_full=lambda: sha1_block(num_steps=80),
+            scale_note="SHA-1 compression; 6 steps default vs 80",
+        ),
+        BenchmarkCase(
+            name="sha256", group="mpc",
+            paper=PaperNumbers(512, 256, 89478, 42024, 52921, 86304, 0.41, 30201, 91278, 0.66),
+            build_default=lambda: sha256_block(num_steps=4),
+            build_full=lambda: sha256_block(num_steps=64),
+            scale_note="SHA-256 compression; 4 steps default vs 64",
+        ),
+        BenchmarkCase(
+            name="adder_32", group="mpc",
+            paper=PaperNumbers(64, 33, 127, 61, 38, 146, 0.70, 32, 150, 0.75),
+            build_default=lambda: A.adder(32),
+            build_full=lambda: A.adder(32),
+            scale_note="paper-sized 32-bit adder",
+        ),
+        BenchmarkCase(
+            name="adder_64", group="mpc",
+            paper=PaperNumbers(128, 65, 265, 115, 100, 260, 0.62, 64, 284, 0.76),
+            build_default=lambda: A.adder(64),
+            build_full=lambda: A.adder(64),
+            scale_note="paper-sized 64-bit adder",
+        ),
+        BenchmarkCase(
+            name="multiplier_32", group="mpc",
+            paper=PaperNumbers(64, 64, 5926, 1069, 4290, 2351, 0.28, 4107, 2473, 0.31),
+            build_default=lambda: A.multiplier(8, style="naive"),
+            build_full=lambda: A.multiplier(32, style="naive"),
+            scale_note="array multiplier, 8x8 default vs 32x32",
+        ),
+        BenchmarkCase(
+            name="comparator_sleq_32", group="mpc",
+            paper=PaperNumbers(64, 1, 150, 0, 121, 69, 0.19, 114, 89, 0.24),
+            build_default=lambda: A.comparator(32, signed=True, strict=False),
+            build_full=lambda: A.comparator(32, signed=True, strict=False),
+            scale_note="paper-sized signed <= comparator",
+        ),
+        BenchmarkCase(
+            name="comparator_slt_32", group="mpc",
+            paper=PaperNumbers(64, 1, 150, 0, 129, 74, 0.14, 108, 116, 0.28),
+            build_default=lambda: A.comparator(32, signed=True, strict=True),
+            build_full=lambda: A.comparator(32, signed=True, strict=True),
+            scale_note="paper-sized signed < comparator",
+        ),
+        BenchmarkCase(
+            name="comparator_uleq_32", group="mpc",
+            paper=PaperNumbers(64, 1, 150, 0, 121, 69, 0.19, 114, 89, 0.24),
+            build_default=lambda: A.comparator(32, signed=False, strict=False),
+            build_full=lambda: A.comparator(32, signed=False, strict=False),
+            scale_note="paper-sized unsigned <= comparator",
+        ),
+        BenchmarkCase(
+            name="comparator_ult_32", group="mpc",
+            paper=PaperNumbers(64, 1, 150, 0, 129, 74, 0.14, 108, 116, 0.28),
+            build_default=lambda: A.comparator(32, signed=False, strict=True),
+            build_full=lambda: A.comparator(32, signed=False, strict=True),
+            scale_note="paper-sized unsigned < comparator",
+        ),
+    ]
+
+
+def mpc_benchmark_map() -> Dict[str, BenchmarkCase]:
+    """Name → case dictionary."""
+    return {case.name: case for case in mpc_benchmarks()}

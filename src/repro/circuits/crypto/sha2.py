@@ -1,0 +1,102 @@
+"""SHA-256 compression-function circuit (one 512-bit block).
+
+The round constants and the initial state are derived from the fractional
+parts of cube/square roots of the first primes exactly as FIPS 180-4 defines
+them (computed with exact integer arithmetic — nothing is transcribed from
+tables), and the generated circuit is validated against :mod:`hashlib`.
+
+SHA-256 is the largest benchmark of the paper's Table 2 (89 478 AND gates
+before optimisation); reduced-round variants are available for the
+pure-Python benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits import word as W
+from repro.circuits.crypto import hash_common as H
+from repro.xag.graph import Xag
+
+
+def _first_primes(count: int) -> List[int]:
+    primes: List[int] = []
+    candidate = 2
+    while len(primes) < count:
+        if all(candidate % p for p in primes if p * p <= candidate):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+def _integer_root_fraction(value: int, root: int) -> int:
+    """First 32 fractional bits of ``value ** (1/root)`` using integer arithmetic."""
+    scaled = value << (32 * root)
+    # integer `root`-th root by Newton iteration
+    guess = 1 << ((scaled.bit_length() + root - 1) // root)
+    while True:
+        better = ((root - 1) * guess + scaled // guess ** (root - 1)) // root
+        if better >= guess:
+            break
+        guess = better
+    return guess & 0xFFFFFFFF
+
+
+PRIMES = _first_primes(64)
+#: initial hash state: fractional parts of the square roots of the first 8 primes.
+INITIAL_STATE = [_integer_root_fraction(p, 2) for p in PRIMES[:8]]
+#: round constants: fractional parts of the cube roots of the first 64 primes.
+ROUND_CONSTANTS = [_integer_root_fraction(p, 3) for p in PRIMES]
+
+
+def _small_sigma0(xag: Xag, word) -> List[int]:
+    return H.xor_words(xag, [H.rotr32(word, 7), H.rotr32(word, 18), H.shr32(xag, word, 3)])
+
+
+def _small_sigma1(xag: Xag, word) -> List[int]:
+    return H.xor_words(xag, [H.rotr32(word, 17), H.rotr32(word, 19), H.shr32(xag, word, 10)])
+
+
+def _big_sigma0(xag: Xag, word) -> List[int]:
+    return H.xor_words(xag, [H.rotr32(word, 2), H.rotr32(word, 13), H.rotr32(word, 22)])
+
+
+def _big_sigma1(xag: Xag, word) -> List[int]:
+    return H.xor_words(xag, [H.rotr32(word, 6), H.rotr32(word, 11), H.rotr32(word, 25)])
+
+
+def sha256_block(num_steps: int = 64, style: str = "naive") -> Xag:
+    """SHA-256 compression circuit; ``num_steps`` can be lowered for reduced-scale runs."""
+    xag = Xag()
+    xag.name = "sha256" if num_steps == 64 else f"sha256_{num_steps}steps"
+    message = H.message_words(xag)
+
+    schedule: List[List[int]] = [list(word) for word in message]
+    for index in range(16, num_steps):
+        term = H.add32_many(
+            xag,
+            [_small_sigma1(xag, schedule[index - 2]), schedule[index - 7],
+             _small_sigma0(xag, schedule[index - 15]), schedule[index - 16]],
+            style=style,
+        )
+        schedule.append(term)
+
+    state = [W.constant_word(xag, value, H.WORD_BITS) for value in INITIAL_STATE]
+    a, b, c, d, e, f, g, h = state
+    for step in range(num_steps):
+        t1 = H.add32_many(
+            xag,
+            [h, _big_sigma1(xag, e), H.choose(xag, e, f, g, style=style),
+             W.constant_word(xag, ROUND_CONSTANTS[step], H.WORD_BITS), schedule[step]],
+            style=style,
+        )
+        t2 = H.add32(xag, _big_sigma0(xag, a), H.majority(xag, a, b, c, style=style),
+                     style=style)
+        h, g, f, e, d, c, b, a = g, f, e, H.add32(xag, d, t1, style=style), c, b, a, \
+            H.add32(xag, t1, t2, style=style)
+
+    digest_state = [a, b, c, d, e, f, g, h]
+    digest = [H.add_constant32(xag, word, INITIAL_STATE[i], style=style)
+              for i, word in enumerate(digest_state)]
+    H.output_words(xag, digest)
+    return xag

@@ -1,0 +1,162 @@
+"""Registry of the Table 1 (EPFL combinational suite) reproduction benchmarks.
+
+Every entry pairs a parameterised structural generator with the numbers the
+paper reports for the original netlist, so the benchmark harness and
+EXPERIMENTS.md can show paper-vs-measured side by side.  The default scale is
+reduced so the pure-Python flow converges in seconds to minutes; the
+paper-scale variants are available through ``build(full_scale=True)`` /
+``REPRO_FULL_SCALE=1`` (see DESIGN.md for the substitution discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits import arithmetic as A
+from repro.circuits import control as C
+from repro.circuits.benchmark_case import BenchmarkCase, PaperNumbers
+
+
+def epfl_benchmarks() -> List[BenchmarkCase]:
+    """All Table 1 benchmark cases (arithmetic first, then random/control)."""
+    cases = [
+        BenchmarkCase(
+            name="adder", group="arithmetic",
+            paper=PaperNumbers(256, 129, 550, 255, 318, 529, 0.42, 128, 549, 0.77),
+            build_default=lambda: A.adder(32),
+            build_full=lambda: A.adder(128),
+            scale_note="ripple-carry adder, 32-bit default vs 128-bit paper netlist",
+        ),
+        BenchmarkCase(
+            name="barrel_shifter", group="arithmetic",
+            paper=PaperNumbers(135, 128, 2688, 0, 896, 1728, 0.67, 832, 1728, 0.69),
+            build_default=lambda: A.barrel_shifter(32),
+            build_full=lambda: A.barrel_shifter(128),
+            scale_note="log-stage shifter, 32-bit default vs 128-bit",
+        ),
+        BenchmarkCase(
+            name="divisor", group="arithmetic",
+            paper=PaperNumbers(128, 128, 12001, 3897, 6378, 8779, 0.47, 6060, 8994, 0.50),
+            build_default=lambda: A.divisor(8),
+            build_full=lambda: A.divisor(64),
+            scale_note="restoring divider, 8-bit default vs 64-bit",
+        ),
+        BenchmarkCase(
+            name="log2", group="arithmetic",
+            paper=PaperNumbers(32, 32, 24941, 3592, 19942, 8583, 0.20, 19436, 9371, 0.22),
+            build_default=lambda: A.log2_unit(16),
+            build_full=lambda: A.log2_unit(32, fractional_bits=8),
+            scale_note="fixed-point log2 approximation in place of the EPFL netlist",
+        ),
+        BenchmarkCase(
+            name="max", group="arithmetic",
+            paper=PaperNumbers(512, 130, 2687, 0, 1471, 1387, 0.45, 931, 1479, 0.65),
+            build_default=lambda: A.max_unit(16, operands=4),
+            build_full=lambda: A.max_unit(128, operands=4),
+            scale_note="max of four words, 16-bit default vs 128-bit",
+        ),
+        BenchmarkCase(
+            name="multiplier", group="arithmetic",
+            paper=PaperNumbers(128, 128, 16119, 4301, 12209, 8122, 0.24, 11940, 8614, 0.26),
+            build_default=lambda: A.multiplier(8),
+            build_full=lambda: A.multiplier(64),
+            scale_note="array multiplier, 8-bit default vs 64-bit",
+        ),
+        BenchmarkCase(
+            name="sine", group="arithmetic",
+            paper=PaperNumbers(24, 25, 4937, 519, 4194, 1572, 0.15, 4075, 1770, 0.17),
+            build_default=lambda: A.sine_unit(10),
+            build_full=lambda: A.sine_unit(24),
+            scale_note="odd-polynomial sine approximation in place of the EPFL netlist",
+        ),
+        BenchmarkCase(
+            name="square_root", group="arithmetic",
+            paper=PaperNumbers(128, 64, 12336, 3746, 7101, 9122, 0.42, 6244, 9640, 0.49),
+            build_default=lambda: A.square_root(16),
+            build_full=lambda: A.square_root(128),
+            scale_note="restoring square root, 16-bit default vs 128-bit",
+        ),
+        BenchmarkCase(
+            name="square", group="arithmetic",
+            paper=PaperNumbers(64, 128, 9225, 3850, 5323, 7984, 0.42, 5181, 8084, 0.44),
+            build_default=lambda: A.square(8),
+            build_full=lambda: A.square(64),
+            scale_note="squarer, 8-bit default vs 64-bit",
+        ),
+        BenchmarkCase(
+            name="arbiter", group="control",
+            paper=PaperNumbers(256, 129, 1181, 0, 1181, 0, 0.0, None, None, 0.0),
+            build_default=lambda: C.round_robin_arbiter(16),
+            build_full=lambda: C.round_robin_arbiter(128),
+            scale_note="combinational round-robin arbiter, 16 requests default",
+        ),
+        BenchmarkCase(
+            name="alu_ctrl", group="control",
+            paper=PaperNumbers(7, 26, 86, 2, 85, 8, 0.01, 85, 8, 0.01),
+            build_default=lambda: C.alu_control_unit(),
+            build_full=lambda: C.alu_control_unit(),
+            scale_note="seeded synthetic control logic with the EPFL ctrl interface",
+        ),
+        BenchmarkCase(
+            name="cavlc", group="control",
+            paper=PaperNumbers(10, 11, 536, 16, 507, 152, 0.05, 494, 197, 0.08),
+            build_default=lambda: C.cavlc_like(),
+            build_full=lambda: C.cavlc_like(),
+            scale_note="seeded synthetic control logic with the EPFL cavlc interface",
+        ),
+        BenchmarkCase(
+            name="decoder", group="control",
+            paper=PaperNumbers(8, 256, 341, 0, 341, 0, 0.0, None, None, 0.0),
+            build_default=lambda: C.decoder(6),
+            build_full=lambda: C.decoder(8),
+            scale_note="one-hot decoder, 6 address bits default vs 8",
+        ),
+        BenchmarkCase(
+            name="i2c", group="control",
+            paper=PaperNumbers(147, 142, 823, 15, 659, 342, 0.20, 623, 502, 0.24),
+            build_default=lambda: C.i2c_like(scale=2),
+            build_full=lambda: C.i2c_like(scale=1),
+            scale_note="seeded synthetic control logic with the EPFL i2c interface",
+        ),
+        BenchmarkCase(
+            name="int2float", group="control",
+            paper=PaperNumbers(11, 7, 133, 13, 112, 76, 0.16, 100, 101, 0.25),
+            build_default=lambda: C.int_to_float(11),
+            build_full=lambda: C.int_to_float(11),
+            scale_note="integer to tiny-float converter (paper-sized interface)",
+        ),
+        BenchmarkCase(
+            name="mem_ctrl", group="control",
+            paper=PaperNumbers(1204, 1231, 7418, 361, 5393, 3165, 0.27, 5113, 4168, 0.31),
+            build_default=lambda: C.memory_controller_like(scale=16),
+            build_full=lambda: C.memory_controller_like(scale=1),
+            scale_note="seeded synthetic control logic, scaled-down interface",
+        ),
+        BenchmarkCase(
+            name="priority", group="control",
+            paper=PaperNumbers(128, 8, 368, 0, 327, 158, 0.11, 327, 158, 0.11),
+            build_default=lambda: C.priority_encoder(32),
+            build_full=lambda: C.priority_encoder(128),
+            scale_note="priority encoder, 32 requests default vs 128",
+        ),
+        BenchmarkCase(
+            name="router", group="control",
+            paper=PaperNumbers(60, 30, 96, 0, 96, 0, 0.0, None, None, 0.0),
+            build_default=lambda: C.router_like(),
+            build_full=lambda: C.router_like(),
+            scale_note="seeded synthetic control logic with the EPFL router interface",
+        ),
+        BenchmarkCase(
+            name="voter", group="control",
+            paper=PaperNumbers(1001, 1, 7308, 1833, 6046, 4917, 0.17, 5651, 6066, 0.23),
+            build_default=lambda: C.voter(63),
+            build_full=lambda: C.voter(1001),
+            scale_note="majority voter, 63 inputs default vs 1001",
+        ),
+    ]
+    return cases
+
+
+def epfl_benchmark_map() -> Dict[str, BenchmarkCase]:
+    """Name → case dictionary."""
+    return {case.name: case for case in epfl_benchmarks()}

@@ -1,0 +1,210 @@
+"""Word-level (bit-vector) construction helpers on top of :class:`Xag`.
+
+All benchmark generators — the EPFL-style arithmetic blocks as well as the
+MPC/FHE cryptographic circuits — are built from the same small vocabulary of
+bit-vector operations defined here.  A *word* is simply a list of literals,
+least-significant bit first.
+
+Two construction styles are supported for the carry logic:
+
+* ``"naive"`` — the conventional AND/OR structure (3 AND gates per full
+  adder), matching how the benchmark suites the paper starts from were
+  written and giving the optimiser something to chew on;
+* ``"compact"`` — the multiplicative-complexity-aware structure (1 AND per
+  full adder) that the optimiser is expected to discover by itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.xag.graph import FALSE, TRUE, Xag
+
+Word = List[int]
+
+
+def constant_word(xag: Xag, value: int, width: int) -> Word:
+    """Word holding the constant ``value`` on ``width`` bits."""
+    return [xag.get_constant(bool((value >> i) & 1)) for i in range(width)]
+
+
+def input_word(xag: Xag, width: int, prefix: str) -> Word:
+    """Create ``width`` primary inputs named ``prefix0 .. prefix{width-1}``."""
+    return [xag.create_pi(f"{prefix}{i}") for i in range(width)]
+
+
+def output_word(xag: Xag, word: Sequence[int], prefix: str) -> None:
+    """Register every bit of ``word`` as a primary output."""
+    for index, bit in enumerate(word):
+        xag.create_po(bit, f"{prefix}{index}")
+
+
+def not_word(xag: Xag, word: Sequence[int]) -> Word:
+    """Bitwise complement."""
+    return [xag.create_not(bit) for bit in word]
+
+
+def and_word(xag: Xag, a: Sequence[int], b: Sequence[int]) -> Word:
+    """Bitwise AND."""
+    _check_widths(a, b)
+    return [xag.create_and(x, y) for x, y in zip(a, b)]
+
+
+def or_word(xag: Xag, a: Sequence[int], b: Sequence[int]) -> Word:
+    """Bitwise OR."""
+    _check_widths(a, b)
+    return [xag.create_or(x, y) for x, y in zip(a, b)]
+
+
+def xor_word(xag: Xag, a: Sequence[int], b: Sequence[int]) -> Word:
+    """Bitwise XOR."""
+    _check_widths(a, b)
+    return [xag.create_xor(x, y) for x, y in zip(a, b)]
+
+
+def mux_word(xag: Xag, sel: int, then_word: Sequence[int], else_word: Sequence[int]) -> Word:
+    """Bitwise multiplexer ``sel ? then : else`` (one AND per bit)."""
+    _check_widths(then_word, else_word)
+    return [xag.create_mux(sel, t, e) for t, e in zip(then_word, else_word)]
+
+
+def rotate_left(word: Sequence[int], amount: int) -> Word:
+    """Rotate a word towards the most-significant bit (free: wires only)."""
+    width = len(word)
+    amount %= width
+    return [word[(i - amount) % width] for i in range(width)]
+
+
+def rotate_right(word: Sequence[int], amount: int) -> Word:
+    """Rotate a word towards the least-significant bit (free: wires only)."""
+    return rotate_left(word, len(word) - (amount % len(word)))
+
+
+def shift_left(xag: Xag, word: Sequence[int], amount: int) -> Word:
+    """Logical shift towards the MSB by a constant amount."""
+    width = len(word)
+    amount = min(amount, width)
+    return [xag.get_constant(False)] * amount + list(word[:width - amount])
+
+
+def shift_right(xag: Xag, word: Sequence[int], amount: int) -> Word:
+    """Logical shift towards the LSB by a constant amount."""
+    width = len(word)
+    amount = min(amount, width)
+    return list(word[amount:]) + [xag.get_constant(False)] * amount
+
+
+def full_adder(xag: Xag, a: int, b: int, carry: int, style: str = "naive") -> Tuple[int, int]:
+    """(sum, carry-out) of three literals.
+
+    ``"naive"`` uses the textbook 2-AND/1-OR carry (3 AND gates in XAG form),
+    ``"compact"`` the single-AND majority construction.
+    """
+    a_xor_b = xag.create_xor(a, b)
+    total = xag.create_xor(a_xor_b, carry)
+    if style == "compact":
+        carry_out = xag.create_xor(xag.create_and(a_xor_b, xag.create_xor(b, carry)), b)
+    elif style == "naive":
+        carry_out = xag.create_or(xag.create_and(a, b), xag.create_and(carry, a_xor_b))
+    else:
+        raise ValueError(f"unknown full-adder style {style!r}")
+    return total, carry_out
+
+
+def ripple_add(xag: Xag, a: Sequence[int], b: Sequence[int], carry_in: int = FALSE,
+               style: str = "naive") -> Tuple[Word, int]:
+    """Ripple-carry addition; returns (sum word, carry-out)."""
+    _check_widths(a, b)
+    carry = carry_in
+    total: Word = []
+    for bit_a, bit_b in zip(a, b):
+        bit_sum, carry = full_adder(xag, bit_a, bit_b, carry, style=style)
+        total.append(bit_sum)
+    return total, carry
+
+
+def add_modular(xag: Xag, a: Sequence[int], b: Sequence[int], style: str = "naive") -> Word:
+    """Addition modulo ``2**width`` (carry-out discarded)."""
+    total, _ = ripple_add(xag, a, b, style=style)
+    return total
+
+
+def negate_word(xag: Xag, a: Sequence[int], style: str = "naive") -> Word:
+    """Two's complement negation."""
+    inverted = not_word(xag, a)
+    one = constant_word(xag, 1, len(a))
+    return add_modular(xag, inverted, one, style=style)
+
+
+def subtract(xag: Xag, a: Sequence[int], b: Sequence[int],
+             style: str = "naive") -> Tuple[Word, int]:
+    """Subtraction ``a - b``; returns (difference, borrow-free flag).
+
+    The second element is the carry-out of ``a + ~b + 1`` and equals 1 when
+    ``a >= b`` for unsigned operands.
+    """
+    _check_widths(a, b)
+    total, carry = ripple_add(xag, a, not_word(xag, b), carry_in=TRUE, style=style)
+    return total, carry
+
+
+def equals(xag: Xag, a: Sequence[int], b: Sequence[int]) -> int:
+    """Equality comparator."""
+    _check_widths(a, b)
+    diffs = [xag.create_xnor(x, y) for x, y in zip(a, b)]
+    return xag.create_and_multi(diffs)
+
+
+def less_than_unsigned(xag: Xag, a: Sequence[int], b: Sequence[int],
+                       style: str = "naive") -> int:
+    """Unsigned ``a < b``."""
+    _, geq = subtract(xag, a, b, style=style)
+    return xag.create_not(geq)
+
+
+def less_equal_unsigned(xag: Xag, a: Sequence[int], b: Sequence[int],
+                        style: str = "naive") -> int:
+    """Unsigned ``a <= b``."""
+    _, geq = subtract(xag, b, a, style=style)
+    return geq
+
+
+def less_than_signed(xag: Xag, a: Sequence[int], b: Sequence[int],
+                     style: str = "naive") -> int:
+    """Signed (two's complement) ``a < b``."""
+    difference, _ = subtract(xag, a, b, style=style)
+    sign_a = a[-1]
+    sign_b = b[-1]
+    sign_diff = difference[-1]
+    # overflow = sign_a ^ sign_b ^ ... classic: a<b iff (diff_sign ^ overflow)
+    overflow = xag.create_and(xag.create_xor(sign_a, sign_b), xag.create_xor(sign_a, sign_diff))
+    return xag.create_xor(sign_diff, overflow)
+
+
+def less_equal_signed(xag: Xag, a: Sequence[int], b: Sequence[int],
+                      style: str = "naive") -> int:
+    """Signed ``a <= b``."""
+    return xag.create_not(less_than_signed(xag, b, a, style=style))
+
+
+def multiply(xag: Xag, a: Sequence[int], b: Sequence[int], result_width: int = None,
+             style: str = "naive") -> Word:
+    """Array multiplier; result truncated/extended to ``result_width`` bits.
+
+    The default result width is ``len(a) + len(b)``.
+    """
+    width = result_width if result_width is not None else len(a) + len(b)
+    accumulator = constant_word(xag, 0, width)
+    for shift, bit_b in enumerate(b):
+        if shift >= width:
+            break
+        partial = [xag.create_and(bit_a, bit_b) for bit_a in a]
+        padded = ([xag.get_constant(False)] * shift + partial)[:width]
+        padded += [xag.get_constant(False)] * (width - len(padded))
+        accumulator = add_modular(xag, accumulator, padded, style=style)
+    return accumulator
+
+
+def _check_widths(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"word width mismatch: {len(a)} vs {len(b)}")

@@ -1,0 +1,15 @@
+"""Cut enumeration and fanout-free cone analysis."""
+
+from repro.cuts.cut import Cut
+from repro.cuts.enumeration import enumerate_cuts, cut_function, cut_cone, cut_and_count
+from repro.cuts.mffc import mffc, mffc_and_count
+
+__all__ = [
+    "Cut",
+    "enumerate_cuts",
+    "cut_function",
+    "cut_cone",
+    "cut_and_count",
+    "mffc",
+    "mffc_and_count",
+]

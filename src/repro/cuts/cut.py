@@ -1,0 +1,35 @@
+"""Cut data type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut of a node: the root and a set of leaf nodes.
+
+    Following the paper's definition (Section 2.1), every path from the root
+    to a primary input passes through at least one leaf, and every leaf lies
+    on such a path.  Leaves are stored as a sorted tuple of node indices; the
+    function of the root in terms of the leaves is computed lazily by
+    :func:`repro.cuts.enumeration.cut_function` (leaf ``i`` becomes variable
+    ``i``).
+    """
+
+    root: int
+    leaves: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of leaves."""
+        return len(self.leaves)
+
+    def is_trivial(self) -> bool:
+        """True for the unit cut ``{root}``."""
+        return self.leaves == (self.root,)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True when this cut's leaves are a subset of ``other``'s leaves."""
+        return set(self.leaves).issubset(other.leaves)

@@ -1,0 +1,143 @@
+"""k-feasible cut enumeration with a per-node cut limit (priority cuts).
+
+The enumeration follows the classical bottom-up merge: the cut set of a gate
+is obtained by pairwise union of the cut sets of its fan-ins, keeping only
+cuts with at most ``cut_size`` leaves, removing dominated cuts, and keeping at
+most ``cut_limit`` cuts per node (paper §4.1 uses ``cut_size = 6`` and
+``cut_limit = 12``).  The trivial cut of each node is always available to the
+merge step but is not reported to the rewriter.
+
+Cut functions are not computed during enumeration; they are evaluated on
+demand by simulating the cut cone with projection truth tables, which is much
+cheaper in pure Python than maintaining tables through every merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cuts.cut import Cut
+from repro.tt.bits import projection, table_mask
+from repro.xag.graph import Xag, lit_complemented, lit_node
+
+
+def enumerate_cuts(xag: Xag, cut_size: int = 6, cut_limit: int = 12) -> Dict[int, List[Cut]]:
+    """Cut sets for every gate node.
+
+    Returns a dictionary mapping each node index to its list of non-trivial
+    cuts (primary inputs and the constant node map to empty lists).  Cuts are
+    ordered by increasing leaf count.
+    """
+    if cut_size < 2:
+        raise ValueError("cut_size must be at least 2")
+    if cut_limit < 1:
+        raise ValueError("cut_limit must be at least 1")
+
+    # leaf sets (as sorted tuples) usable for merging, per node
+    merge_sets: Dict[int, List[Tuple[int, ...]]] = {}
+    result: Dict[int, List[Cut]] = {}
+
+    for node in xag.nodes():
+        if xag.is_constant(node):
+            merge_sets[node] = [()]
+            result[node] = []
+            continue
+        if xag.is_pi(node):
+            merge_sets[node] = [(node,)]
+            result[node] = []
+            continue
+
+        f0, f1 = xag.fanins(node)
+        child0 = lit_node(f0)
+        child1 = lit_node(f1)
+        candidates: List[Tuple[int, ...]] = []
+        seen = set()
+        for cut0 in merge_sets[child0]:
+            for cut1 in merge_sets[child1]:
+                merged = tuple(sorted(set(cut0) | set(cut1)))
+                if len(merged) > cut_size or merged in seen:
+                    continue
+                seen.add(merged)
+                candidates.append(merged)
+
+        candidates = _filter_dominated(candidates)
+        candidates.sort(key=lambda leaves: (len(leaves), leaves))
+        kept = candidates[:cut_limit]
+
+        result[node] = [Cut(node, leaves) for leaves in kept if leaves != (node,)]
+        # the trivial cut participates in the merges of the fan-outs
+        merge_sets[node] = kept + [(node,)]
+    return result
+
+
+def _filter_dominated(candidates: Sequence[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+    """Remove cuts whose leaf set is a strict superset of another cut's."""
+    as_sets = [set(c) for c in candidates]
+    keep: List[Tuple[int, ...]] = []
+    for i, cut in enumerate(candidates):
+        dominated = False
+        for j, other in enumerate(as_sets):
+            if i != j and other < as_sets[i]:
+                dominated = True
+                break
+            if i > j and other == as_sets[i]:
+                dominated = True
+                break
+        if not dominated:
+            keep.append(cut)
+    return keep
+
+
+def cut_cone(xag: Xag, root: int, leaves: Sequence[int]) -> List[int]:
+    """Nodes strictly inside the cut (between leaves and root, root included).
+
+    The returned list is in topological order.
+    """
+    leaf_set = set(leaves)
+    visited = set(leaf_set)
+    order: List[int] = []
+    stack: List[Tuple[int, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if node in visited:
+            continue
+        visited.add(node)
+        if not xag.is_gate(node):
+            if node in leaf_set or xag.is_constant(node):
+                continue
+            raise ValueError(f"cut of node {root} does not cover node {node}")
+        stack.append((node, True))
+        f0, f1 = xag.fanins(node)
+        for child in (lit_node(f0), lit_node(f1)):
+            if child not in visited:
+                stack.append((child, False))
+    return order
+
+
+def cut_function(xag: Xag, cut: Cut) -> int:
+    """Truth table of the cut root in terms of its leaves (leaf ``i`` = variable ``i``)."""
+    num_vars = len(cut.leaves)
+    if num_vars > 16:
+        raise ValueError("cut function computation limited to 16 leaves")
+    mask = table_mask(num_vars)
+    values: Dict[int, int] = {0: 0}
+    for position, leaf in enumerate(cut.leaves):
+        values[leaf] = projection(position, num_vars)
+    for node in cut_cone(xag, cut.root, cut.leaves):
+        f0, f1 = xag.fanins(node)
+        a = values[lit_node(f0)]
+        if lit_complemented(f0):
+            a ^= mask
+        b = values[lit_node(f1)]
+        if lit_complemented(f1):
+            b ^= mask
+        values[node] = (a & b) if xag.is_and(node) else (a ^ b)
+    return values[cut.root]
+
+
+def cut_and_count(xag: Xag, cut: Cut) -> int:
+    """Number of AND gates inside the cut cone (a cheap upper bound on the gain)."""
+    return sum(1 for node in cut_cone(xag, cut.root, cut.leaves) if xag.is_and(node))

@@ -1,0 +1,43 @@
+"""Maximum fanout-free cone (MFFC) computation.
+
+The MFFC of a node is the set of nodes that would become dead if the node were
+removed — exactly the logic that a DAG-aware rewriting step is allowed to
+count as "saved" when it replaces the node's cut (Mishchenko et al., DAC'06).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.xag.graph import Xag, lit_node
+
+
+def mffc(xag: Xag, root: int, fanout_counts: Optional[Sequence[int]] = None) -> Set[int]:
+    """Set of gate nodes in the maximum fanout-free cone of ``root``.
+
+    ``fanout_counts`` may be passed to avoid recomputing it for every call.
+    """
+    if not xag.is_gate(root):
+        return set()
+    counts = list(fanout_counts) if fanout_counts is not None else xag.fanout_counts()
+
+    cone: Set[int] = set()
+    stack: List[int] = [root]
+    while stack:
+        node = stack.pop()
+        if node in cone or not xag.is_gate(node):
+            continue
+        cone.add(node)
+        for fanin in xag.fanins(node):
+            child = lit_node(fanin)
+            if not xag.is_gate(child):
+                continue
+            counts[child] -= 1
+            if counts[child] == 0:
+                stack.append(child)
+    return cone
+
+
+def mffc_and_count(xag: Xag, root: int, fanout_counts: Optional[Sequence[int]] = None) -> int:
+    """Number of AND gates inside the MFFC of ``root``."""
+    return sum(1 for node in mffc(xag, root, fanout_counts) if xag.is_and(node))

@@ -1,0 +1,43 @@
+"""GF(2) linear algebra on bit-packed matrices.
+
+A matrix is represented as a list of ``n`` row bitmasks; bit ``j`` of row ``i``
+is the entry ``A[i][j]``.  Vectors are plain ints (bit ``j`` is component
+``j``).  This representation keeps the affine classifier and the Dickson
+decomposition compact and fast for the ``n <= 6`` sizes used by cut rewriting,
+while still scaling to the wider matrices used by the crypto generators
+(e.g. AES field isomorphisms).
+"""
+
+from repro.gf2.matrix import (
+    identity,
+    zero_matrix,
+    mat_vec,
+    vec_mat,
+    mat_mul,
+    transpose,
+    rank,
+    inverse,
+    is_invertible,
+    solve,
+    random_invertible,
+    elementary_decomposition,
+    from_rows,
+    to_rows,
+)
+
+__all__ = [
+    "identity",
+    "zero_matrix",
+    "mat_vec",
+    "vec_mat",
+    "mat_mul",
+    "transpose",
+    "rank",
+    "inverse",
+    "is_invertible",
+    "solve",
+    "random_invertible",
+    "elementary_decomposition",
+    "from_rows",
+    "to_rows",
+]

@@ -1,0 +1,176 @@
+"""Bit-packed GF(2) matrix operations."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+
+def identity(size: int) -> List[int]:
+    """Identity matrix of the given size."""
+    return [1 << i for i in range(size)]
+
+
+def zero_matrix(size: int) -> List[int]:
+    """All-zero square matrix."""
+    return [0] * size
+
+
+def from_rows(rows: Sequence[Sequence[int]]) -> List[int]:
+    """Build a bit-packed matrix from nested 0/1 lists."""
+    packed = []
+    for row in rows:
+        value = 0
+        for col, entry in enumerate(row):
+            if entry not in (0, 1):
+                raise ValueError("matrix entries must be 0 or 1")
+            if entry:
+                value |= 1 << col
+        packed.append(value)
+    return packed
+
+
+def to_rows(matrix: Sequence[int], num_cols: int) -> List[List[int]]:
+    """Expand a bit-packed matrix into nested 0/1 lists."""
+    return [[(row >> col) & 1 for col in range(num_cols)] for row in matrix]
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def mat_vec(matrix: Sequence[int], vector: int) -> int:
+    """Matrix-vector product ``A v`` (vector as column bitmask)."""
+    result = 0
+    for i, row in enumerate(matrix):
+        if _parity(row & vector):
+            result |= 1 << i
+    return result
+
+
+def vec_mat(vector: int, matrix: Sequence[int]) -> int:
+    """Vector-matrix product ``v^T A`` (result as row bitmask)."""
+    result = 0
+    for i, row in enumerate(matrix):
+        if (vector >> i) & 1:
+            result ^= row
+    return result
+
+
+def mat_mul(left: Sequence[int], right: Sequence[int]) -> List[int]:
+    """Matrix product ``L R``."""
+    return [vec_mat(row, right) for row in left]
+
+
+def transpose(matrix: Sequence[int], num_cols: Optional[int] = None) -> List[int]:
+    """Transpose; ``num_cols`` defaults to the number of rows (square)."""
+    cols = num_cols if num_cols is not None else len(matrix)
+    result = [0] * cols
+    for i, row in enumerate(matrix):
+        for j in range(cols):
+            if (row >> j) & 1:
+                result[j] |= 1 << i
+    return result
+
+
+def rank(matrix: Sequence[int]) -> int:
+    """Rank over GF(2)."""
+    rows = list(matrix)
+    rank_value = 0
+    pivot_col = 0
+    num_rows = len(rows)
+    max_col = max((row.bit_length() for row in rows), default=0)
+    for col in range(max_col):
+        pivot = None
+        for r in range(rank_value, num_rows):
+            if (rows[r] >> col) & 1:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        rows[rank_value], rows[pivot] = rows[pivot], rows[rank_value]
+        for r in range(num_rows):
+            if r != rank_value and (rows[r] >> col) & 1:
+                rows[r] ^= rows[rank_value]
+        rank_value += 1
+        pivot_col += 1
+    return rank_value
+
+
+def inverse(matrix: Sequence[int]) -> Optional[List[int]]:
+    """Inverse of a square matrix, or ``None`` when singular."""
+    size = len(matrix)
+    work = list(matrix)
+    inv = identity(size)
+    for col in range(size):
+        pivot = None
+        for r in range(col, size):
+            if (work[r] >> col) & 1:
+                pivot = r
+                break
+        if pivot is None:
+            return None
+        work[col], work[pivot] = work[pivot], work[col]
+        inv[col], inv[pivot] = inv[pivot], inv[col]
+        for r in range(size):
+            if r != col and (work[r] >> col) & 1:
+                work[r] ^= work[col]
+                inv[r] ^= inv[col]
+    return inv
+
+
+def is_invertible(matrix: Sequence[int]) -> bool:
+    """True when the square matrix has full rank."""
+    return inverse(matrix) is not None
+
+
+def solve(matrix: Sequence[int], rhs: int) -> Optional[int]:
+    """Solve ``A x = rhs`` for a square invertible ``A`` (returns ``None`` otherwise)."""
+    inv = inverse(matrix)
+    if inv is None:
+        return None
+    return mat_vec(inv, rhs)
+
+
+def random_invertible(size: int, rng: random.Random) -> List[int]:
+    """Uniformly-ish random invertible matrix (rejection sampling)."""
+    while True:
+        candidate = [rng.getrandbits(size) for _ in range(size)]
+        if is_invertible(candidate):
+            return candidate
+
+
+def elementary_decomposition(matrix: Sequence[int]) -> List[Tuple[str, int, int]]:
+    """Decompose an invertible matrix into swaps and transvections.
+
+    Returns a list of operations ``("swap", i, j)`` and ``("add", i, j)``
+    (meaning "add row j to row i", i.e. the transvection ``x_i += x_j``) such
+    that applying them, in order, to the identity matrix reproduces
+    ``matrix``.  This mirrors the elementary affine operations of paper
+    Definition 2.1 (variable swap and translation) and is used to report the
+    operation sequence of a classification in terms of those primitives.
+    """
+    size = len(matrix)
+    if inverse(matrix) is None:
+        raise ValueError("matrix is not invertible")
+    work = list(matrix)
+    # Reduce `work` to the identity with row operations, recording the inverse
+    # operations; replaying the record in reverse order rebuilds `matrix`.
+    record: List[Tuple[str, int, int]] = []
+    for col in range(size):
+        pivot = None
+        for r in range(col, size):
+            if (work[r] >> col) & 1:
+                pivot = r
+                break
+        assert pivot is not None
+        if pivot != col:
+            work[col], work[pivot] = work[pivot], work[col]
+            record.append(("swap", col, pivot))
+        for r in range(size):
+            if r != col and (work[r] >> col) & 1:
+                work[r] ^= work[col]
+                record.append(("add", r, col))
+    # work is now the identity; matrix = inverse of the recorded sequence
+    # applied to identity = reversed record (each op is an involution).
+    return [op for op in reversed(record)]

@@ -1,0 +1,18 @@
+"""Circuit interchange formats (Bristol Fashion, BLIF, Verilog)."""
+
+from repro.io.bristol import write_bristol, read_bristol, save_bristol, load_bristol
+from repro.io.blif import write_blif, read_blif, save_blif, load_blif
+from repro.io.verilog import write_verilog, save_verilog
+
+__all__ = [
+    "write_bristol",
+    "read_bristol",
+    "save_bristol",
+    "load_bristol",
+    "write_blif",
+    "read_blif",
+    "save_blif",
+    "load_blif",
+    "write_verilog",
+    "save_verilog",
+]

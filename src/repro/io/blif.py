@@ -1,0 +1,124 @@
+"""Minimal BLIF writer/reader for XAGs.
+
+Only the subset needed to exchange XAGs with classical logic-synthesis tools
+is supported: ``.model``, ``.inputs``, ``.outputs`` and two-input ``.names``
+covers.  AND and XOR gates map to their sum-of-products covers; complemented
+edges are folded into the covers, so no extra inverter nodes are created.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.xag.graph import Xag, lit_complemented, lit_node
+
+
+def write_blif(xag: Xag, model_name: str = None) -> str:
+    """Serialise a network as BLIF text."""
+    name = model_name or xag.name or "xag"
+    lines = [f".model {name}"]
+    lines.append(".inputs " + " ".join(xag.pi_name(i) for i in range(xag.num_pis)))
+    lines.append(".outputs " + " ".join(xag.po_name(i) for i in range(xag.num_pos)))
+
+    signal_names: Dict[int, str] = {0: "const0"}
+    uses_constant = any(lit_node(lit) == 0 for lit in xag.po_literals())
+    if uses_constant:
+        lines.append(".names const0")  # empty cover = constant 0
+    for index, node in enumerate(xag.pis()):
+        signal_names[node] = xag.pi_name(index)
+
+    for node in xag.gates():
+        f0, f1 = xag.fanins(node)
+        gate_name = f"n{node}"
+        signal_names[node] = gate_name
+        in0 = signal_names[lit_node(f0)]
+        in1 = signal_names[lit_node(f1)]
+        c0 = lit_complemented(f0)
+        c1 = lit_complemented(f1)
+        lines.append(f".names {in0} {in1} {gate_name}")
+        if xag.is_and(node):
+            lines.append(f"{'0' if c0 else '1'}{'0' if c1 else '1'} 1")
+        else:
+            # XOR of possibly complemented inputs
+            first = "01" if not (c0 ^ c1) else "00"
+            second = "10" if not (c0 ^ c1) else "11"
+            lines.append(f"{first} 1")
+            lines.append(f"{second} 1")
+
+    for index, lit in enumerate(xag.po_literals()):
+        out_name = xag.po_name(index)
+        source = signal_names[lit_node(lit)]
+        lines.append(f".names {source} {out_name}")
+        lines.append("0 1" if lit_complemented(lit) else "1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def read_blif(text: str) -> Xag:
+    """Parse the BLIF subset produced by :func:`write_blif`."""
+    xag = Xag()
+    signals: Dict[str, int] = {}
+    outputs: List[str] = []
+    lines = [line.strip() for line in text.splitlines()]
+    index = 0
+    pending_output_covers: List[tuple] = []
+    while index < len(lines):
+        line = lines[index]
+        index += 1
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith(".model"):
+            xag.name = line.split(maxsplit=1)[1] if " " in line else ""
+        elif line.startswith(".inputs"):
+            for name in line.split()[1:]:
+                signals[name] = xag.create_pi(name)
+        elif line.startswith(".outputs"):
+            outputs = line.split()[1:]
+        elif line.startswith(".names"):
+            names = line.split()[1:]
+            cover: List[str] = []
+            while index < len(lines) and lines[index] and not lines[index].startswith("."):
+                cover.append(lines[index])
+                index += 1
+            target = names[-1]
+            sources = names[:-1]
+            pending_output_covers.append((target, sources, cover))
+        elif line.startswith(".end"):
+            break
+
+    for target, sources, cover in pending_output_covers:
+        signals[target] = _build_cover(xag, signals, sources, cover)
+
+    for name in outputs:
+        xag.create_po(signals[name], name)
+    return xag
+
+
+def _build_cover(xag: Xag, signals: Dict[str, int], sources: List[str],
+                 cover: List[str]) -> int:
+    if not sources:
+        return xag.get_constant(bool(cover and cover[0].strip() == "1"))
+    terms = []
+    for row in cover:
+        pattern, value = row.split()
+        if value != "1":
+            raise ValueError("only on-set covers are supported")
+        literals = []
+        for position, symbol in enumerate(pattern):
+            if symbol == "-":
+                continue
+            literal = signals[sources[position]]
+            literals.append(literal if symbol == "1" else xag.create_not(literal))
+        terms.append(xag.create_and_multi(literals))
+    return xag.create_or_multi(terms)
+
+
+def save_blif(xag: Xag, path: Union[str, Path]) -> None:
+    """Write a BLIF file."""
+    Path(path).write_text(write_blif(xag))
+
+
+def load_blif(path: Union[str, Path]) -> Xag:
+    """Read a BLIF file."""
+    return read_blif(Path(path).read_text())

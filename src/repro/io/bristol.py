@@ -1,0 +1,167 @@
+"""Bristol Fashion circuit format reader/writer.
+
+The MPC/FHE benchmark collection the paper optimises (and essentially every
+MPC framework) exchanges circuits in "Bristol Fashion": a plain-text netlist
+of AND/XOR/INV/EQ/EQW gates whose first wires are the inputs and whose last
+wires are the outputs.  Supporting the format means the original benchmark
+files can be optimised directly with this library when they are available,
+and our generated circuits can be exported to MPC tooling.
+
+Format summary (one gate per line)::
+
+    <num_gates> <num_wires>
+    <num_input_values> <width_0> ... <width_{n-1}>
+    <num_output_values> <width_0> ... <width_{m-1}>
+
+    <n_in> <n_out> <in_wires...> <out_wires...> <GATE>
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.xag.graph import FALSE, Xag, lit_complemented, lit_node
+
+
+def write_bristol(xag: Xag, input_widths: Sequence[int] = None,
+                  output_widths: Sequence[int] = None) -> str:
+    """Serialise a network in Bristol Fashion.
+
+    ``input_widths`` / ``output_widths`` group the PIs/POs into values (they
+    default to a single value spanning all bits).
+    """
+    input_widths = list(input_widths) if input_widths else [xag.num_pis]
+    output_widths = list(output_widths) if output_widths else [xag.num_pos]
+    if sum(input_widths) != xag.num_pis:
+        raise ValueError("input widths do not cover the primary inputs")
+    if sum(output_widths) != xag.num_pos:
+        raise ValueError("output widths do not cover the primary outputs")
+
+    lines: List[str] = []
+    wire_of_node: Dict[int, int] = {}
+    inverted_wire: Dict[int, int] = {}
+    next_wire = xag.num_pis
+    for position, node in enumerate(xag.pis()):
+        wire_of_node[node] = position
+
+    def wire_for(lit: int) -> int:
+        nonlocal next_wire
+        node = lit_node(lit)
+        if node == 0:
+            # Bristol fashion has no constant wires: materialise constant 0 as
+            # x0 XOR x0 (and constant 1 by inverting it) once.
+            if "zero" not in special_wires:
+                special_wires["zero"] = next_wire
+                lines.append(f"2 1 0 0 {next_wire} XOR")
+                next_wire += 1
+            zero = special_wires["zero"]
+            if not lit_complemented(lit):
+                return zero
+            if "one" not in special_wires:
+                special_wires["one"] = next_wire
+                lines.append(f"1 1 {zero} {next_wire} INV")
+                next_wire += 1
+            return special_wires["one"]
+        base = wire_of_node[node]
+        if not lit_complemented(lit):
+            return base
+        if node not in inverted_wire:
+            inverted_wire[node] = next_wire
+            lines.append(f"1 1 {base} {next_wire} INV")
+            next_wire += 1
+        return inverted_wire[node]
+
+    special_wires: Dict[str, int] = {}
+
+    for node in xag.gates():
+        f0, f1 = xag.fanins(node)
+        a = wire_for(f0)
+        b = wire_for(f1)
+        wire_of_node[node] = next_wire
+        gate = "AND" if xag.is_and(node) else "XOR"
+        lines.append(f"2 1 {a} {b} {next_wire} {gate}")
+        next_wire += 1
+
+    # outputs must occupy the final wires, in order
+    output_wires = []
+    for lit in xag.po_literals():
+        source = wire_for(lit)
+        output_wires.append(source)
+    for source in output_wires:
+        lines.append(f"1 1 {source} {next_wire} EQW")
+        next_wire += 1
+
+    header = [
+        f"{len(lines)} {next_wire}",
+        " ".join([str(len(input_widths))] + [str(w) for w in input_widths]),
+        " ".join([str(len(output_widths))] + [str(w) for w in output_widths]),
+        "",
+    ]
+    return "\n".join(header + lines) + "\n"
+
+
+def read_bristol(text: str) -> Xag:
+    """Parse a Bristol Fashion netlist into an XAG."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if len(lines) < 3:
+        raise ValueError("truncated Bristol circuit")
+    num_gates, num_wires = (int(tok) for tok in lines[0].split())
+    input_spec = [int(tok) for tok in lines[1].split()]
+    output_spec = [int(tok) for tok in lines[2].split()]
+    input_widths = input_spec[1:1 + input_spec[0]]
+    output_widths = output_spec[1:1 + output_spec[0]]
+    num_inputs = sum(input_widths)
+    num_outputs = sum(output_widths)
+
+    xag = Xag()
+    xag.name = "bristol"
+    wires: Dict[int, int] = {}
+    for index in range(num_inputs):
+        wires[index] = xag.create_pi(f"x{index}")
+
+    gate_lines = lines[3:3 + num_gates]
+    if len(gate_lines) != num_gates:
+        raise ValueError("gate count does not match the header")
+    for line in gate_lines:
+        tokens = line.split()
+        n_in, n_out = int(tokens[0]), int(tokens[1])
+        in_wires = [int(tok) for tok in tokens[2:2 + n_in]]
+        out_wires = [int(tok) for tok in tokens[2 + n_in:2 + n_in + n_out]]
+        gate = tokens[-1].upper()
+        if gate == "XOR":
+            value = xag.create_xor(wires[in_wires[0]], wires[in_wires[1]])
+        elif gate == "AND":
+            value = xag.create_and(wires[in_wires[0]], wires[in_wires[1]])
+        elif gate == "INV" or gate == "NOT":
+            value = xag.create_not(wires[in_wires[0]])
+        elif gate == "EQW":
+            value = wires[in_wires[0]]
+        elif gate == "EQ":
+            value = xag.get_constant(bool(in_wires[0]))
+        elif gate == "MAND":
+            # vectorised AND: pairwise ANDs of the first and second half
+            half = n_in // 2
+            for position in range(n_out):
+                wires[out_wires[position]] = xag.create_and(
+                    wires[in_wires[position]], wires[in_wires[half + position]])
+            continue
+        else:
+            raise ValueError(f"unsupported Bristol gate {gate!r}")
+        wires[out_wires[0]] = value
+
+    for index in range(num_outputs):
+        wire = num_wires - num_outputs + index
+        xag.create_po(wires.get(wire, FALSE), f"y{index}")
+    return xag
+
+
+def save_bristol(xag: Xag, path: Union[str, Path], input_widths: Sequence[int] = None,
+                 output_widths: Sequence[int] = None) -> None:
+    """Write a Bristol Fashion file."""
+    Path(path).write_text(write_bristol(xag, input_widths, output_widths))
+
+
+def load_bristol(path: Union[str, Path]) -> Xag:
+    """Read a Bristol Fashion file."""
+    return read_bristol(Path(path).read_text())

@@ -1,0 +1,54 @@
+"""Structural Verilog writer for XAGs (export only)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.xag.graph import Xag, lit_complemented, lit_node
+
+
+def write_verilog(xag: Xag, module_name: str = None) -> str:
+    """Emit a gate-level Verilog module using ``assign`` statements."""
+    name = module_name or xag.name or "xag"
+    name = name.replace("-", "_") or "xag"
+    pi_names = [_sanitize(xag.pi_name(i)) for i in range(xag.num_pis)]
+    po_names = [_sanitize(xag.po_name(i)) for i in range(xag.num_pos)]
+    lines = [f"module {name}(" + ", ".join(pi_names + po_names) + ");"]
+    for pi in pi_names:
+        lines.append(f"  input {pi};")
+    for po in po_names:
+        lines.append(f"  output {po};")
+
+    signal: Dict[int, str] = {0: "1'b0"}
+    for index, node in enumerate(xag.pis()):
+        signal[node] = pi_names[index]
+
+    def literal_expr(lit: int) -> str:
+        base = signal[lit_node(lit)]
+        return f"~{base}" if lit_complemented(lit) else base
+
+    for node in xag.gates():
+        wire = f"n{node}"
+        signal[node] = wire
+        lines.append(f"  wire {wire};")
+        f0, f1 = xag.fanins(node)
+        operator = "&" if xag.is_and(node) else "^"
+        lines.append(f"  assign {wire} = {literal_expr(f0)} {operator} {literal_expr(f1)};")
+
+    for index, lit in enumerate(xag.po_literals()):
+        lines.append(f"  assign {po_names[index]} = {literal_expr(lit)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "s_" + cleaned
+    return cleaned
+
+
+def save_verilog(xag: Xag, path: Union[str, Path]) -> None:
+    """Write a Verilog file."""
+    Path(path).write_text(write_verilog(xag))

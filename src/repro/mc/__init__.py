@@ -1,0 +1,36 @@
+"""Multiplicative-complexity-oriented synthesis and the representative database."""
+
+from repro.mc.bounds import lower_bound, is_provably_optimal
+from repro.mc.dickson import (
+    quadratic_form,
+    quadratic_complexity,
+    synthesize_quadratic,
+    product_decomposition,
+)
+from repro.mc.symmetric import (
+    synthesize_symmetric,
+    add_hamming_weight,
+    add_full_adder,
+    add_half_adder,
+)
+from repro.mc.decompose import DecomposeSynthesizer
+from repro.mc.synthesize import McSynthesizer, multiplicative_complexity_upper_bound
+from repro.mc.database import McDatabase, ImplementationPlan
+
+__all__ = [
+    "lower_bound",
+    "is_provably_optimal",
+    "quadratic_form",
+    "quadratic_complexity",
+    "synthesize_quadratic",
+    "product_decomposition",
+    "synthesize_symmetric",
+    "add_hamming_weight",
+    "add_full_adder",
+    "add_half_adder",
+    "DecomposeSynthesizer",
+    "McSynthesizer",
+    "multiplicative_complexity_upper_bound",
+    "McDatabase",
+    "ImplementationPlan",
+]

@@ -1,0 +1,33 @@
+"""Lower bounds on multiplicative complexity.
+
+These are used to (i) prove optimality of the exact synthesis tiers in tests
+and (ii) report the optimality gap of the heuristic tier in the ablation
+benchmarks.  The bounds implemented here are classical:
+
+* an affine function needs 0 AND gates;
+* ``MC(f) >= deg(f) - 1`` — every AND gate can raise the algebraic degree by
+  at most one (Schnorr);
+* for degree-2 functions ``MC(f)`` equals half the rank of the associated
+  symplectic form (Dickson), which we can evaluate exactly.
+"""
+
+from __future__ import annotations
+
+from repro.mc.dickson import quadratic_complexity
+from repro.tt.anf import degree
+from repro.tt.properties import is_affine
+
+
+def lower_bound(table: int, num_vars: int) -> int:
+    """Best available lower bound on the multiplicative complexity."""
+    if is_affine(table, num_vars):
+        return 0
+    exact_quadratic = quadratic_complexity(table, num_vars)
+    if exact_quadratic is not None:
+        return exact_quadratic
+    return max(1, degree(table, num_vars) - 1)
+
+
+def is_provably_optimal(table: int, num_vars: int, achieved_ands: int) -> bool:
+    """True when ``achieved_ands`` matches a known lower bound."""
+    return achieved_ands == lower_bound(table, num_vars)

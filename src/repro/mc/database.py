@@ -1,0 +1,141 @@
+"""Database of MC-oriented XAG recipes for affine class representatives.
+
+This is the reproduction's analogue of the paper's ``XAG_DB``: a mapping from
+affine class representatives to XAGs implementing them with as few AND gates
+as the synthesis tiers can achieve.  Unlike the paper (which ships a
+pre-computed 12 MB file derived from the NIST optimal-circuit collection), the
+database here is *populated on demand*: the first time a representative is
+requested its recipe is synthesised and cached; the database can be saved to
+and loaded from JSON so that long optimisation campaigns can reuse earlier
+work (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.affine.cache import ClassificationCache
+from repro.affine.classify import AffineClassifier
+from repro.affine.operations import AffineTransform
+from repro.mc.synthesize import McSynthesizer
+from repro.tt.bits import table_mask
+from repro.xag import serialize as xag_serialize
+from repro.xag.graph import Xag
+
+
+@dataclass
+class ImplementationPlan:
+    """Everything needed to implement one cut function inside a larger XAG.
+
+    ``recipe`` computes ``representative`` over ``num_vars`` inputs;
+    ``transform`` maps the representative back to ``table`` using XOR gates,
+    inverters and wire permutations only, so the AND cost of the plan equals
+    ``recipe.num_ands``.
+    """
+
+    table: int
+    num_vars: int
+    representative: int
+    recipe: Xag
+    transform: AffineTransform
+
+    @property
+    def num_ands(self) -> int:
+        """AND gates required to realise the plan (affine re-wiring is free)."""
+        return self.recipe.num_ands
+
+
+class McDatabase:
+    """Representative → recipe store with on-demand synthesis."""
+
+    def __init__(self,
+                 classifier: Optional[AffineClassifier] = None,
+                 synthesizer: Optional[McSynthesizer] = None,
+                 use_classification: bool = True) -> None:
+        self.classification_cache = ClassificationCache(classifier or AffineClassifier())
+        self.synthesizer = synthesizer or McSynthesizer()
+        #: when False the database bypasses affine classification and
+        #: synthesises every cut function directly (ablation mode).
+        self.use_classification = use_classification
+        self._recipes: Dict[Tuple[int, int], Xag] = {}
+        self.synthesis_calls = 0
+
+    # ------------------------------------------------------------------
+    # main API
+    # ------------------------------------------------------------------
+    def plan_for(self, table: int, num_vars: int) -> ImplementationPlan:
+        """Implementation plan (recipe + affine re-wiring) for ``table``."""
+        table &= table_mask(num_vars)
+        if not self.use_classification:
+            recipe = self._recipe_for(table, num_vars)
+            return ImplementationPlan(table, num_vars, table, recipe,
+                                      AffineTransform.identity(num_vars))
+        classification = self.classification_cache.classify(table, num_vars)
+        recipe = self._recipe_for(classification.representative, num_vars)
+        return ImplementationPlan(table, num_vars, classification.representative,
+                                  recipe, classification.from_representative)
+
+    def and_cost(self, table: int, num_vars: int) -> int:
+        """AND gates needed to implement ``table`` through the database."""
+        return self.plan_for(table, num_vars).num_ands
+
+    def _recipe_for(self, representative: int, num_vars: int) -> Xag:
+        key = (representative, num_vars)
+        recipe = self._recipes.get(key)
+        if recipe is None:
+            recipe = self.synthesizer.synthesize(representative, num_vars)
+            self._recipes[key] = recipe
+            self.synthesis_calls += 1
+        return recipe
+
+    # ------------------------------------------------------------------
+    # persistence and inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    def stats(self) -> Dict[str, float]:
+        """Counters useful for the ablation benchmarks."""
+        return {
+            "stored_recipes": len(self._recipes),
+            "synthesis_calls": self.synthesis_calls,
+            "classification_hits": self.classification_cache.hits,
+            "classification_misses": self.classification_cache.misses,
+            "classification_hit_rate": self.classification_cache.hit_rate,
+            "total_recipe_ands": sum(r.num_ands for r in self._recipes.values()),
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist all recipes to a JSON file."""
+        payload = [
+            {"representative": rep, "num_vars": nv, "recipe": xag_serialize.to_dict(recipe)}
+            for (rep, nv), recipe in sorted(self._recipes.items())
+        ]
+        Path(path).write_text(json.dumps(payload))
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Load recipes from a JSON file; returns the number of entries read."""
+        payload = json.loads(Path(path).read_text())
+        for entry in payload:
+            key = (entry["representative"], entry["num_vars"])
+            self._recipes[key] = xag_serialize.from_dict(entry["recipe"])
+        return len(payload)
+
+    def export_combined_xag(self) -> Xag:
+        """Single multi-output XAG with one output per stored representative.
+
+        This mirrors the paper's ``XAG_DB`` representation (a 6-input network
+        with one output per class representative).
+        """
+        max_vars = max((nv for _, nv in self._recipes), default=0)
+        combined = Xag()
+        combined.name = "XAG_DB"
+        inputs = combined.create_pis(max_vars)
+        for (rep, nv), recipe in sorted(self._recipes.items()):
+            leaf_map = {node: inputs[i] for i, node in enumerate(recipe.pis())}
+            out = recipe.copy_cone(combined, [recipe.po_literal(0)], leaf_map)[0]
+            combined.create_po(out, f"rep_{nv}_{rep:x}")
+        return combined

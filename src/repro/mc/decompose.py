@@ -1,0 +1,131 @@
+"""Recursive multiplicative-complexity-aware synthesis for arbitrary functions.
+
+The decomposition tier handles functions of degree three or more (for which no
+general exact polynomial-time method is known).  It recursively applies the
+one-AND multiplexer (Shannon) decomposition
+
+    f = f|x_i=0  ^  x_i & (f|x_i=0 ^ f|x_i=1)
+
+trying every branching variable and keeping the cheapest result, with exact
+handling (affine / Dickson / optional symmetric) at every level and global
+memoisation.  The resulting AND counts are upper bounds on the multiplicative
+complexity; because cut rewriting only ever accepts replacements that strictly
+reduce the AND count, a sub-optimal recipe can never degrade a network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.mc.dickson import synthesize_quadratic
+from repro.mc.symmetric import synthesize_symmetric
+from repro.tt.bits import table_mask
+from repro.tt.operations import cofactor
+from repro.tt.properties import affine_coefficients, is_symmetric, support
+from repro.xag.graph import Xag
+from repro.xag.simulate import output_truth_tables
+
+
+class DecomposeSynthesizer:
+    """Tiered recursive synthesiser (affine → Dickson → symmetric → Shannon)."""
+
+    def __init__(self, use_dickson: bool = True, use_symmetric: bool = True,
+                 verify: bool = True) -> None:
+        self.use_dickson = use_dickson
+        self.use_symmetric = use_symmetric
+        self.verify = verify
+        self._memo: Dict[Tuple[int, int], Xag] = {}
+
+    # ------------------------------------------------------------------
+    def synthesize(self, table: int, num_vars: int) -> Xag:
+        """Return a single-output XAG computing ``table`` over ``num_vars`` inputs."""
+        table &= table_mask(num_vars)
+        recipe = self._synthesize_memo(table, num_vars)
+        if self.verify and output_truth_tables(recipe)[0] != table:  # pragma: no cover
+            raise AssertionError("decomposition synthesis produced a wrong function")
+        return recipe
+
+    def cost(self, table: int, num_vars: int) -> int:
+        """Number of AND gates of the synthesised recipe."""
+        return self.synthesize(table, num_vars).num_ands
+
+    # ------------------------------------------------------------------
+    def _synthesize_memo(self, table: int, num_vars: int) -> Xag:
+        key = (table, num_vars)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        recipe = self._synthesize_uncached(table, num_vars)
+        self._memo[key] = recipe
+        return recipe
+
+    def _synthesize_uncached(self, table: int, num_vars: int) -> Xag:
+        affine = affine_coefficients(table, num_vars)
+        if affine is not None:
+            return self._affine_recipe(affine, num_vars)
+
+        if self.use_dickson:
+            quadratic = synthesize_quadratic(table, num_vars, verify=False)
+            if quadratic is not None:
+                return quadratic
+
+        candidates = []
+        shannon = self._shannon_recipe(table, num_vars)
+        if shannon is not None:
+            candidates.append(shannon)
+
+        if self.use_symmetric and num_vars >= 3 and is_symmetric(table, num_vars):
+            symmetric = synthesize_symmetric(
+                table, num_vars,
+                weight_function_synthesizer=self._synthesize_memo,
+                verify=False,
+            )
+            if symmetric is not None:
+                candidates.append(symmetric)
+
+        if not candidates:  # pragma: no cover - shannon always applies to non-affine
+            raise AssertionError("no decomposition candidate produced")
+        return min(candidates, key=lambda xag: (xag.num_ands, xag.num_gates))
+
+    # ------------------------------------------------------------------
+    def _affine_recipe(self, affine: Tuple[int, int], num_vars: int) -> Xag:
+        linear_mask, constant = affine
+        xag = Xag()
+        xag.name = "affine"
+        inputs = xag.create_pis(num_vars)
+        signal = xag.create_xor_multi(
+            [inputs[i] for i in range(num_vars) if (linear_mask >> i) & 1])
+        if constant:
+            signal = xag.create_not(signal)
+        xag.create_po(signal, "f")
+        return xag
+
+    def _shannon_recipe(self, table: int, num_vars: int) -> Optional[Xag]:
+        active = support(table, num_vars)
+        if not active:
+            return None
+        best: Optional[Xag] = None
+        for var in active:
+            negative = cofactor(table, var, 0, num_vars)
+            positive = cofactor(table, var, 1, num_vars)
+            difference = negative ^ positive
+            base_recipe = self._synthesize_memo(negative, num_vars)
+            diff_recipe = self._synthesize_memo(difference, num_vars)
+
+            xag = Xag()
+            xag.name = "shannon"
+            inputs = xag.create_pis(num_vars)
+            leaf_map_base = {node: inputs[i] for i, node in enumerate(base_recipe.pis())}
+            leaf_map_diff = {node: inputs[i] for i, node in enumerate(diff_recipe.pis())}
+            base_sig = base_recipe.copy_cone(xag, [base_recipe.po_literal(0)], leaf_map_base)[0]
+            diff_sig = diff_recipe.copy_cone(xag, [diff_recipe.po_literal(0)], leaf_map_diff)[0]
+            output = xag.create_xor(base_sig, xag.create_and(inputs[var], diff_sig))
+            xag.create_po(output, "f")
+
+            if best is None or (xag.num_ands, xag.num_gates) < (best.num_ands, best.num_gates):
+                best = xag
+        return best
+
+    def clear(self) -> None:
+        """Drop the memoisation table."""
+        self._memo.clear()

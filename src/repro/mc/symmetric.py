@@ -1,0 +1,114 @@
+"""Multiplicative-complexity-aware constructions for symmetric functions.
+
+A totally symmetric function only depends on the Hamming weight of its input.
+The classical construction (Boyar–Peralta) first computes the binary
+representation of the weight with a tree of full/half adders — a full adder
+costs a single AND gate (its carry is a majority), a half adder costs one AND
+— and then evaluates an arbitrary function of the ``ceil(log2(n+1))`` weight
+bits.  Computing all weight bits of ``n`` inputs costs exactly
+``n - popcount(n)`` AND gates.
+
+This tier matters for cut functions such as larger majorities and threshold
+slices that are symmetric but have degree above two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.tt.bits import table_mask
+from repro.tt.properties import symmetric_values
+from repro.xag.graph import FALSE, Xag
+from repro.xag.simulate import output_truth_tables
+
+
+def add_full_adder(xag: Xag, a: int, b: int, c: int) -> Tuple[int, int]:
+    """(sum, carry) of three literals using one AND gate."""
+    a_xor_c = xag.create_xor(a, c)
+    total = xag.create_xor(a_xor_c, b)
+    carry = xag.create_xor(xag.create_and(a_xor_c, xag.create_xor(b, c)), c)
+    return total, carry
+
+
+def add_half_adder(xag: Xag, a: int, b: int) -> Tuple[int, int]:
+    """(sum, carry) of two literals using one AND gate."""
+    return xag.create_xor(a, b), xag.create_and(a, b)
+
+
+def add_hamming_weight(xag: Xag, literals: Sequence[int]) -> List[int]:
+    """Binary Hamming weight of the literals, least-significant bit first.
+
+    Uses a carry-save (3:2 compressor) tree; the AND count is
+    ``len(literals) - popcount(len(literals))``.
+    """
+    columns: List[List[int]] = [list(literals)]
+    result: List[int] = []
+    position = 0
+    while position < len(columns):
+        column = columns[position]
+        while len(column) >= 2:
+            if len(column) >= 3:
+                a, b, c = column.pop(), column.pop(), column.pop()
+                total, carry = add_full_adder(xag, a, b, c)
+            else:
+                a, b = column.pop(), column.pop()
+                total, carry = add_half_adder(xag, a, b)
+            column.append(total)
+            if position + 1 == len(columns):
+                columns.append([])
+            columns[position + 1].append(carry)
+        result.append(column[0] if column else FALSE)
+        position += 1
+    return result
+
+
+def synthesize_symmetric(table: int, num_vars: int, weight_function_synthesizer=None,
+                         verify: bool = True) -> Optional[Xag]:
+    """XAG for a totally symmetric function via the Hamming-weight construction.
+
+    ``weight_function_synthesizer`` is an optional callable ``(table,
+    num_vars) -> Xag`` used to implement the function of the weight bits; when
+    omitted, a simple sum-of-minterms-over-XAG construction is used.  Returns
+    ``None`` when the function is not symmetric.
+    """
+    values = symmetric_values(table, num_vars)
+    if values is None:
+        return None
+
+    xag = Xag()
+    xag.name = "symmetric"
+    inputs = xag.create_pis(num_vars)
+    weight_bits = add_hamming_weight(xag, inputs)
+    num_weight_bits = len(weight_bits)
+
+    # truth table of the weight-bit function g with g(w) = values[w] for
+    # reachable weights (unreachable weight patterns are don't cares -> 0).
+    weight_table = 0
+    for weight, value in enumerate(values):
+        if value:
+            weight_table |= 1 << weight
+    weight_table &= table_mask(num_weight_bits)
+
+    if weight_function_synthesizer is not None:
+        sub = weight_function_synthesizer(weight_table, num_weight_bits)
+        output = sub.copy_cone(xag, [sub.po_literal(0)],
+                               {node: weight_bits[i] for i, node in enumerate(sub.pis())})[0]
+    else:
+        output = _sum_of_minterms(xag, weight_bits, weight_table)
+    xag.create_po(output, "f")
+
+    if verify and output_truth_tables(xag)[0] != table:  # pragma: no cover - defensive
+        raise AssertionError("symmetric synthesis produced a wrong function")
+    return xag
+
+
+def _sum_of_minterms(xag: Xag, inputs: Sequence[int], table: int) -> int:
+    """Naive minterm expansion used only as a fallback for the tiny weight function."""
+    terms = []
+    for row in range(1 << len(inputs)):
+        if not (table >> row) & 1:
+            continue
+        literals = [inputs[i] if (row >> i) & 1 else xag.create_not(inputs[i])
+                    for i in range(len(inputs))]
+        terms.append(xag.create_and_multi(literals))
+    return xag.create_or_multi(terms)

@@ -1,0 +1,51 @@
+"""Public entry point for multiplicative-complexity-aware synthesis."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mc.bounds import lower_bound
+from repro.mc.decompose import DecomposeSynthesizer
+from repro.tt.bits import table_mask
+from repro.xag.graph import Xag
+
+
+class McSynthesizer:
+    """Synthesise small (up to ~8 input) functions with few AND gates.
+
+    This object plays the role of the paper's pre-computed database *builder*:
+    given a (representative) truth table it produces an XAG whose AND count is
+
+    * provably minimal for affine and degree-2 functions,
+    * a good upper bound otherwise (symmetric constructions and recursive
+      Shannon decomposition).
+
+    The tiers can be disabled individually for the ablation benchmarks.
+    """
+
+    def __init__(self, use_dickson: bool = True, use_symmetric: bool = True,
+                 verify: bool = True) -> None:
+        self._decomposer = DecomposeSynthesizer(use_dickson=use_dickson,
+                                                use_symmetric=use_symmetric,
+                                                verify=verify)
+
+    def synthesize(self, table: int, num_vars: int) -> Xag:
+        """Single-output XAG computing ``table`` over ``num_vars`` inputs."""
+        return self._decomposer.synthesize(table & table_mask(num_vars), num_vars)
+
+    def upper_bound(self, table: int, num_vars: int) -> int:
+        """AND count achieved by :meth:`synthesize`."""
+        return self.synthesize(table, num_vars).num_ands
+
+    def optimality_gap(self, table: int, num_vars: int) -> Optional[int]:
+        """Difference between the achieved AND count and the best lower bound."""
+        return self.upper_bound(table, num_vars) - lower_bound(table, num_vars)
+
+    def clear(self) -> None:
+        """Drop all memoised recipes."""
+        self._decomposer.clear()
+
+
+def multiplicative_complexity_upper_bound(table: int, num_vars: int) -> int:
+    """Convenience helper: AND count of a freshly synthesised XAG for ``table``."""
+    return McSynthesizer().upper_bound(table, num_vars)

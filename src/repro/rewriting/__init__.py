@@ -1,0 +1,25 @@
+"""Cut rewriting (paper Algorithm 1) and optimisation flows."""
+
+from repro.rewriting.insert import insert_plan
+from repro.rewriting.rewrite import CutRewriter, RewriteParams, RoundStats
+from repro.rewriting.flow import (
+    FlowResult,
+    PaperFlowResult,
+    one_round,
+    optimize,
+    size_optimize,
+    paper_flow,
+)
+
+__all__ = [
+    "insert_plan",
+    "CutRewriter",
+    "RewriteParams",
+    "RoundStats",
+    "FlowResult",
+    "PaperFlowResult",
+    "one_round",
+    "optimize",
+    "size_optimize",
+    "paper_flow",
+]

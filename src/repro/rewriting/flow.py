@@ -1,0 +1,187 @@
+"""Optimisation flows: one round, repeat-until-convergence, and the paper flow.
+
+The experiment structure of the paper is:
+
+* start from a *size-optimised* network (ABC's generic size optimisation — the
+  "Initial" columns of Tables 1 and 2);
+* apply **one round** of MC cut rewriting ("One round" columns);
+* repeat rewriting **until convergence**, i.e. until a round no longer reduces
+  the AND count ("Repeat until convergence" columns; the paper reports 15
+  rounds on average, at most 58).
+
+:func:`paper_flow` runs exactly this pipeline and returns the per-stage
+numbers the table renderers in :mod:`repro.analysis.tables` consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.mc.database import McDatabase
+from repro.rewriting.rewrite import CutRewriter, RewriteParams, RoundStats
+from repro.xag.graph import Xag
+
+
+@dataclass
+class FlowResult:
+    """Result of running rewriting rounds until convergence (or a round cap)."""
+
+    initial: Xag
+    final: Xag
+    rounds: List[RoundStats] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rewriting rounds executed."""
+        return len(self.rounds)
+
+    @property
+    def and_improvement(self) -> float:
+        """Overall fractional AND reduction achieved by the flow."""
+        if self.initial.num_ands == 0:
+            return 0.0
+        return 1.0 - self.final.num_ands / self.initial.num_ands
+
+    @property
+    def converged(self) -> bool:
+        """True when the last executed round brought no further AND reduction."""
+        return bool(self.rounds) and self.rounds[-1].ands_after >= self.rounds[-1].ands_before
+
+
+def one_round(xag: Xag, database: Optional[McDatabase] = None,
+              params: Optional[RewriteParams] = None) -> FlowResult:
+    """Apply a single round of MC cut rewriting (paper "One round" columns)."""
+    return optimize(xag, database=database, params=params, max_rounds=1)
+
+
+def optimize(xag: Xag, database: Optional[McDatabase] = None,
+             params: Optional[RewriteParams] = None,
+             max_rounds: Optional[int] = None) -> FlowResult:
+    """Repeat MC cut rewriting until no AND improvement (or ``max_rounds``)."""
+    params = params or RewriteParams()
+    rewriter = CutRewriter(database=database, params=params)
+    start = time.perf_counter()
+    current = xag
+    rounds: List[RoundStats] = []
+    while max_rounds is None or len(rounds) < max_rounds:
+        improved, stats = rewriter.rewrite(current)
+        rounds.append(stats)
+        made_progress = stats.ands_after < stats.ands_before
+        if made_progress:
+            current = improved
+        if not made_progress:
+            break
+    return FlowResult(initial=xag, final=current, rounds=rounds,
+                      runtime_seconds=time.perf_counter() - start)
+
+
+def size_optimize(xag: Xag, database: Optional[McDatabase] = None,
+                  max_rounds: int = 4, cut_size: int = 4,
+                  cut_limit: int = 8, verify: bool = True) -> FlowResult:
+    """Generic size optimisation baseline (unit cost for AND and XOR).
+
+    This plays the role of the ABC script the paper uses to produce its
+    "Initial" networks: a cut-rewriting pass whose objective is the total gate
+    count and which therefore does not distinguish AND from XOR gates.
+    """
+    params = RewriteParams(cut_size=cut_size, cut_limit=cut_limit, objective="size",
+                           verify=verify)
+    database = database if database is not None else McDatabase()
+    rewriter = CutRewriter(database=database, params=params)
+    start = time.perf_counter()
+    current = xag
+    rounds: List[RoundStats] = []
+    for _ in range(max_rounds):
+        improved, stats = rewriter.rewrite(current)
+        rounds.append(stats)
+        gates_before = stats.ands_before + stats.xors_before
+        gates_after = stats.ands_after + stats.xors_after
+        if gates_after < gates_before:
+            current = improved
+        else:
+            break
+    return FlowResult(initial=xag, final=current, rounds=rounds,
+                      runtime_seconds=time.perf_counter() - start)
+
+
+@dataclass
+class PaperFlowResult:
+    """All numbers needed for one row of Table 1 / Table 2."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    initial: Xag
+    after_one_round: Xag
+    after_convergence: Xag
+    one_round_stats: RoundStats
+    convergence_rounds: int
+    one_round_seconds: float
+    convergence_seconds: float
+
+    @property
+    def initial_ands(self) -> int:
+        return self.initial.num_ands
+
+    @property
+    def initial_xors(self) -> int:
+        return self.initial.num_xors
+
+    @property
+    def one_round_improvement(self) -> float:
+        """Fractional AND reduction after a single rewriting round."""
+        if self.initial.num_ands == 0:
+            return 0.0
+        return 1.0 - self.after_one_round.num_ands / self.initial.num_ands
+
+    @property
+    def convergence_improvement(self) -> float:
+        """Fractional AND reduction after repeating until convergence."""
+        if self.initial.num_ands == 0:
+            return 0.0
+        return 1.0 - self.after_convergence.num_ands / self.initial.num_ands
+
+
+def paper_flow(xag: Xag, name: Optional[str] = None,
+               database: Optional[McDatabase] = None,
+               params: Optional[RewriteParams] = None,
+               size_baseline: bool = False,
+               max_rounds: Optional[int] = None) -> PaperFlowResult:
+    """Run the full experimental pipeline of the paper on one benchmark.
+
+    With ``size_baseline`` the input network is first run through the generic
+    size optimiser (mirroring the ABC pre-optimisation of the EPFL
+    benchmarks); the (possibly optimised) starting point is reported as the
+    "Initial" network.  ``max_rounds`` caps the convergence loop, which is
+    useful for the large cryptographic benchmarks in pure Python.
+    """
+    params = params if params is not None else RewriteParams()
+    database = database if database is not None else McDatabase()
+    initial = xag
+    if size_baseline:
+        initial = size_optimize(xag, verify=params.verify).final
+
+    start_one = time.perf_counter()
+    one = optimize(initial, database=database, params=params, max_rounds=1)
+    one_round_seconds = time.perf_counter() - start_one
+
+    start_conv = time.perf_counter()
+    conv = optimize(one.final, database=database, params=params,
+                    max_rounds=None if max_rounds is None else max(0, max_rounds - 1))
+    convergence_seconds = one_round_seconds + (time.perf_counter() - start_conv)
+
+    return PaperFlowResult(
+        name=name or xag.name or "benchmark",
+        num_inputs=xag.num_pis,
+        num_outputs=xag.num_pos,
+        initial=initial,
+        after_one_round=one.final,
+        after_convergence=conv.final,
+        one_round_stats=one.rounds[0],
+        convergence_rounds=1 + conv.num_rounds,
+        one_round_seconds=one_round_seconds,
+        convergence_seconds=convergence_seconds,
+    )

@@ -1,0 +1,50 @@
+"""Insertion of an implementation plan into a target network.
+
+A plan consists of a recipe (an XAG computing the affine class representative)
+and an affine transform mapping the representative back to the desired cut
+function.  Re-applying the transform needs only XOR gates, inverters and wire
+permutations (paper Section 3), so the AND cost of the inserted logic equals
+the AND count of the recipe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.mc.database import ImplementationPlan
+from repro.xag.graph import Xag
+
+
+def insert_plan(target: Xag, plan: ImplementationPlan, leaf_signals: Sequence[int]) -> int:
+    """Build the plan inside ``target`` on top of ``leaf_signals``.
+
+    ``leaf_signals[i]`` is the literal of the target network corresponding to
+    cut leaf / variable ``i``.  Returns the literal computing the planned
+    function ``plan.table``.
+    """
+    if len(leaf_signals) != plan.num_vars:
+        raise ValueError("one leaf signal per plan variable is required")
+    transform = plan.transform
+
+    # inputs of the representative: row i of A selects the leaves XOR-ed into
+    # representative variable i; bit i of b complements it.
+    rep_inputs: List[int] = []
+    for var in range(plan.num_vars):
+        row = transform.matrix[var]
+        signal = target.create_xor_multi(
+            [leaf_signals[j] for j in range(plan.num_vars) if (row >> j) & 1])
+        if (transform.offset >> var) & 1:
+            signal = target.create_not(signal)
+        rep_inputs.append(signal)
+
+    recipe = plan.recipe
+    leaf_map = {node: rep_inputs[i] for i, node in enumerate(recipe.pis())}
+    output = recipe.copy_cone(target, [recipe.po_literal(0)], leaf_map)[0]
+
+    # output correction: XOR with selected leaves and optional complement.
+    correction = target.create_xor_multi(
+        [leaf_signals[j] for j in range(plan.num_vars) if (transform.output_linear >> j) & 1])
+    output = target.create_xor(output, correction)
+    if transform.output_const:
+        output = target.create_not(output)
+    return output

@@ -1,0 +1,276 @@
+"""Cut rewriting for multiplicative-complexity (and size) minimisation.
+
+This module implements the paper's Algorithm 1 as a two-phase, DAG-aware
+rewriting pass in the spirit of Mishchenko et al. [1]:
+
+*Phase 1 — candidate selection.*  For every gate (in topological order) the
+enumerated cuts are examined.  For each cut the function of the cut is
+computed, classified to its affine representative, and the representative's
+recipe is fetched from the database (Alg. 1 lines 1–9).  The *gain* of the
+candidate is the number of AND gates inside the cut cone that belong to the
+root's maximum fanout-free cone (they disappear if the root is re-expressed)
+minus the AND gates of the recipe (the affine re-wiring is AND-free).  The
+best positive-gain candidate of each node is recorded.
+
+*Phase 2 — reconstruction.*  The network is rebuilt from the primary outputs:
+a node with a selected candidate is re-implemented on top of its cut leaves
+(its old cone is simply never copied); all other gates are copied.
+Structural hashing removes any duplication.  The rebuilt network is swept and
+(optionally) verified against the original.
+
+The ``objective`` parameter switches the cost model between the paper's
+AND-count objective and a unit-cost total-gate objective used as the generic
+size-optimisation baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cuts.cut import Cut
+from repro.cuts.enumeration import cut_cone, enumerate_cuts
+from repro.cuts.mffc import mffc
+from repro.mc.database import ImplementationPlan, McDatabase
+from repro.rewriting.insert import insert_plan
+from repro.tt.bits import projection, table_mask
+from repro.xag.cleanup import sweep
+from repro.xag.equivalence import equivalent
+from repro.xag.graph import Xag, lit_node
+
+
+@dataclass
+class RewriteParams:
+    """Knobs of one rewriting pass (paper §4.1 defaults)."""
+
+    #: maximum number of cut leaves (the paper uses 6, the largest size for
+    #: which optimum representatives are known).
+    cut_size: int = 6
+    #: maximum number of cuts stored per node (paper value: 12).
+    cut_limit: int = 12
+    #: "mc" minimises AND gates first (the paper's objective); "size"
+    #: minimises total gates (the generic baseline objective).
+    objective: str = "mc"
+    #: also accept replacements with zero AND gain but a positive total-gate
+    #: gain (reduces XOR overhead without ever increasing the AND count).
+    allow_zero_gain: bool = False
+    #: check functional equivalence of every rewritten network.
+    verify: bool = True
+
+
+@dataclass
+class Candidate:
+    """A selected replacement for one node."""
+
+    cut: Cut
+    plan: ImplementationPlan
+    gain_ands: int
+    gain_gates: int
+
+
+@dataclass
+class RoundStats:
+    """Statistics of a single rewriting round."""
+
+    ands_before: int = 0
+    xors_before: int = 0
+    ands_after: int = 0
+    xors_after: int = 0
+    nodes_considered: int = 0
+    candidates_evaluated: int = 0
+    rewrites_selected: int = 0
+    rewrites_applied: int = 0
+    runtime_seconds: float = 0.0
+    verified: Optional[bool] = None
+
+    @property
+    def and_improvement(self) -> float:
+        """Fractional reduction of the AND count in this round."""
+        if self.ands_before == 0:
+            return 0.0
+        return 1.0 - self.ands_after / self.ands_before
+
+
+class CutRewriter:
+    """Two-phase DAG-aware cut rewriting engine (see module docstring)."""
+
+    def __init__(self, database: Optional[McDatabase] = None,
+                 params: Optional[RewriteParams] = None) -> None:
+        # note: an explicit `is None` check — an empty McDatabase is falsy
+        # because it defines __len__, but it must still be honoured.
+        self.database = database if database is not None else McDatabase()
+        self.params = params if params is not None else RewriteParams()
+
+    # ------------------------------------------------------------------
+    def rewrite(self, xag: Xag) -> Tuple[Xag, RoundStats]:
+        """Run one rewriting round and return the optimised copy with statistics."""
+        if self.params.objective not in ("mc", "size"):
+            raise ValueError(f"unknown objective {self.params.objective!r}")
+        stats = RoundStats(ands_before=xag.num_ands, xors_before=xag.num_xors)
+        start = time.perf_counter()
+
+        selections = self._select_candidates(xag, stats)
+        result = self._reconstruct(xag, selections, stats)
+
+        stats.ands_after = result.num_ands
+        stats.xors_after = result.num_xors
+        stats.runtime_seconds = time.perf_counter() - start
+        if self.params.verify:
+            stats.verified = equivalent(xag, result)
+            if not stats.verified:
+                raise AssertionError("cut rewriting changed the network function")
+        return result, stats
+
+    # ------------------------------------------------------------------
+    # phase 1: candidate selection
+    # ------------------------------------------------------------------
+    def _select_candidates(self, xag: Xag, stats: RoundStats) -> Dict[int, Candidate]:
+        params = self.params
+        cuts = enumerate_cuts(xag, cut_size=params.cut_size, cut_limit=params.cut_limit)
+        fanout_counts = xag.fanout_counts()
+        selections: Dict[int, Candidate] = {}
+
+        for node in xag.gates():
+            node_cuts = cuts.get(node, [])
+            if not node_cuts:
+                continue
+            stats.nodes_considered += 1
+            node_mffc = None
+            best: Optional[Candidate] = None
+
+            for cut in node_cuts:
+                if cut.size < 2 or cut.size > params.cut_size or node in cut.leaves:
+                    continue
+                interior = cut_cone(xag, node, cut.leaves)
+                interior_ands = [n for n in interior if xag.is_and(n)]
+                if params.objective == "mc" and not interior_ands:
+                    continue
+                if node_mffc is None:
+                    node_mffc = mffc(xag, node, fanout_counts)
+                saved_ands = sum(1 for n in interior_ands if n in node_mffc)
+                saved_gates = sum(1 for n in interior if n in node_mffc)
+                if params.objective == "mc" and saved_ands == 0 and not params.allow_zero_gain:
+                    continue
+
+                table = self._cone_function(xag, node, cut.leaves, interior)
+                plan = self.database.plan_for(table, cut.size)
+                stats.candidates_evaluated += 1
+
+                cost_ands = plan.num_ands
+                cost_gates = self._estimated_gates(plan)
+                gain_ands = saved_ands - cost_ands
+                gain_gates = saved_gates - cost_gates
+                candidate = Candidate(cut, plan, gain_ands, gain_gates)
+
+                if not self._acceptable(candidate):
+                    continue
+                if best is None or self._better(candidate, best):
+                    best = candidate
+
+            if best is not None:
+                selections[node] = best
+                stats.rewrites_selected += 1
+        return selections
+
+    def _acceptable(self, candidate: Candidate) -> bool:
+        if self.params.objective == "mc":
+            if candidate.gain_ands > 0:
+                return True
+            return (self.params.allow_zero_gain and candidate.gain_ands == 0
+                    and candidate.gain_gates > 0)
+        # size objective: unit cost over all gates, never allow AND regressions
+        # beyond what the gate gain justifies.
+        return candidate.gain_gates > 0
+
+    def _better(self, candidate: Candidate, incumbent: Candidate) -> bool:
+        if self.params.objective == "mc":
+            key = (candidate.gain_ands, candidate.gain_gates)
+            incumbent_key = (incumbent.gain_ands, incumbent.gain_gates)
+        else:
+            key = (candidate.gain_gates, candidate.gain_ands)
+            incumbent_key = (incumbent.gain_gates, incumbent.gain_ands)
+        return key > incumbent_key
+
+    @staticmethod
+    def _cone_function(xag: Xag, root: int, leaves: Tuple[int, ...],
+                       interior: List[int]) -> int:
+        """Truth table of the cut using an already-computed interior ordering."""
+        num_vars = len(leaves)
+        mask = table_mask(num_vars)
+        values: Dict[int, int] = {0: 0}
+        for position, leaf in enumerate(leaves):
+            values[leaf] = projection(position, num_vars)
+        for node in interior:
+            f0, f1 = xag.fanins(node)
+            a = values[lit_node(f0)]
+            if f0 & 1:
+                a ^= mask
+            b = values[lit_node(f1)]
+            if f1 & 1:
+                b ^= mask
+            values[node] = (a & b) if xag.is_and(node) else (a ^ b)
+        return values[root]
+
+    @staticmethod
+    def _estimated_gates(plan: ImplementationPlan) -> int:
+        """Upper bound on the gates added by :func:`insert_plan` (before hashing)."""
+        transform = plan.transform
+        correction_xors = 0
+        for row in transform.matrix:
+            weight = bin(row).count("1")
+            if weight:
+                correction_xors += weight - 1
+        output_weight = bin(transform.output_linear).count("1")
+        correction_xors += output_weight
+        return plan.recipe.num_gates + correction_xors
+
+    # ------------------------------------------------------------------
+    # phase 2: reconstruction
+    # ------------------------------------------------------------------
+    def _reconstruct(self, xag: Xag, selections: Dict[int, Candidate],
+                     stats: RoundStats) -> Xag:
+        new = Xag()
+        new.name = xag.name
+        mapping: Dict[int, int] = {0: 0}
+        for index, node in enumerate(xag.pis()):
+            mapping[node] = new.create_pi(xag.pi_name(index))
+
+        po_nodes = [lit_node(lit) for lit in xag.po_literals()]
+        stack: List[Tuple[int, bool]] = [(node, False) for node in reversed(po_nodes)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in mapping and not expanded:
+                continue
+            if expanded:
+                if node in mapping:
+                    continue
+                candidate = selections.get(node)
+                if candidate is not None:
+                    leaf_signals = [mapping[leaf] for leaf in candidate.cut.leaves]
+                    mapping[node] = insert_plan(new, candidate.plan, leaf_signals)
+                    stats.rewrites_applied += 1
+                else:
+                    f0, f1 = xag.fanins(node)
+                    a = mapping[lit_node(f0)] ^ (f0 & 1)
+                    b = mapping[lit_node(f1)] ^ (f1 & 1)
+                    mapping[node] = new.create_and(a, b) if xag.is_and(node) \
+                        else new.create_xor(a, b)
+                continue
+
+            stack.append((node, True))
+            candidate = selections.get(node)
+            if candidate is not None:
+                children = candidate.cut.leaves
+            elif xag.is_gate(node):
+                f0, f1 = xag.fanins(node)
+                children = (lit_node(f0), lit_node(f1))
+            else:
+                children = ()
+            for child in children:
+                if child not in mapping:
+                    stack.append((child, False))
+
+        for index, lit in enumerate(xag.po_literals()):
+            new.create_po(mapping[lit_node(lit)] ^ (lit & 1), xag.po_name(index))
+        return sweep(new)

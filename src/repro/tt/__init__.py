@@ -1,0 +1,89 @@
+"""Truth-table kernel.
+
+A truth table of an ``n``-variable Boolean function is stored as a plain
+Python integer with ``2**n`` significant bits.  Bit ``m`` of the integer is
+the function value ``f(x)`` for the input assignment in which variable ``k``
+takes the value ``(m >> k) & 1``.  Variable 0 is therefore the
+fastest-toggling variable (pattern ``0101...``), exactly as in mockturtle and
+ABC.
+
+The kernel provides:
+
+* :mod:`repro.tt.bits` — masks, projections, popcount helpers;
+* :mod:`repro.tt.operations` — cofactors, variable permutation/negation,
+  affine input/output transforms, support manipulation;
+* :mod:`repro.tt.anf` — algebraic normal form (Möbius transform) and degree;
+* :mod:`repro.tt.spectrum` — Rademacher–Walsh (Walsh–Hadamard) spectrum;
+* :mod:`repro.tt.properties` — structural predicates (constant, affine,
+  symmetric, …).
+"""
+
+from repro.tt.bits import (
+    num_bits,
+    table_mask,
+    projection,
+    popcount,
+    bit_of,
+    from_bits,
+    to_bits,
+    random_table,
+)
+from repro.tt.operations import (
+    negate,
+    cofactor,
+    remove_variable,
+    flip_variable,
+    swap_variables,
+    xor_variable_into,
+    xor_with_variable,
+    apply_input_transform,
+    apply_output_affine,
+    expand_table,
+    shrink_to_support,
+)
+from repro.tt.anf import to_anf, from_anf, degree, anf_monomials
+from repro.tt.spectrum import walsh_spectrum, spectrum_signature
+from repro.tt.properties import (
+    is_constant,
+    is_affine,
+    affine_coefficients,
+    support,
+    depends_on,
+    is_symmetric,
+    symmetric_values,
+)
+
+__all__ = [
+    "num_bits",
+    "table_mask",
+    "projection",
+    "popcount",
+    "bit_of",
+    "from_bits",
+    "to_bits",
+    "random_table",
+    "negate",
+    "cofactor",
+    "remove_variable",
+    "flip_variable",
+    "swap_variables",
+    "xor_variable_into",
+    "xor_with_variable",
+    "apply_input_transform",
+    "apply_output_affine",
+    "expand_table",
+    "shrink_to_support",
+    "to_anf",
+    "from_anf",
+    "degree",
+    "anf_monomials",
+    "walsh_spectrum",
+    "spectrum_signature",
+    "is_constant",
+    "is_affine",
+    "affine_coefficients",
+    "support",
+    "depends_on",
+    "is_symmetric",
+    "symmetric_values",
+]

@@ -1,0 +1,73 @@
+"""Structural predicates on truth tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.tt.anf import to_anf
+from repro.tt.bits import bit_of, num_bits, popcount, table_mask
+from repro.tt.operations import cofactor
+
+
+def is_constant(table: int, num_vars: int) -> bool:
+    """True when the function is constant 0 or constant 1."""
+    return table == 0 or table == table_mask(num_vars)
+
+
+def depends_on(table: int, var: int, num_vars: int) -> bool:
+    """True when the function actually depends on variable ``var``."""
+    return cofactor(table, var, 0, num_vars) != cofactor(table, var, 1, num_vars)
+
+
+def support(table: int, num_vars: int) -> List[int]:
+    """Indices of the variables the function depends on."""
+    return [var for var in range(num_vars) if depends_on(table, var, num_vars)]
+
+
+def is_affine(table: int, num_vars: int) -> bool:
+    """True when the function is affine (degree at most 1)."""
+    anf = to_anf(table, num_vars)
+    for monomial in range(num_bits(num_vars)):
+        if (anf >> monomial) & 1 and popcount(monomial) > 1:
+            return False
+    return True
+
+
+def affine_coefficients(table: int, num_vars: int) -> Optional[Tuple[int, int]]:
+    """Return ``(linear_mask, constant)`` when the function is affine.
+
+    The function equals ``constant ^ XOR_{i in linear_mask} x_i``.  ``None``
+    is returned for non-affine functions.
+    """
+    anf = to_anf(table, num_vars)
+    linear_mask = 0
+    constant = anf & 1
+    for monomial in range(1, num_bits(num_vars)):
+        if not (anf >> monomial) & 1:
+            continue
+        if popcount(monomial) > 1:
+            return None
+        linear_mask |= monomial
+    return linear_mask, constant
+
+
+def symmetric_values(table: int, num_vars: int) -> Optional[List[int]]:
+    """Weight-indexed value vector for (totally) symmetric functions.
+
+    Returns a list ``v`` of length ``num_vars + 1`` with ``f(x) = v[wt(x)]``
+    when the function is symmetric, otherwise ``None``.
+    """
+    values: List[Optional[int]] = [None] * (num_vars + 1)
+    for row in range(num_bits(num_vars)):
+        weight = popcount(row)
+        bit = bit_of(table, row)
+        if values[weight] is None:
+            values[weight] = bit
+        elif values[weight] != bit:
+            return None
+    return [value if value is not None else 0 for value in values]
+
+
+def is_symmetric(table: int, num_vars: int) -> bool:
+    """True when the function value only depends on the input weight."""
+    return symmetric_values(table, num_vars) is not None

@@ -1,0 +1,38 @@
+"""Rademacher-Walsh (Walsh-Hadamard) spectrum of Boolean functions."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tt.bits import bit_of, num_bits
+
+
+def walsh_spectrum(table: int, num_vars: int) -> List[int]:
+    """Walsh-Hadamard spectrum.
+
+    ``W[w] = sum_x (-1)^(f(x) ^ <w, x>)``.  ``W[0]`` is ``2**n - 2 * weight``;
+    the coefficients of the five affine operations of the paper act on this
+    vector by structured signed permutations (see :mod:`repro.affine`).
+    """
+    size = num_bits(num_vars)
+    values = [1 - 2 * bit_of(table, row) for row in range(size)]
+    step = 1
+    while step < size:
+        for start in range(0, size, step << 1):
+            for idx in range(start, start + step):
+                a = values[idx]
+                b = values[idx + step]
+                values[idx] = a + b
+                values[idx + step] = a - b
+        step <<= 1
+    return values
+
+
+def spectrum_signature(table: int, num_vars: int) -> Tuple[int, ...]:
+    """Multiset of absolute spectrum values, sorted.
+
+    The signature is invariant under all five affine operations and is used
+    both as a fast pre-filter during classification and as a test oracle: two
+    functions with different signatures can never be affine equivalent.
+    """
+    return tuple(sorted(abs(value) for value in walsh_spectrum(table, num_vars)))

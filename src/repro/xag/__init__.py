@@ -1,0 +1,55 @@
+"""XOR-AND graph data structure and companion utilities."""
+
+from repro.xag.graph import (
+    FALSE,
+    TRUE,
+    NodeKind,
+    Xag,
+    literal,
+    lit_node,
+    lit_complemented,
+    lit_not,
+)
+from repro.xag.simulate import (
+    simulate_words,
+    simulate_pattern,
+    simulate_assignment,
+    simulate_integers,
+    output_truth_tables,
+    node_truth_tables,
+    node_values,
+)
+from repro.xag.depth import depth, multiplicative_depth, node_levels
+from repro.xag.cleanup import sweep, sweep_with_map
+from repro.xag.equivalence import equivalent
+from repro.xag.serialize import to_dict, from_dict, save, load
+from repro.xag.dot import to_dot
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "NodeKind",
+    "Xag",
+    "literal",
+    "lit_node",
+    "lit_complemented",
+    "lit_not",
+    "simulate_words",
+    "simulate_pattern",
+    "simulate_assignment",
+    "simulate_integers",
+    "output_truth_tables",
+    "node_truth_tables",
+    "node_values",
+    "depth",
+    "multiplicative_depth",
+    "node_levels",
+    "sweep",
+    "sweep_with_map",
+    "equivalent",
+    "to_dict",
+    "from_dict",
+    "save",
+    "load",
+    "to_dot",
+]

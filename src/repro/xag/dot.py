@@ -1,0 +1,29 @@
+"""Graphviz DOT export for small XAGs (documentation and debugging)."""
+
+from __future__ import annotations
+
+from repro.xag.graph import Xag, lit_complemented, lit_node
+
+
+def to_dot(xag: Xag, graph_name: str = "xag") -> str:
+    """Render the network as a DOT digraph.
+
+    Complemented edges are drawn dashed, matching the figures of the paper.
+    """
+    lines = [f"digraph {graph_name} {{", "  rankdir=BT;"]
+    lines.append('  node [shape=circle, fontsize=10];')
+    for index, node in enumerate(xag.pis()):
+        lines.append(f'  n{node} [shape=box, label="{xag.pi_name(index)}"];')
+    for node in xag.gates():
+        label = "AND" if xag.is_and(node) else "XOR"
+        lines.append(f'  n{node} [label="{label}"];')
+        for fanin in xag.fanins(node):
+            style = "dashed" if lit_complemented(fanin) else "solid"
+            lines.append(f"  n{lit_node(fanin)} -> n{node} [style={style}];")
+    for index, lit in enumerate(xag.po_literals()):
+        name = xag.po_name(index)
+        lines.append(f'  po{index} [shape=plaintext, label="{name}"];')
+        style = "dashed" if lit_complemented(lit) else "solid"
+        lines.append(f"  n{lit_node(lit)} -> po{index} [style={style}];")
+    lines.append("}")
+    return "\n".join(lines)

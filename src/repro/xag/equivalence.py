@@ -1,0 +1,38 @@
+"""Combinational equivalence checking between XAGs."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.xag.graph import Xag
+from repro.xag.simulate import output_truth_tables, simulate_words
+
+
+def equivalent(
+    left: Xag,
+    right: Xag,
+    exhaustive_limit: int = 14,
+    num_random_words: int = 64,
+    word_bits: int = 64,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Check functional equivalence of two networks.
+
+    Networks with up to ``exhaustive_limit`` primary inputs are compared by
+    exhaustive truth-table simulation (a complete proof).  Larger networks are
+    compared by word-parallel random simulation, which can only disprove
+    equivalence; for the sizes handled in this library the random check is
+    used as a strong smoke test and is documented as such.
+    """
+    if left.num_pis != right.num_pis or left.num_pos != right.num_pos:
+        return False
+    if left.num_pis <= exhaustive_limit:
+        return output_truth_tables(left) == output_truth_tables(right)
+    rng = rng or random.Random(0xC0FFEE)
+    mask = (1 << word_bits) - 1
+    for _ in range(num_random_words):
+        words = [rng.getrandbits(word_bits) for _ in range(left.num_pis)]
+        if simulate_words(left, words, mask) != simulate_words(right, words, mask):
+            return False
+    return True

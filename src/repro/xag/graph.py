@@ -1,0 +1,464 @@
+"""XOR-AND graph (XAG) with complemented edges and structural hashing.
+
+An XAG is the logic representation used throughout the paper: every internal
+node is a 2-input AND or a 2-input XOR, and edges may be complemented.  The
+number of AND nodes is the *multiplicative complexity of the circuit*.
+
+Signals ("literals") are encoded as ``node_index * 2 + complement`` exactly as
+in AIGER/mockturtle, so ``constant false`` is literal ``0`` and ``constant
+true`` is literal ``1``.  Nodes are stored in creation order, and because the
+library only ever builds networks bottom-up (rewriting is performed
+out-of-place), the node index order is always a valid topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class NodeKind:
+    """Integer tags for node types (kept as plain ints for speed)."""
+
+    CONST = 0
+    PI = 1
+    AND = 2
+    XOR = 3
+
+    NAMES = {CONST: "const", PI: "pi", AND: "and", XOR: "xor"}
+
+
+FALSE = 0
+TRUE = 1
+
+
+def literal(node: int, complemented: bool = False) -> int:
+    """Build a literal from a node index and a complement flag."""
+    return (node << 1) | int(complemented)
+
+
+def lit_node(lit: int) -> int:
+    """Node index of a literal."""
+    return lit >> 1
+
+
+def lit_complemented(lit: int) -> bool:
+    """True when the literal is complemented."""
+    return bool(lit & 1)
+
+
+def lit_not(lit: int) -> int:
+    """Complement of a literal."""
+    return lit ^ 1
+
+
+class Checkpoint:
+    """Opaque snapshot of an :class:`Xag` used for speculative construction."""
+
+    __slots__ = ("num_nodes", "strash_log_len", "num_ands", "num_xors")
+
+    def __init__(self, num_nodes: int, strash_log_len: int, num_ands: int, num_xors: int):
+        self.num_nodes = num_nodes
+        self.strash_log_len = strash_log_len
+        self.num_ands = num_ands
+        self.num_xors = num_xors
+
+
+class Xag:
+    """A XOR-AND graph.
+
+    The public surface follows the usual logic-network API: primary inputs and
+    outputs, gate constructors with constant propagation and structural
+    hashing, counters, iteration, and speculative construction via
+    :meth:`checkpoint` / :meth:`rollback` (used by the cut rewriter to price
+    candidate replacements before committing to one).
+    """
+
+    def __init__(self) -> None:
+        self._kind: List[int] = [NodeKind.CONST]
+        self._fanin0: List[int] = [0]
+        self._fanin1: List[int] = [0]
+        self._pis: List[int] = []
+        self._pi_names: List[str] = []
+        self._pos: List[int] = []
+        self._po_names: List[str] = []
+        self._strash: Dict[Tuple[int, int, int], int] = {}
+        self._strash_log: List[Tuple[int, int, int]] = []
+        self._num_ands = 0
+        self._num_xors = 0
+        self.name: str = ""
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def get_constant(self, value: bool) -> int:
+        """Literal of the constant ``value``."""
+        return TRUE if value else FALSE
+
+    def create_pi(self, name: Optional[str] = None) -> int:
+        """Create a primary input and return its (non-complemented) literal."""
+        node = len(self._kind)
+        self._kind.append(NodeKind.PI)
+        self._fanin0.append(0)
+        self._fanin1.append(0)
+        self._pis.append(node)
+        self._pi_names.append(name if name is not None else f"x{len(self._pis) - 1}")
+        return literal(node)
+
+    def create_pis(self, count: int, prefix: str = "x") -> List[int]:
+        """Create ``count`` primary inputs named ``prefix0 .. prefix{count-1}``."""
+        return [self.create_pi(f"{prefix}{i}") for i in range(count)]
+
+    def create_po(self, lit: int, name: Optional[str] = None) -> int:
+        """Register a primary output driven by ``lit``; returns the PO index."""
+        self._check_literal(lit)
+        self._pos.append(lit)
+        self._po_names.append(name if name is not None else f"y{len(self._pos) - 1}")
+        return len(self._pos) - 1
+
+    def replace_po(self, index: int, lit: int) -> None:
+        """Re-drive an existing primary output."""
+        self._check_literal(lit)
+        self._pos[index] = lit
+
+    def _new_node(self, kind: int, fanin0: int, fanin1: int) -> int:
+        node = len(self._kind)
+        self._kind.append(kind)
+        self._fanin0.append(fanin0)
+        self._fanin1.append(fanin1)
+        if kind == NodeKind.AND:
+            self._num_ands += 1
+        else:
+            self._num_xors += 1
+        return node
+
+    def create_and(self, a: int, b: int) -> int:
+        """AND of two literals (with constant propagation and strashing)."""
+        self._check_literal(a)
+        self._check_literal(b)
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE:
+            return a
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return FALSE
+        if a > b:
+            a, b = b, a
+        key = (NodeKind.AND, a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = self._new_node(NodeKind.AND, a, b)
+            self._strash[key] = node
+            self._strash_log.append(key)
+        return literal(node)
+
+    def create_xor(self, a: int, b: int) -> int:
+        """XOR of two literals (complements are pushed to the output)."""
+        self._check_literal(a)
+        self._check_literal(b)
+        if a == b:
+            return FALSE
+        if a == lit_not(b):
+            return TRUE
+        if a == FALSE:
+            return b
+        if a == TRUE:
+            return lit_not(b)
+        if b == FALSE:
+            return a
+        if b == TRUE:
+            return lit_not(a)
+        out_complement = (a & 1) ^ (b & 1)
+        a &= ~1
+        b &= ~1
+        if a > b:
+            a, b = b, a
+        key = (NodeKind.XOR, a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = self._new_node(NodeKind.XOR, a, b)
+            self._strash[key] = node
+            self._strash_log.append(key)
+        return literal(node) | out_complement
+
+    def create_not(self, a: int) -> int:
+        """Complement of a literal (free: just flips the complement bit)."""
+        self._check_literal(a)
+        return lit_not(a)
+
+    def create_or(self, a: int, b: int) -> int:
+        """OR realised as a single AND with complemented edges."""
+        return lit_not(self.create_and(lit_not(a), lit_not(b)))
+
+    def create_nand(self, a: int, b: int) -> int:
+        """NAND of two literals."""
+        return lit_not(self.create_and(a, b))
+
+    def create_nor(self, a: int, b: int) -> int:
+        """NOR of two literals."""
+        return lit_not(self.create_or(a, b))
+
+    def create_xnor(self, a: int, b: int) -> int:
+        """XNOR of two literals."""
+        return lit_not(self.create_xor(a, b))
+
+    def create_mux(self, sel: int, then_lit: int, else_lit: int) -> int:
+        """Multiplexer ``sel ? then : else`` using a single AND gate."""
+        return self.create_xor(else_lit, self.create_and(sel, self.create_xor(then_lit, else_lit)))
+
+    def create_maj(self, a: int, b: int, c: int) -> int:
+        """Majority of three literals using a single AND gate.
+
+        ``<abc> = ((a ^ c) & (b ^ c)) ^ c`` — the multiplicative-complexity
+        optimal construction (MC = 1), matching the paper's Example 3.1.
+        """
+        return self.create_xor(self.create_and(self.create_xor(a, c), self.create_xor(b, c)), c)
+
+    def create_maj_naive(self, a: int, b: int, c: int) -> int:
+        """Majority of three literals with the textbook 3-AND / 2-OR structure."""
+        return self.create_or(self.create_or(self.create_and(a, b), self.create_and(a, c)), self.create_and(b, c))
+
+    def create_and_multi(self, literals: Sequence[int]) -> int:
+        """Balanced AND of an arbitrary number of literals."""
+        return self._reduce(list(literals), self.create_and, TRUE)
+
+    def create_or_multi(self, literals: Sequence[int]) -> int:
+        """Balanced OR of an arbitrary number of literals."""
+        return self._reduce(list(literals), self.create_or, FALSE)
+
+    def create_xor_multi(self, literals: Sequence[int]) -> int:
+        """Balanced XOR of an arbitrary number of literals."""
+        return self._reduce(list(literals), self.create_xor, FALSE)
+
+    def _reduce(self, literals: List[int], op, neutral: int) -> int:
+        if not literals:
+            return neutral
+        while len(literals) > 1:
+            nxt = []
+            for i in range(0, len(literals) - 1, 2):
+                nxt.append(op(literals[i], literals[i + 1]))
+            if len(literals) & 1:
+                nxt.append(literals[-1])
+            literals = nxt
+        return literals[0]
+
+    # ------------------------------------------------------------------
+    # speculative construction
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the network so later additions can be undone."""
+        return Checkpoint(len(self._kind), len(self._strash_log), self._num_ands, self._num_xors)
+
+    def rollback(self, checkpoint: Checkpoint) -> None:
+        """Remove every node created after ``checkpoint``.
+
+        Only valid when the removed nodes are not referenced by primary
+        outputs or by nodes created before the checkpoint (which is always the
+        case for bottom-up construction).
+        """
+        for key in self._strash_log[checkpoint.strash_log_len:]:
+            del self._strash[key]
+        del self._strash_log[checkpoint.strash_log_len:]
+        del self._kind[checkpoint.num_nodes:]
+        del self._fanin0[checkpoint.num_nodes:]
+        del self._fanin1[checkpoint.num_nodes:]
+        self._num_ands = checkpoint.num_ands
+        self._num_xors = checkpoint.num_xors
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _check_literal(self, lit: int) -> None:
+        if lit < 0 or (lit >> 1) >= len(self._kind):
+            raise ValueError(f"literal {lit} references a node that does not exist")
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes including the constant and the PIs."""
+        return len(self._kind)
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._pos)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of AND and XOR gates."""
+        return self._num_ands + self._num_xors
+
+    @property
+    def num_ands(self) -> int:
+        """Number of AND gates (the multiplicative complexity of the circuit)."""
+        return self._num_ands
+
+    @property
+    def num_xors(self) -> int:
+        """Number of XOR gates."""
+        return self._num_xors
+
+    def kind(self, node: int) -> int:
+        """Node kind tag (see :class:`NodeKind`)."""
+        return self._kind[node]
+
+    def is_and(self, node: int) -> bool:
+        """True for AND nodes."""
+        return self._kind[node] == NodeKind.AND
+
+    def is_xor(self, node: int) -> bool:
+        """True for XOR nodes."""
+        return self._kind[node] == NodeKind.XOR
+
+    def is_gate(self, node: int) -> bool:
+        """True for AND or XOR nodes."""
+        return self._kind[node] in (NodeKind.AND, NodeKind.XOR)
+
+    def is_pi(self, node: int) -> bool:
+        """True for primary-input nodes."""
+        return self._kind[node] == NodeKind.PI
+
+    def is_constant(self, node: int) -> bool:
+        """True for the constant node."""
+        return self._kind[node] == NodeKind.CONST
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        """Fan-in literals of a gate node."""
+        return self._fanin0[node], self._fanin1[node]
+
+    def pis(self) -> List[int]:
+        """Node indices of the primary inputs, in creation order."""
+        return list(self._pis)
+
+    def pi_literals(self) -> List[int]:
+        """Literals of the primary inputs, in creation order."""
+        return [literal(node) for node in self._pis]
+
+    def pi_index(self, node: int) -> int:
+        """Position of a PI node among the primary inputs."""
+        return self._pis.index(node)
+
+    def pi_name(self, index: int) -> str:
+        """Name of the ``index``-th primary input."""
+        return self._pi_names[index]
+
+    def po_literal(self, index: int) -> int:
+        """Driving literal of the ``index``-th primary output."""
+        return self._pos[index]
+
+    def po_literals(self) -> List[int]:
+        """Driving literals of all primary outputs."""
+        return list(self._pos)
+
+    def po_name(self, index: int) -> str:
+        """Name of the ``index``-th primary output."""
+        return self._po_names[index]
+
+    def pi_names(self) -> List[str]:
+        """Names of all primary inputs."""
+        return list(self._pi_names)
+
+    def po_names(self) -> List[str]:
+        """Names of all primary outputs."""
+        return list(self._po_names)
+
+    def gates(self) -> Iterator[int]:
+        """Iterate over gate node indices in topological order."""
+        for node in range(len(self._kind)):
+            if self.is_gate(node):
+                yield node
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all node indices in topological order."""
+        return iter(range(len(self._kind)))
+
+    def fanout_counts(self) -> List[int]:
+        """Fan-out count per node (primary outputs count as fan-outs)."""
+        counts = [0] * len(self._kind)
+        for node in self.gates():
+            counts[lit_node(self._fanin0[node])] += 1
+            counts[lit_node(self._fanin1[node])] += 1
+        for lit in self._pos:
+            counts[lit_node(lit)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # utilities
+    # ------------------------------------------------------------------
+    def clone(self) -> "Xag":
+        """Deep copy of the network."""
+        other = Xag()
+        other._kind = list(self._kind)
+        other._fanin0 = list(self._fanin0)
+        other._fanin1 = list(self._fanin1)
+        other._pis = list(self._pis)
+        other._pi_names = list(self._pi_names)
+        other._pos = list(self._pos)
+        other._po_names = list(self._po_names)
+        other._strash = dict(self._strash)
+        other._strash_log = list(self._strash_log)
+        other._num_ands = self._num_ands
+        other._num_xors = self._num_xors
+        other.name = self.name
+        return other
+
+    def copy_cone(self, target: "Xag", roots: Sequence[int], leaf_map: Dict[int, int]) -> List[int]:
+        """Copy the cones of ``roots`` into ``target``.
+
+        ``leaf_map`` maps node indices of this network to literals of
+        ``target``; every node reachable from the roots must either be a gate
+        whose fan-ins are (transitively) covered, a constant, or appear in
+        ``leaf_map``.  Returns the literals in ``target`` corresponding to the
+        ``roots`` literals of this network.
+        """
+        cache: Dict[int, int] = dict(leaf_map)
+        cache[0] = FALSE
+
+        ordered = self._collect_cone_nodes([lit_node(r) for r in roots], set(cache))
+        for node in ordered:
+            f0, f1 = self.fanins(node)
+            a = cache[lit_node(f0)] ^ (f0 & 1)
+            b = cache[lit_node(f1)] ^ (f1 & 1)
+            if self.is_and(node):
+                cache[node] = target.create_and(a, b)
+            else:
+                cache[node] = target.create_xor(a, b)
+        return [cache[lit_node(r)] ^ (r & 1) for r in roots]
+
+    def _collect_cone_nodes(self, roots: Sequence[int], stop: Iterable[int]) -> List[int]:
+        stop_set = set(stop)
+        visited = set(stop_set)
+        order: List[int] = []
+        stack: List[Tuple[int, bool]] = [(root, False) for root in roots]
+        while stack:
+            node, expanded = stack.pop()
+            if node in visited and not expanded:
+                continue
+            if expanded:
+                order.append(node)
+                continue
+            visited.add(node)
+            if not self.is_gate(node):
+                if node not in stop_set and not self.is_constant(node):
+                    raise ValueError(f"cone reaches unmapped non-gate node {node}")
+                continue
+            stack.append((node, True))
+            f0, f1 = self.fanins(node)
+            for child in (lit_node(f0), lit_node(f1)):
+                if child not in visited:
+                    stack.append((child, False))
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" '{self.name}'" if self.name else ""
+        return (
+            f"<Xag{label} pis={self.num_pis} pos={self.num_pos} "
+            f"ands={self.num_ands} xors={self.num_xors}>"
+        )

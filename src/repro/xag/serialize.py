@@ -1,0 +1,76 @@
+"""JSON-friendly (de)serialisation of XAGs."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.xag.graph import NodeKind, Xag, lit_node
+
+
+def to_dict(xag: Xag) -> Dict:
+    """Serialise a network into a plain dictionary."""
+    gates: List[List] = []
+    node_positions: Dict[int, int] = {0: 0}
+    for index, node in enumerate(xag.pis()):
+        node_positions[node] = index + 1
+    next_position = xag.num_pis + 1
+
+    def lit_to_serial(lit: int) -> int:
+        return (node_positions[lit_node(lit)] << 1) | (lit & 1)
+
+    for node in xag.gates():
+        f0, f1 = xag.fanins(node)
+        gates.append([
+            "and" if xag.is_and(node) else "xor",
+            lit_to_serial(f0),
+            lit_to_serial(f1),
+        ])
+        node_positions[node] = next_position
+        next_position += 1
+
+    return {
+        "name": xag.name,
+        "num_pis": xag.num_pis,
+        "pi_names": xag.pi_names(),
+        "po_names": xag.po_names(),
+        "gates": gates,
+        "outputs": [lit_to_serial(lit) for lit in xag.po_literals()],
+    }
+
+
+def from_dict(data: Dict) -> Xag:
+    """Rebuild a network from :func:`to_dict` output."""
+    xag = Xag()
+    xag.name = data.get("name", "")
+    pi_names = data.get("pi_names") or [f"x{i}" for i in range(data["num_pis"])]
+    literals: List[int] = [0]
+    for name in pi_names:
+        literals.append(xag.create_pi(name))
+
+    def serial_to_lit(serial: int) -> int:
+        return literals[serial >> 1] ^ (serial & 1)
+
+    for kind, a, b in data["gates"]:
+        if kind == "and":
+            literals.append(xag.create_and(serial_to_lit(a), serial_to_lit(b)))
+        elif kind == "xor":
+            literals.append(xag.create_xor(serial_to_lit(a), serial_to_lit(b)))
+        else:
+            raise ValueError(f"unknown gate kind {kind!r}")
+
+    po_names = data.get("po_names") or [f"y{i}" for i in range(len(data["outputs"]))]
+    for serial, name in zip(data["outputs"], po_names):
+        xag.create_po(serial_to_lit(serial), name)
+    return xag
+
+
+def save(xag: Xag, path: Union[str, Path]) -> None:
+    """Write a network as JSON."""
+    Path(path).write_text(json.dumps(to_dict(xag)))
+
+
+def load(path: Union[str, Path]) -> Xag:
+    """Read a network written by :func:`save`."""
+    return from_dict(json.loads(Path(path).read_text()))

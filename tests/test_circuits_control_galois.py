@@ -1,0 +1,151 @@
+"""Tests for the control-logic generators and the GF(2^k) circuit substrate."""
+
+import random
+
+import pytest
+
+from repro.circuits import control as C
+from repro.circuits import galois as G
+from repro.circuits import word as W
+from repro.xag import Xag, equivalent, simulate_integers, simulate_pattern
+
+
+# ----------------------------------------------------------------------
+# control generators
+# ----------------------------------------------------------------------
+def test_decoder(rng):
+    dec = C.decoder(4)
+    assert dec.num_pis == 4 and dec.num_pos == 16
+    for value in range(16):
+        outputs = simulate_integers(dec, [value], [4], [1] * 16)
+        assert outputs == [1 if i == value else 0 for i in range(16)]
+
+
+def test_priority_encoder(rng):
+    encoder = C.priority_encoder(16)
+    for _ in range(15):
+        requests = rng.randrange(1, 1 << 16)
+        index, valid = simulate_integers(encoder, [requests], [16], [4, 1])
+        assert valid == 1
+        assert index == requests.bit_length() - 1
+    index, valid = simulate_integers(encoder, [0], [16], [4, 1])
+    assert valid == 0
+
+
+def test_round_robin_arbiter(rng):
+    arbiter = C.round_robin_arbiter(8)
+    assert arbiter.num_pis == 16
+    for _ in range(20):
+        requests = rng.randrange(1 << 8)
+        pointer_pos = rng.randrange(8)
+        outputs = simulate_integers(arbiter, [requests, 1 << pointer_pos], [8, 8], [1] * 8 + [1])
+        grants, busy = outputs[:8], outputs[8]
+        assert busy == int(requests != 0)
+        assert sum(grants) == (1 if requests else 0)
+        if requests:
+            granted = grants.index(1)
+            assert (requests >> granted) & 1
+            # the grant is the first request at or after the pointer, if any
+            eligible = [i for i in range(pointer_pos, 8) if (requests >> i) & 1]
+            if eligible:
+                assert granted == eligible[0]
+            else:
+                assert granted == next(i for i in range(8) if (requests >> i) & 1)
+
+
+def test_voter(rng):
+    for num_inputs in (5, 9, 15):
+        unit = C.voter(num_inputs)
+        for _ in range(10):
+            votes = rng.randrange(1 << num_inputs)
+            (majority,) = simulate_integers(unit, [votes], [num_inputs], [1])
+            assert majority == int(bin(votes).count("1") > num_inputs // 2)
+
+
+def test_int_to_float_monotone_exponent():
+    unit = C.int_to_float(11)
+    previous_exponent = -1
+    for value in (1, 2, 4, 8, 16, 64, 512, 1024, 2047):
+        mantissa, exponent, nonzero = simulate_integers(unit, [value], [11], [3, 4, 1])
+        assert nonzero == 1
+        assert exponent == value.bit_length() - 1
+        assert exponent >= previous_exponent
+        previous_exponent = exponent
+    assert simulate_integers(unit, [0], [11], [3, 4, 1])[2] == 0
+
+
+def test_random_control_is_reproducible():
+    first = C.random_control("demo", 8, 4, 50, seed=42)
+    second = C.random_control("demo", 8, 4, 50, seed=42)
+    different = C.random_control("demo", 8, 4, 50, seed=43)
+    assert equivalent(first, second)
+    assert first.num_pis == 8 and first.num_pos == 4
+    assert not equivalent(first, different) or first.num_gates != different.num_gates
+
+
+def test_control_stand_ins_have_paper_interfaces():
+    assert C.alu_control_unit().num_pis == 7
+    assert C.alu_control_unit().num_pos == 26
+    assert C.cavlc_like().num_pis == 10
+    assert C.router_like().num_pis == 60
+    i2c = C.i2c_like(scale=1)
+    assert i2c.num_pis == 147 and i2c.num_pos == 142
+    mem = C.memory_controller_like(scale=16)
+    assert mem.num_pis >= 8 and mem.num_pos >= 8
+
+
+def test_control_circuits_are_and_dominated():
+    """Control stand-ins must have low XOR content (like the real netlists)."""
+    for circuit in (C.cavlc_like(), C.router_like(), C.alu_control_unit()):
+        assert circuit.num_ands > circuit.num_xors
+
+
+# ----------------------------------------------------------------------
+# GF(2^k) substrate
+# ----------------------------------------------------------------------
+def test_binary_field_software_arithmetic():
+    field = G.AES_FIELD
+    assert field.multiply(0x53, 0xCA) == 0x01  # classical AES example: inverses
+    assert field.inverse(0x53) == 0xCA
+    assert field.inverse(0) == 0
+    assert field.power(0x02, 8) == field.multiply(0x02, field.power(0x02, 7))
+    with pytest.raises(ValueError):
+        G.BinaryField(4, 0x11B)
+
+
+def test_gf_multiplier_circuit_matches_software(rng):
+    field = G.BinaryField(4, 0b10011)  # GF(16), x^4 + x + 1
+    xag = Xag()
+    a = W.input_word(xag, 4, "a")
+    b = W.input_word(xag, 4, "b")
+    W.output_word(xag, G.gf_multiply_circuit(xag, a, b, field), "p")
+    assert xag.num_ands == 16
+    for _ in range(25):
+        x, y = rng.randrange(16), rng.randrange(16)
+        (product,) = simulate_integers(xag, [x, y], [4, 4], [4])
+        assert product == field.multiply(x, y)
+
+
+def test_gf_constant_multiplier_and_square_are_linear(rng):
+    field = G.BinaryField(4, 0b10011)
+    xag = Xag()
+    a = W.input_word(xag, 4, "a")
+    W.output_word(xag, G.gf_constant_multiply_circuit(xag, a, 0b0110, field), "c")
+    W.output_word(xag, G.gf_square_circuit(xag, a, field), "s")
+    assert xag.num_ands == 0  # both maps are GF(2)-linear
+    for value in range(16):
+        const_mul, square = simulate_integers(xag, [value], [4], [4, 4])
+        assert const_mul == field.multiply(0b0110, value)
+        assert square == field.multiply(value, value)
+
+
+def test_apply_linear_map_and_inverse():
+    matrix = [0b01, 0b11]
+    inverse = G.invert_matrix(matrix)
+    xag = Xag()
+    a = W.input_word(xag, 2, "a")
+    W.output_word(xag, G.apply_linear_map(xag, G.apply_linear_map(xag, a, matrix), inverse), "y")
+    for value in range(4):
+        assert simulate_integers(xag, [value], [2], [2]) == [value]
+    with pytest.raises(ValueError):
+        G.invert_matrix([1, 1])

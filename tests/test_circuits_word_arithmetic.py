@@ -1,0 +1,223 @@
+"""Tests for the word-level helpers and the arithmetic benchmark generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import arithmetic as A
+from repro.circuits import word as W
+from repro.xag import Xag, multiplicative_depth, simulate_integers, simulate_pattern
+
+
+# ----------------------------------------------------------------------
+# word-level helpers
+# ----------------------------------------------------------------------
+def build_word_test_harness(width):
+    xag = Xag()
+    a = W.input_word(xag, width, "a")
+    b = W.input_word(xag, width, "b")
+    return xag, a, b
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_word_bitwise_operations(a_value, b_value):
+    xag, a, b = build_word_test_harness(8)
+    W.output_word(xag, W.and_word(xag, a, b), "and")
+    W.output_word(xag, W.or_word(xag, a, b), "or")
+    W.output_word(xag, W.xor_word(xag, a, b), "xor")
+    W.output_word(xag, W.not_word(xag, a), "not")
+    outputs = simulate_integers(xag, [a_value, b_value], [8, 8], [8, 8, 8, 8])
+    assert outputs[0] == a_value & b_value
+    assert outputs[1] == a_value | b_value
+    assert outputs[2] == a_value ^ b_value
+    assert outputs[3] == (~a_value) & 0xFF
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 255), st.integers(0, 255), st.booleans())
+def test_word_addition_and_subtraction(a_value, b_value, use_compact):
+    style = "compact" if use_compact else "naive"
+    xag, a, b = build_word_test_harness(8)
+    total, carry = W.ripple_add(xag, a, b, style=style)
+    difference, no_borrow = W.subtract(xag, a, b, style=style)
+    W.output_word(xag, total, "s")
+    xag.create_po(carry, "c")
+    W.output_word(xag, difference, "d")
+    xag.create_po(no_borrow, "nb")
+    outputs = simulate_integers(xag, [a_value, b_value], [8, 8], [8, 1, 8, 1])
+    assert outputs[0] == (a_value + b_value) & 0xFF
+    assert outputs[1] == (a_value + b_value) >> 8
+    assert outputs[2] == (a_value - b_value) & 0xFF
+    assert outputs[3] == int(a_value >= b_value)
+
+
+def test_full_adder_styles_and_cost():
+    for style, expected_ands in (("naive", 3), ("compact", 1)):
+        xag = Xag()
+        a, b, c = xag.create_pis(3)
+        total, carry = W.full_adder(xag, a, b, c, style=style)
+        xag.create_po(total, "s")
+        xag.create_po(carry, "c")
+        assert xag.num_ands == expected_ands
+        for pattern in range(8):
+            bits = [(pattern >> i) & 1 for i in range(3)]
+            s, cout = simulate_pattern(xag, bits)
+            assert s == sum(bits) & 1 and cout == sum(bits) >> 1
+    with pytest.raises(ValueError):
+        W.full_adder(Xag(), 0, 0, 0, style="unknown")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 63), st.integers(0, 63))
+def test_word_multiply(a_value, b_value):
+    xag, a, b = build_word_test_harness(6)
+    W.output_word(xag, W.multiply(xag, a, b), "p")
+    (product,) = simulate_integers(xag, [a_value, b_value], [6, 6], [12])
+    assert product == a_value * b_value
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(-64, 63), st.integers(-64, 63))
+def test_signed_comparisons(a_value, b_value):
+    xag, a, b = build_word_test_harness(7)
+    xag.create_po(W.less_than_signed(xag, a, b), "lt")
+    xag.create_po(W.less_equal_signed(xag, a, b), "leq")
+    lt, leq = simulate_integers(xag, [a_value & 0x7F, b_value & 0x7F], [7, 7], [1, 1])
+    assert lt == int(a_value < b_value)
+    assert leq == int(a_value <= b_value)
+
+
+def test_word_utility_functions():
+    xag = Xag()
+    word = W.constant_word(xag, 0b1011, 4)
+    assert W.rotate_left(word, 1) == [word[3], word[0], word[1], word[2]]
+    assert W.rotate_right(word, 1) == [word[1], word[2], word[3], word[0]]
+    assert W.shift_left(xag, word, 2)[:2] == [xag.get_constant(False)] * 2
+    assert W.shift_right(xag, word, 2)[2:] == [xag.get_constant(False)] * 2
+    with pytest.raises(ValueError):
+        W.xor_word(xag, word, word[:2])
+
+
+def test_negate_word():
+    xag = Xag()
+    a = W.input_word(xag, 8, "a")
+    W.output_word(xag, W.negate_word(xag, a), "n")
+    for value in (0, 1, 100, 255):
+        (negated,) = simulate_integers(xag, [value], [8], [8])
+        assert negated == (-value) & 0xFF
+
+
+# ----------------------------------------------------------------------
+# arithmetic benchmark generators
+# ----------------------------------------------------------------------
+def test_full_adder_generator_matches_paper_figure():
+    fa = A.full_adder(style="naive")
+    assert fa.num_pis == 3 and fa.num_pos == 2
+    assert fa.num_ands == 3  # Fig. 1(a) uses three AND gates
+
+
+def test_adder_generator(rng):
+    add = A.adder(16)
+    assert add.num_pis == 32 and add.num_pos == 17
+    for _ in range(10):
+        a, b = rng.randrange(1 << 16), rng.randrange(1 << 16)
+        total, carry = simulate_integers(add, [a, b], [16, 16], [16, 1])
+        assert total == (a + b) & 0xFFFF and carry == (a + b) >> 16
+
+
+def test_subtractor_generator(rng):
+    sub = A.subtractor(8)
+    for _ in range(10):
+        a, b = rng.randrange(256), rng.randrange(256)
+        difference, no_borrow = simulate_integers(sub, [a, b], [8, 8], [8, 1])
+        assert difference == (a - b) & 0xFF
+        assert no_borrow == int(a >= b)
+
+
+def test_multiplier_and_square_generators(rng):
+    mul = A.multiplier(6)
+    sq = A.square(5)
+    for _ in range(8):
+        a, b = rng.randrange(64), rng.randrange(64)
+        assert simulate_integers(mul, [a, b], [6, 6], [12]) == [a * b]
+        v = rng.randrange(32)
+        assert simulate_integers(sq, [v], [5], [10]) == [v * v]
+
+
+def test_comparator_generators(rng):
+    for signed in (False, True):
+        for strict in (False, True):
+            cmp_ = A.comparator(8, signed=signed, strict=strict)
+            assert cmp_.num_pos == 1
+            for _ in range(12):
+                a, b = rng.randrange(256), rng.randrange(256)
+                sa = a - 256 if signed and a >= 128 else a
+                sb = b - 256 if signed and b >= 128 else b
+                expected = (sa < sb) if strict else (sa <= sb)
+                got = simulate_integers(cmp_, [a, b], [8, 8], [1])[0]
+                assert got == int(expected), (signed, strict, a, b)
+
+
+def test_max_unit_generator(rng):
+    unit = A.max_unit(8, operands=4)
+    for _ in range(8):
+        values = [rng.randrange(256) for _ in range(4)]
+        assert simulate_integers(unit, values, [8] * 4, [8]) == [max(values)]
+
+
+def test_barrel_shifter_generator(rng):
+    shifter = A.barrel_shifter(16)
+    for _ in range(8):
+        value, amount = rng.randrange(1 << 16), rng.randrange(16)
+        (result,) = simulate_integers(shifter, [value, amount], [16, 4], [16])
+        assert result == (value << amount) & 0xFFFF
+    rotator = A.barrel_shifter(8, rotate=True)
+    (result,) = simulate_integers(rotator, [0b10000001, 1], [8, 3], [8])
+    assert result == 0b00000011
+    with pytest.raises(ValueError):
+        A.barrel_shifter(12)
+
+
+def test_divisor_generator(rng):
+    div = A.divisor(6)
+    for _ in range(12):
+        a = rng.randrange(64)
+        b = rng.randrange(1, 64)
+        quotient, remainder = simulate_integers(div, [a, b], [6, 6], [6, 6])
+        assert quotient == a // b and remainder == a % b
+
+
+def test_square_root_generator():
+    sqrt = A.square_root(10)
+    for value in (0, 1, 2, 3, 4, 15, 16, 17, 100, 255, 1023):
+        (root,) = simulate_integers(sqrt, [value], [10], [5])
+        assert root == int(value ** 0.5)
+    with pytest.raises(ValueError):
+        A.square_root(7)
+
+
+def test_log2_generator_integer_part():
+    unit = A.log2_unit(16, fractional_bits=4)
+    for value in (1, 2, 3, 8, 100, 255, 30000, 65535):
+        outputs = simulate_integers(unit, [value], [16], [4, 4, 1])
+        fraction, integer_part, valid = outputs
+        assert valid == 1
+        assert integer_part == value.bit_length() - 1
+    outputs = simulate_integers(unit, [0], [16], [4, 4, 1])
+    assert outputs[2] == 0
+
+
+def test_sine_generator_structure():
+    unit = A.sine_unit(10)
+    assert unit.num_pis == 10
+    assert unit.num_ands > 100  # contains several multipliers
+    assert multiplicative_depth(unit) > 5
+
+
+def test_adder_styles_differ_in_and_count():
+    naive = A.adder(8, style="naive")
+    compact = A.adder(8, style="compact")
+    assert compact.num_ands < naive.num_ands
+    assert compact.num_ands == 8

@@ -1,0 +1,187 @@
+"""Tests for the cryptographic benchmark generators (Table 2 circuits)."""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.circuits.crypto import aes as aes_module
+from repro.circuits.crypto import feistel
+from repro.circuits.crypto import hash_common as H
+from repro.circuits.crypto.md5 import md5_block
+from repro.circuits.crypto.sha1 import sha1_block
+from repro.circuits.crypto.sha2 import sha256_block, ROUND_CONSTANTS, INITIAL_STATE
+from repro.xag import simulate_pattern
+
+
+# ----------------------------------------------------------------------
+# AES
+# ----------------------------------------------------------------------
+def test_software_sbox_known_values():
+    known = {0x00: 0x63, 0x01: 0x7C, 0x10: 0xCA, 0x53: 0xED, 0xA5: 0x06, 0xFF: 0x16}
+    for value, expected in known.items():
+        assert aes_module.sbox_value(value) == expected
+
+
+def test_sbox_is_a_permutation():
+    values = {aes_module.sbox_value(x) for x in range(256)}
+    assert len(values) == 256
+
+
+def test_sbox_circuit_matches_software_everywhere():
+    circuit = aes_module.aes_sbox_only()
+    assert circuit.num_ands <= 40  # composite-field structure, ~36 ANDs
+    for value in range(256):
+        bits = [(value >> i) & 1 for i in range(8)]
+        output = simulate_pattern(circuit, bits)
+        assert sum(bit << i for i, bit in enumerate(output)) == aes_module.sbox_value(value)
+
+
+def test_tower_field_isomorphism_is_multiplicative():
+    rng = random.Random(5)
+    from repro import gf2
+
+    for _ in range(30):
+        a, b = rng.randrange(256), rng.randrange(256)
+        mapped_product = gf2.mat_vec(aes_module.AES_TO_TOWER, aes_module.AES_FIELD.multiply(a, b))
+        product_of_mapped = aes_module.gf256_mul(gf2.mat_vec(aes_module.AES_TO_TOWER, a),
+                                                 gf2.mat_vec(aes_module.AES_TO_TOWER, b))
+        assert mapped_product == product_of_mapped
+
+
+def test_reference_aes_matches_fips197():
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    assert aes_module.aes128_encrypt_reference(plaintext, key).hex() == \
+        "69c4e0d86a7b0430d8cdb78070b4c55a"
+    with pytest.raises(ValueError):
+        aes_module.aes128_encrypt_reference(b"short", key)
+
+
+def _aes_input_bits(plaintext: bytes, key: bytes):
+    return [(plaintext[i // 8] >> (i % 8)) & 1 for i in range(128)] + \
+        [(key[i // 8] >> (i % 8)) & 1 for i in range(128)]
+
+
+@pytest.mark.slow
+def test_full_aes_circuit_matches_reference():
+    circuit = aes_module.aes128()
+    assert circuit.num_pis == 256 and circuit.num_pos == 128
+    rng = random.Random(6)
+    plaintext = bytes(rng.randrange(256) for _ in range(16))
+    key = bytes(rng.randrange(256) for _ in range(16))
+    outputs = simulate_pattern(circuit, _aes_input_bits(plaintext, key))
+    ciphertext = bytes(sum(outputs[8 * i + j] << j for j in range(8)) for i in range(16))
+    assert ciphertext == aes_module.aes128_encrypt_reference(plaintext, key)
+
+
+def test_aes_interface_sizes_match_table2():
+    reduced = aes_module.aes128(num_rounds=1)
+    assert reduced.num_pis == 256
+    expanded = aes_module.aes128(expanded_key_inputs=True, num_rounds=2)
+    assert expanded.num_pis == 128 + 128 * 3
+    # the full expanded-key variant has the paper's 1536 inputs
+    assert 128 + 128 * 11 == 1536
+
+
+def test_aes_and_count_per_sbox():
+    """AES AND gates come only from the S-boxes (~36 each in the tower form)."""
+    one_round = aes_module.aes128(expanded_key_inputs=True, num_rounds=1)
+    sboxes = 16
+    assert one_round.num_ands == sboxes * aes_module.aes_sbox_only().num_ands
+
+
+# ----------------------------------------------------------------------
+# DES-like Feistel network
+# ----------------------------------------------------------------------
+def test_feistel_sboxes_are_balanced():
+    for table in feistel.SBOXES:
+        assert len(table) == 64
+        for output_bit in range(4):
+            ones = sum((value >> output_bit) & 1 for value in table)
+            assert ones == 32  # permutation rows make every output bit balanced
+
+
+def test_feistel_circuit_matches_reference(rng):
+    circuit = feistel.des_like(num_rounds=4)
+    for _ in range(5):
+        plaintext = rng.getrandbits(64)
+        key = rng.getrandbits(64)
+        bits = [(plaintext >> i) & 1 for i in range(64)] + [(key >> i) & 1 for i in range(64)]
+        outputs = simulate_pattern(circuit, bits)
+        value = sum(bit << i for i, bit in enumerate(outputs))
+        assert value == feistel.des_like_reference(plaintext, key, num_rounds=4)
+
+
+def test_feistel_interface_sizes_match_table2():
+    assert feistel.des_like(num_rounds=1).num_pis == 128
+    assert feistel.des_like(expanded_key_inputs=True, num_rounds=16).num_pis == 832
+
+
+def test_feistel_expansion_structure():
+    expansion = feistel.EXPANSION
+    assert len(expansion) == 48
+    assert set(expansion) == set(range(32))  # every bit used, edges duplicated
+    assert len(feistel.PERMUTATION) == 32 and sorted(feistel.PERMUTATION) == list(range(32))
+
+
+# ----------------------------------------------------------------------
+# hash functions
+# ----------------------------------------------------------------------
+def _hash_digest(circuit, message, byteorder, num_words):
+    if byteorder == "little":
+        words = H.pack_block_little_endian(message)
+    else:
+        words = H.pack_block_big_endian(message)
+    outputs = simulate_pattern(circuit, H.block_to_input_bits(words))
+    return H.digest_from_outputs(outputs, num_words, byteorder)
+
+
+def test_md5_circuit_matches_hashlib():
+    circuit = md5_block()
+    for message in (b"", b"abc", b"The quick brown fox jumps over the lazy dog"):
+        assert _hash_digest(circuit, message, "little", 4) == hashlib.md5(message).digest()
+
+
+def test_sha1_circuit_matches_hashlib():
+    circuit = sha1_block()
+    for message in (b"", b"abc"):
+        assert _hash_digest(circuit, message, "big", 5) == hashlib.sha1(message).digest()
+
+
+def test_sha256_circuit_matches_hashlib():
+    circuit = sha256_block()
+    for message in (b"", b"abc", b"hello world"):
+        assert _hash_digest(circuit, message, "big", 8) == hashlib.sha256(message).digest()
+
+
+def test_sha256_constants_match_fips():
+    assert ROUND_CONSTANTS[0] == 0x428A2F98
+    assert ROUND_CONSTANTS[63] == 0xC67178F2
+    assert INITIAL_STATE[0] == 0x6A09E667
+    assert INITIAL_STATE[7] == 0x5BE0CD19
+
+
+def test_hash_circuit_sizes_are_in_paper_ballpark():
+    """Initial AND counts should be within ~2x of the Table 2 netlists."""
+    assert 15_000 < md5_block().num_ands < 45_000          # paper: 29 084
+    assert 20_000 < sha1_block().num_ands < 55_000         # paper: 37 172
+    assert 45_000 < sha256_block().num_ands < 130_000      # paper: 89 478
+
+
+def test_reduced_round_variants_scale():
+    assert md5_block(num_steps=8).num_ands < md5_block(num_steps=16).num_ands
+    assert sha256_block(num_steps=8).num_pis == 512
+
+
+def test_packing_helpers_reject_long_messages():
+    with pytest.raises(ValueError):
+        H.pack_block_little_endian(b"x" * 56)
+    with pytest.raises(ValueError):
+        H.pack_block_big_endian(b"x" * 60)
+
+
+def test_compact_style_reduces_and_count():
+    naive = md5_block(num_steps=4, style="naive")
+    compact = md5_block(num_steps=4, style="compact")
+    assert compact.num_ands < naive.num_ands

@@ -1,0 +1,142 @@
+"""Tests for cut enumeration, cut functions and MFFC computation."""
+
+import pytest
+
+from conftest import full_adder_naive, random_xag
+from repro.cuts import Cut, cut_and_count, cut_cone, cut_function, enumerate_cuts, mffc, \
+    mffc_and_count
+from repro.xag.graph import Xag, lit_node
+from repro.xag.simulate import node_truth_tables
+from repro.tt.operations import shrink_to_support
+from repro.tt.bits import projection
+
+
+def test_cut_dataclass():
+    cut = Cut(7, (1, 2, 3))
+    assert cut.size == 3
+    assert not cut.is_trivial()
+    assert Cut(7, (7,)).is_trivial()
+    assert Cut(7, (1, 2)).dominates(cut)
+    assert not cut.dominates(Cut(7, (1, 2)))
+
+
+def test_enumeration_parameters_validated():
+    xag = full_adder_naive()
+    with pytest.raises(ValueError):
+        enumerate_cuts(xag, cut_size=1)
+    with pytest.raises(ValueError):
+        enumerate_cuts(xag, cut_limit=0)
+
+
+def test_full_adder_has_majority_cut():
+    """The cout node must have the {a, b, cin} cut highlighted in paper Fig. 1(b)."""
+    fa = full_adder_naive()
+    cuts = enumerate_cuts(fa, cut_size=3)
+    cout_node = lit_node(fa.po_literal(1))
+    leaves_of_cuts = [cut.leaves for cut in cuts[cout_node]]
+    pi_leaves = tuple(fa.pis())
+    assert pi_leaves in leaves_of_cuts
+    majority_cut = next(cut for cut in cuts[cout_node] if cut.leaves == pi_leaves)
+    # the cut root is the OR node feeding cout through a complemented edge, so
+    # the cut function is the complement of the majority 0xE8 highlighted in
+    # Fig. 1(b) — same affine class, same multiplicative complexity.
+    assert cut_function(fa, majority_cut) in (0xE8, 0xE8 ^ 0xFF)
+    assert cut_and_count(fa, majority_cut) == 3
+
+
+def test_pis_have_no_cuts():
+    fa = full_adder_naive()
+    cuts = enumerate_cuts(fa)
+    for node in fa.pis():
+        assert cuts[node] == []
+
+
+def test_cut_size_limit_respected():
+    xag = random_xag(__import__("random").Random(3), num_pis=8, num_gates=50)
+    for cut_size in (2, 3, 4, 6):
+        cuts = enumerate_cuts(xag, cut_size=cut_size)
+        for node_cuts in cuts.values():
+            for cut in node_cuts:
+                assert 1 <= cut.size <= cut_size
+
+
+def test_cut_limit_respected():
+    xag = random_xag(__import__("random").Random(4), num_pis=8, num_gates=60)
+    for limit in (1, 4, 12):
+        cuts = enumerate_cuts(xag, cut_size=4, cut_limit=limit)
+        for node_cuts in cuts.values():
+            assert len(node_cuts) <= limit
+
+
+def test_no_dominated_cuts():
+    xag = random_xag(__import__("random").Random(5), num_pis=6, num_gates=40)
+    cuts = enumerate_cuts(xag, cut_size=4)
+    for node_cuts in cuts.values():
+        leaf_sets = [set(cut.leaves) for cut in node_cuts]
+        for i, left in enumerate(leaf_sets):
+            for j, right in enumerate(leaf_sets):
+                if i != j:
+                    assert not left < right
+
+
+def test_cut_functions_match_node_functions():
+    """The function of every cut, composed with its leaves, equals the node function."""
+    import random as random_module
+
+    xag = random_xag(random_module.Random(6), num_pis=6, num_gates=35)
+    tables = node_truth_tables(xag)
+    cuts = enumerate_cuts(xag, cut_size=4, cut_limit=6)
+    checked = 0
+    for node, node_cuts in cuts.items():
+        for cut in node_cuts[:3]:
+            local = cut_function(xag, cut)
+            # evaluate the cut function on the global truth tables of its leaves
+            composed = 0
+            for row in range(1 << 6):
+                assignment = 0
+                for position, leaf in enumerate(cut.leaves):
+                    if (tables[leaf] >> row) & 1:
+                        assignment |= 1 << position
+                if (local >> assignment) & 1:
+                    composed |= 1 << row
+            assert composed == tables[node]
+            checked += 1
+    assert checked > 10
+
+
+def test_cut_cone_and_errors():
+    fa = full_adder_naive()
+    cout_node = lit_node(fa.po_literal(1))
+    cone = cut_cone(fa, cout_node, fa.pis())
+    assert cout_node in cone
+    assert len(cone) >= 4
+    with pytest.raises(ValueError):
+        cut_cone(fa, cout_node, [fa.pis()[0]])
+
+
+def test_mffc_simple_chain():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    g1 = xag.create_and(a, b)
+    g2 = xag.create_and(g1, c)
+    xag.create_po(g2, "y")
+    cone = mffc(xag, lit_node(g2))
+    assert cone == {lit_node(g1), lit_node(g2)}
+    assert mffc_and_count(xag, lit_node(g2)) == 2
+
+
+def test_mffc_respects_external_fanout():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    shared = xag.create_and(a, b)
+    top = xag.create_and(shared, c)
+    xag.create_po(top, "y")
+    xag.create_po(shared, "z")      # shared node has an external fanout
+    cone = mffc(xag, lit_node(top))
+    assert cone == {lit_node(top)}
+
+
+def test_mffc_of_non_gate_is_empty():
+    xag = Xag()
+    a = xag.create_pi()
+    assert mffc(xag, lit_node(a)) == set()

@@ -1,0 +1,117 @@
+"""Tests for the GF(2) linear-algebra kernel."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import gf2
+
+
+def test_identity_and_zero():
+    assert gf2.identity(3) == [1, 2, 4]
+    assert gf2.zero_matrix(3) == [0, 0, 0]
+
+
+def test_from_rows_to_rows_roundtrip():
+    rows = [[1, 0, 1], [0, 1, 1], [1, 1, 0]]
+    packed = gf2.from_rows(rows)
+    assert gf2.to_rows(packed, 3) == rows
+
+
+def test_from_rows_rejects_non_binary():
+    with pytest.raises(ValueError):
+        gf2.from_rows([[0, 2]])
+
+
+def test_mat_vec_and_vec_mat():
+    matrix = gf2.from_rows([[1, 1, 0], [0, 1, 0], [0, 0, 1]])
+    # row0 & v = 0b011 -> parity 0; row1 & v = 0b010 -> 1; row2 & v = 0 -> 0
+    assert gf2.mat_vec(matrix, 0b011) == 0b010
+    assert gf2.vec_mat(0b001, matrix) == matrix[0]
+
+
+def test_mat_mul_identity():
+    rng = random.Random(1)
+    matrix = gf2.random_invertible(4, rng)
+    assert gf2.mat_mul(matrix, gf2.identity(4)) == matrix
+    assert gf2.mat_mul(gf2.identity(4), matrix) == matrix
+
+
+def test_inverse_roundtrip():
+    rng = random.Random(2)
+    for size in (1, 2, 3, 4, 5, 6):
+        matrix = gf2.random_invertible(size, rng)
+        inverse = gf2.inverse(matrix)
+        assert inverse is not None
+        assert gf2.mat_mul(matrix, inverse) == gf2.identity(size)
+        assert gf2.mat_mul(inverse, matrix) == gf2.identity(size)
+
+
+def test_inverse_of_singular_is_none():
+    assert gf2.inverse([1, 1]) is None
+    assert gf2.inverse([0, 2]) is None
+
+
+def test_rank():
+    assert gf2.rank([]) == 0
+    assert gf2.rank([0, 0]) == 0
+    assert gf2.rank(gf2.identity(4)) == 4
+    assert gf2.rank([0b11, 0b11, 0b01]) == 2
+
+
+def test_is_invertible():
+    assert gf2.is_invertible(gf2.identity(5))
+    assert not gf2.is_invertible([1, 1])
+
+
+def test_solve():
+    rng = random.Random(3)
+    matrix = gf2.random_invertible(5, rng)
+    x = 0b10110
+    rhs = gf2.mat_vec(matrix, x)
+    assert gf2.solve(matrix, rhs) == x
+    assert gf2.solve([1, 1], 0b1) is None
+
+
+def test_transpose():
+    matrix = gf2.from_rows([[1, 1], [0, 1]])
+    assert gf2.transpose(matrix) == gf2.from_rows([[1, 0], [1, 1]])
+    rng = random.Random(4)
+    m = gf2.random_invertible(4, rng)
+    assert gf2.transpose(gf2.transpose(m)) == m
+
+
+def test_elementary_decomposition_rebuilds_matrix():
+    rng = random.Random(5)
+    for size in (2, 3, 4, 5, 6):
+        matrix = gf2.random_invertible(size, rng)
+        record = gf2.elementary_decomposition(matrix)
+        rebuilt = gf2.identity(size)
+        for kind, a, b in record:
+            if kind == "swap":
+                rebuilt[a], rebuilt[b] = rebuilt[b], rebuilt[a]
+            else:
+                rebuilt[a] ^= rebuilt[b]
+        assert rebuilt == matrix
+
+
+def test_elementary_decomposition_rejects_singular():
+    with pytest.raises(ValueError):
+        gf2.elementary_decomposition([1, 1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**6 - 1), st.integers(min_value=0, max_value=2**30))
+def test_mat_vec_linear(vector, seed):
+    rnd = random.Random(seed)
+    matrix = gf2.random_invertible(6, rnd)
+    other = rnd.getrandbits(6)
+    assert gf2.mat_vec(matrix, vector ^ other) == \
+        gf2.mat_vec(matrix, vector) ^ gf2.mat_vec(matrix, other)
+
+
+def test_random_invertible_is_invertible():
+    rng = random.Random(6)
+    for _ in range(10):
+        assert gf2.is_invertible(gf2.random_invertible(7, rng))

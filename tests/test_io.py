@@ -1,0 +1,159 @@
+"""Tests for the Bristol Fashion, BLIF and Verilog interchange formats."""
+
+import random
+
+import pytest
+
+from conftest import full_adder_naive, random_xag
+from repro.circuits.arithmetic import adder
+from repro.io import (
+    load_bristol,
+    read_blif,
+    read_bristol,
+    save_blif,
+    save_bristol,
+    load_blif,
+    write_blif,
+    write_bristol,
+    write_verilog,
+    save_verilog,
+)
+from repro.xag import Xag, equivalent
+
+
+# ----------------------------------------------------------------------
+# Bristol Fashion
+# ----------------------------------------------------------------------
+def test_bristol_roundtrip_full_adder():
+    fa = full_adder_naive()
+    text = write_bristol(fa, [1, 1, 1], [1, 1])
+    rebuilt = read_bristol(text)
+    assert rebuilt.num_pis == 3 and rebuilt.num_pos == 2
+    assert equivalent(fa, rebuilt)
+
+
+def test_bristol_roundtrip_random_networks(rng):
+    for seed in range(3):
+        xag = random_xag(random.Random(seed), num_pis=6, num_gates=30)
+        rebuilt = read_bristol(write_bristol(xag))
+        assert equivalent(xag, rebuilt)
+
+
+def test_bristol_header_counts():
+    fa = full_adder_naive()
+    text = write_bristol(fa, [1, 1, 1], [1, 1])
+    lines = [line for line in text.splitlines() if line.strip()]
+    num_gates, num_wires = (int(token) for token in lines[0].split())
+    assert num_gates == len(lines) - 3
+    assert lines[1].split()[0] == "3"
+    assert lines[2].split()[0] == "2"
+    assert num_wires >= fa.num_pis + num_gates
+
+
+def test_bristol_constant_outputs():
+    xag = Xag()
+    xag.create_pis(2)
+    xag.create_po(xag.get_constant(True), "one")
+    xag.create_po(xag.get_constant(False), "zero")
+    rebuilt = read_bristol(write_bristol(xag))
+    assert equivalent(xag, rebuilt)
+
+
+def test_bristol_width_validation():
+    fa = full_adder_naive()
+    with pytest.raises(ValueError):
+        write_bristol(fa, [2, 2], [1, 1])
+    with pytest.raises(ValueError):
+        write_bristol(fa, [1, 1, 1], [3])
+
+
+def test_bristol_rejects_bad_input():
+    with pytest.raises(ValueError):
+        read_bristol("1 1")
+    with pytest.raises(ValueError):
+        read_bristol("1 4\n1 2\n1 1\n\n2 1 0 1 3 NAND\n")
+
+
+def test_bristol_file_roundtrip(tmp_path):
+    add = adder(4)
+    path = tmp_path / "adder.bristol"
+    save_bristol(add, path, [4, 4], [4, 1])
+    rebuilt = load_bristol(path)
+    assert equivalent(add, rebuilt)
+
+
+def test_bristol_mand_gate_support():
+    text = "\n".join([
+        "1 6",
+        "1 4",
+        "1 2",
+        "",
+        "4 2 0 1 2 3 4 5 MAND",
+    ]) + "\n"
+    xag = read_bristol(text)
+    assert xag.num_pos == 2
+    assert xag.num_ands == 2
+
+
+# ----------------------------------------------------------------------
+# BLIF
+# ----------------------------------------------------------------------
+def test_blif_roundtrip_full_adder():
+    fa = full_adder_naive()
+    rebuilt = read_blif(write_blif(fa))
+    assert equivalent(fa, rebuilt)
+    assert rebuilt.pi_names() == fa.pi_names()
+    assert rebuilt.po_names() == fa.po_names()
+
+
+def test_blif_roundtrip_random_networks(rng):
+    for seed in range(3):
+        xag = random_xag(random.Random(seed + 10), num_pis=5, num_gates=25)
+        rebuilt = read_blif(write_blif(xag))
+        assert equivalent(xag, rebuilt)
+
+
+def test_blif_file_roundtrip(tmp_path):
+    add = adder(4)
+    path = tmp_path / "adder.blif"
+    save_blif(add, path)
+    assert equivalent(add, load_blif(path))
+
+
+def test_blif_constant_output():
+    xag = Xag()
+    xag.create_pis(1)
+    xag.create_po(xag.get_constant(False), "zero")
+    rebuilt = read_blif(write_blif(xag))
+    assert equivalent(xag, rebuilt)
+
+
+def test_blif_model_name():
+    fa = full_adder_naive()
+    text = write_blif(fa, model_name="my_adder")
+    assert ".model my_adder" in text
+
+
+# ----------------------------------------------------------------------
+# Verilog
+# ----------------------------------------------------------------------
+def test_verilog_writer_structure(tmp_path):
+    fa = full_adder_naive()
+    text = write_verilog(fa)
+    assert text.startswith("module full_adder(")
+    assert text.count("input ") == 3
+    assert text.count("output ") == 2
+    assert "endmodule" in text
+    assert "&" in text and "^" in text
+    path = tmp_path / "fa.v"
+    save_verilog(fa, path)
+    assert path.read_text() == text
+
+
+def test_verilog_sanitises_names():
+    xag = Xag()
+    a = xag.create_pi("1bad-name")
+    xag.create_po(a, "out put")
+    text = write_verilog(xag, module_name="top")
+    assert "1bad-name" not in text
+    assert "s_1bad_name" in text

@@ -1,0 +1,96 @@
+"""Tests for the representative database (XAG_DB analogue)."""
+
+import random
+
+from repro.mc import McDatabase, McSynthesizer
+from repro.tt import random_table, table_mask
+from repro.tt.bits import projection
+from repro.xag.simulate import output_truth_tables
+
+
+def apply_plan_to_tables(plan):
+    """Evaluate a plan symbolically: the recipe output transformed by the plan."""
+    recipe_table = output_truth_tables(plan.recipe)[0]
+    return plan.transform.apply_to_table(recipe_table)
+
+
+def test_plan_reproduces_function():
+    database = McDatabase()
+    rng = random.Random(1)
+    for _ in range(20):
+        num_vars = rng.randint(2, 6)
+        table = random_table(num_vars, rng)
+        plan = database.plan_for(table, num_vars)
+        assert output_truth_tables(plan.recipe)[0] == plan.representative
+        assert apply_plan_to_tables(plan) == table
+        assert plan.num_ands == plan.recipe.num_ands
+
+
+def test_plan_for_majority_has_one_and():
+    database = McDatabase()
+    plan = database.plan_for(0xE8, 3)
+    assert plan.num_ands == 1
+
+
+def test_and_cost_helper():
+    database = McDatabase()
+    assert database.and_cost(projection(0, 3) ^ projection(1, 3), 3) == 0
+    assert database.and_cost(0xE8, 3) == 1
+
+
+def test_classification_reuse_across_equivalent_functions():
+    """Functions of the same (small-n) class share a single stored recipe."""
+    database = McDatabase()
+    database.plan_for(0xE8, 3)   # majority
+    database.plan_for(0x88, 3)   # 2-input AND as a 3-variable function
+    database.plan_for(0x11, 3)   # NOR-like member of the same class
+    stats = database.stats()
+    assert stats["stored_recipes"] == 1
+    assert stats["synthesis_calls"] == 1
+
+
+def test_direct_mode_bypasses_classification():
+    database = McDatabase(use_classification=False)
+    plan = database.plan_for(0xE8, 3)
+    assert plan.representative == 0xE8
+    assert plan.transform.is_identity()
+    assert apply_plan_to_tables(plan) == 0xE8
+
+
+def test_database_persistence(tmp_path):
+    database = McDatabase()
+    rng = random.Random(2)
+    tables = [(random_table(n, rng), n) for n in (3, 4, 5) for _ in range(3)]
+    expected = {key: database.plan_for(*key).num_ands for key in tables}
+
+    path = tmp_path / "db.json"
+    database.save(path)
+
+    restored = McDatabase()
+    count = restored.load(path)
+    assert count == len(restored._recipes)
+    for (table, num_vars), ands in expected.items():
+        plan = restored.plan_for(table, num_vars)
+        assert plan.num_ands == ands
+    # no new synthesis was necessary for already-stored representatives
+    assert restored.synthesis_calls == 0
+
+
+def test_export_combined_xag():
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    database.plan_for(0x96, 3)
+    database.plan_for(random_table(5, random.Random(3)), 5)
+    combined = database.export_combined_xag()
+    assert combined.num_pos == len(database._recipes)
+    assert combined.num_pis == 5
+    assert combined.name == "XAG_DB"
+
+
+def test_stats_keys():
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    stats = database.stats()
+    for key in ("stored_recipes", "synthesis_calls", "classification_hits",
+                "classification_misses", "classification_hit_rate", "total_recipe_ands"):
+        assert key in stats

@@ -1,0 +1,198 @@
+"""Tests for the multiplicative-complexity synthesis tiers and bounds."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mc import (
+    DecomposeSynthesizer,
+    McSynthesizer,
+    add_hamming_weight,
+    is_provably_optimal,
+    lower_bound,
+    multiplicative_complexity_upper_bound,
+    quadratic_complexity,
+    quadratic_form,
+    synthesize_quadratic,
+    synthesize_symmetric,
+)
+from repro.tt import bits, random_table
+from repro.tt.anf import degree, from_anf
+from repro.tt.bits import popcount
+from repro.xag.graph import Xag
+from repro.xag.simulate import output_truth_tables, simulate_pattern
+
+
+def majority_table(num_vars: int) -> int:
+    table = 0
+    for row in range(1 << num_vars):
+        if popcount(row) > num_vars // 2:
+            table |= 1 << row
+    return table
+
+
+# ----------------------------------------------------------------------
+# Dickson tier (degree <= 2: exact)
+# ----------------------------------------------------------------------
+def test_quadratic_form_extraction():
+    majority = 0xE8  # x0x1 ^ x0x2 ^ x1x2
+    matrix, linear, constant = quadratic_form(majority, 3)
+    assert matrix == [0b110, 0b101, 0b011]
+    assert linear == 0
+    assert constant == 0
+
+
+def test_quadratic_form_rejects_higher_degree():
+    and3 = 0x80
+    assert quadratic_form(and3, 3) is None
+    assert synthesize_quadratic(and3, 3) is None
+    assert quadratic_complexity(and3, 3) is None
+
+
+def test_majority_has_multiplicative_complexity_one():
+    recipe = synthesize_quadratic(0xE8, 3)
+    assert recipe.num_ands == 1
+    assert output_truth_tables(recipe)[0] == 0xE8
+    assert quadratic_complexity(0xE8, 3) == 1
+
+
+def test_inner_product_complexities():
+    for pairs in (1, 2, 3):
+        anf = 0
+        for i in range(pairs):
+            anf |= 1 << (0b11 << (2 * i))
+        table = from_anf(anf, 2 * pairs)
+        assert quadratic_complexity(table, 2 * pairs) == pairs
+        assert synthesize_quadratic(table, 2 * pairs).num_ands == pairs
+
+
+def test_mux_function_has_mc_one():
+    # mux(s, a, b) = b ^ s(a ^ b), a degree-2 function of 3 variables
+    mux = 0
+    for row in range(8):
+        s, a, b = row & 1, (row >> 1) & 1, (row >> 2) & 1
+        if (a if s else b):
+            mux |= 1 << row
+    assert quadratic_complexity(mux, 3) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 5), st.randoms(use_true_random=False))
+def test_random_quadratic_functions_are_synthesised_optimally(num_vars, rnd):
+    """Random degree-<=2 functions: correct and matching the rank/2 bound."""
+    # build a random quadratic ANF
+    anf = rnd.getrandbits(1 << num_vars)
+    filtered = 0
+    for monomial in range(1 << num_vars):
+        if (anf >> monomial) & 1 and popcount(monomial) <= 2:
+            filtered |= 1 << monomial
+    table = from_anf(filtered, num_vars)
+    recipe = synthesize_quadratic(table, num_vars)
+    assert recipe is not None
+    assert output_truth_tables(recipe)[0] == table
+    assert recipe.num_ands == quadratic_complexity(table, num_vars)
+    assert is_provably_optimal(table, num_vars, recipe.num_ands)
+
+
+# ----------------------------------------------------------------------
+# symmetric tier
+# ----------------------------------------------------------------------
+def test_hamming_weight_counter_counts_ands():
+    for num_inputs in (3, 5, 6, 7, 8):
+        xag = Xag()
+        inputs = xag.create_pis(num_inputs)
+        weight_bits = add_hamming_weight(xag, inputs)
+        for bit in weight_bits:
+            xag.create_po(bit)
+        assert xag.num_ands == num_inputs - popcount(num_inputs)
+        # functional check on a few patterns
+        rng = random.Random(num_inputs)
+        for _ in range(10):
+            pattern = [rng.randint(0, 1) for _ in range(num_inputs)]
+            outputs = simulate_pattern(xag, pattern)
+            weight = sum(bit << i for i, bit in enumerate(outputs))
+            assert weight == sum(pattern)
+
+
+def test_symmetric_synthesis_majority5():
+    maj5 = majority_table(5)
+    recipe = synthesize_symmetric(maj5, 5)
+    assert recipe is not None
+    assert output_truth_tables(recipe)[0] == maj5
+
+
+def test_symmetric_synthesis_rejects_asymmetric():
+    assert synthesize_symmetric(bits.projection(0, 3), 3) is None
+
+
+# ----------------------------------------------------------------------
+# decomposition tier and the full synthesiser
+# ----------------------------------------------------------------------
+def test_affine_functions_cost_zero():
+    synthesizer = McSynthesizer()
+    table = bits.projection(0, 4) ^ bits.projection(3, 4) ^ bits.table_mask(4)
+    assert synthesizer.upper_bound(table, 4) == 0
+    assert lower_bound(table, 4) == 0
+
+
+def test_and3_costs_two():
+    synthesizer = McSynthesizer()
+    assert synthesizer.upper_bound(0x80, 3) == 2
+    assert lower_bound(0x80, 3) == 2
+    assert synthesizer.optimality_gap(0x80, 3) == 0
+
+
+def test_and6_costs_five():
+    and6 = 1 << 63
+    synthesizer = McSynthesizer()
+    assert synthesizer.upper_bound(and6, 6) == 5
+    assert lower_bound(and6, 6) == 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(3, 6), st.randoms(use_true_random=False))
+def test_synthesis_is_functionally_correct(num_vars, rnd):
+    table = random_table(num_vars, rnd)
+    synthesizer = McSynthesizer()
+    recipe = synthesizer.synthesize(table, num_vars)
+    assert output_truth_tables(recipe)[0] == table
+    assert recipe.num_pis == num_vars
+    assert recipe.num_ands >= lower_bound(table, num_vars)
+
+
+def test_degree_bound_is_respected():
+    rng = random.Random(9)
+    for _ in range(15):
+        num_vars = rng.randint(3, 6)
+        table = random_table(num_vars, rng)
+        bound = lower_bound(table, num_vars)
+        assert bound >= max(0, degree(table, num_vars) - 1) or \
+            quadratic_complexity(table, num_vars) is not None
+
+
+def test_decomposer_tier_flags():
+    """Disabling exact tiers can only make results worse (never wrong)."""
+    full = DecomposeSynthesizer()
+    shannon_only = DecomposeSynthesizer(use_dickson=False, use_symmetric=False)
+    rng = random.Random(10)
+    for _ in range(10):
+        table = random_table(4, rng)
+        best = full.synthesize(table, 4)
+        worse = shannon_only.synthesize(table, 4)
+        assert output_truth_tables(best)[0] == table
+        assert output_truth_tables(worse)[0] == table
+        assert best.num_ands <= worse.num_ands
+
+
+def test_synthesizer_memoisation_returns_consistent_results():
+    synthesizer = McSynthesizer()
+    first = synthesizer.upper_bound(0xCA53, 4)
+    second = synthesizer.upper_bound(0xCA53, 4)
+    assert first == second
+    synthesizer.clear()
+    assert synthesizer.upper_bound(0xCA53, 4) == first
+
+
+def test_module_level_helper():
+    assert multiplicative_complexity_upper_bound(0xE8, 3) == 1

@@ -1,0 +1,118 @@
+"""Tests for ANF, Walsh spectrum and structural predicates."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tt import anf, bits, properties, spectrum
+from repro.tt.operations import flip_variable, swap_variables, xor_variable_into, \
+    xor_with_variable, negate
+
+
+def tables(num_vars):
+    return st.integers(min_value=0, max_value=bits.table_mask(num_vars))
+
+
+# ----------------------------------------------------------------------
+# ANF
+# ----------------------------------------------------------------------
+def test_moebius_is_involution():
+    rng = random.Random(11)
+    for num_vars in range(0, 7):
+        table = bits.random_table(num_vars, rng)
+        assert anf.from_anf(anf.to_anf(table, num_vars), num_vars) == table
+
+
+def test_anf_of_simple_functions():
+    # AND: x0 x1 -> single quadratic monomial
+    assert anf.to_anf(0b1000, 2) == 0b1000
+    # XOR: x0 ^ x1 -> two linear monomials
+    assert anf.to_anf(0b0110, 2) == 0b0110
+    # constant one
+    assert anf.to_anf(0b1111, 2) == 0b0001
+
+
+def test_degree():
+    assert anf.degree(0, 3) == 0
+    assert anf.degree(bits.table_mask(3), 3) == 0
+    assert anf.degree(bits.projection(1, 3), 3) == 1
+    assert anf.degree(0xE8, 3) == 2      # majority
+    assert anf.degree(0x80, 3) == 3      # x0 x1 x2
+
+
+def test_anf_monomials():
+    monomials = anf.anf_monomials(0xE8, 3)
+    assert sorted(monomials) == [(0, 1), (0, 2), (1, 2)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(tables(4), tables(4))
+def test_anf_is_linear_over_xor(left, right):
+    assert anf.to_anf(left ^ right, 4) == anf.to_anf(left, 4) ^ anf.to_anf(right, 4)
+
+
+# ----------------------------------------------------------------------
+# spectrum
+# ----------------------------------------------------------------------
+def test_spectrum_of_constant_and_parity():
+    assert spectrum.walsh_spectrum(0, 2) == [4, 0, 0, 0]
+    parity = 0b0110
+    assert spectrum.walsh_spectrum(parity, 2) == [0, 0, 0, 4]
+
+
+@settings(max_examples=40, deadline=None)
+@given(tables(4))
+def test_parseval(table):
+    values = spectrum.walsh_spectrum(table, 4)
+    assert sum(v * v for v in values) == 16 * 16
+
+
+@settings(max_examples=30, deadline=None)
+@given(tables(4), st.integers(0, 3), st.integers(0, 3))
+def test_spectrum_signature_invariant_under_affine_ops(table, i, j):
+    num_vars = 4
+    signature = spectrum.spectrum_signature(table, num_vars)
+    assert spectrum.spectrum_signature(flip_variable(table, i, num_vars), num_vars) == signature
+    assert spectrum.spectrum_signature(negate(table, num_vars), num_vars) == signature
+    assert spectrum.spectrum_signature(xor_with_variable(table, i, num_vars), num_vars) == signature
+    if i != j:
+        assert spectrum.spectrum_signature(
+            swap_variables(table, i, j, num_vars), num_vars) == signature
+        assert spectrum.spectrum_signature(
+            xor_variable_into(table, i, j, num_vars), num_vars) == signature
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+def test_is_constant():
+    assert properties.is_constant(0, 3)
+    assert properties.is_constant(bits.table_mask(3), 3)
+    assert not properties.is_constant(1, 3)
+
+
+def test_support_and_depends_on():
+    table = bits.projection(2, 4) ^ bits.projection(0, 4)
+    assert properties.support(table, 4) == [0, 2]
+    assert properties.depends_on(table, 0, 4)
+    assert not properties.depends_on(table, 1, 4)
+
+
+def test_is_affine_and_coefficients():
+    table = bits.projection(0, 3) ^ bits.projection(2, 3) ^ bits.table_mask(3)
+    assert properties.is_affine(table, 3)
+    assert properties.affine_coefficients(table, 3) == (0b101, 1)
+    assert not properties.is_affine(0xE8, 3)
+    assert properties.affine_coefficients(0xE8, 3) is None
+
+
+def test_symmetric_detection():
+    majority = 0xE8
+    assert properties.is_symmetric(majority, 3)
+    assert properties.symmetric_values(majority, 3) == [0, 0, 1, 1]
+    assert not properties.is_symmetric(bits.projection(0, 3), 3)
+
+
+def test_symmetric_values_of_parity():
+    parity = 0b0110_1001_1001_0110
+    assert properties.symmetric_values(parity, 4) == [0, 1, 0, 1, 0]

@@ -1,0 +1,81 @@
+"""Tests for repro.tt.bits."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tt import bits
+
+
+def test_num_bits():
+    assert bits.num_bits(0) == 1
+    assert bits.num_bits(3) == 8
+    assert bits.num_bits(6) == 64
+
+
+def test_num_bits_rejects_negative():
+    with pytest.raises(ValueError):
+        bits.num_bits(-1)
+
+
+def test_table_mask():
+    assert bits.table_mask(2) == 0xF
+    assert bits.table_mask(6) == (1 << 64) - 1
+
+
+def test_popcount():
+    assert bits.popcount(0) == 0
+    assert bits.popcount(0b1011) == 3
+    assert bits.popcount((1 << 100) - 1) == 100
+
+
+def test_projection_variable_zero():
+    # x0 toggles every row: 0101... pattern
+    assert bits.projection(0, 2) == 0b1010
+    assert bits.projection(0, 3) == 0b10101010
+
+
+def test_projection_higher_variables():
+    assert bits.projection(1, 2) == 0b1100
+    assert bits.projection(2, 3) == 0b11110000
+
+
+def test_projection_semantics():
+    for num_vars in range(1, 6):
+        for var in range(num_vars):
+            table = bits.projection(var, num_vars)
+            for row in range(bits.num_bits(num_vars)):
+                assert bits.bit_of(table, row) == (row >> var) & 1
+
+
+def test_projection_out_of_range():
+    with pytest.raises(ValueError):
+        bits.projection(3, 3)
+    with pytest.raises(ValueError):
+        bits.projection(-1, 3)
+
+
+def test_from_bits_to_bits_roundtrip():
+    rng = random.Random(7)
+    for num_vars in range(0, 7):
+        table = bits.random_table(num_vars, rng)
+        unpacked = bits.to_bits(table, num_vars)
+        assert len(unpacked) == bits.num_bits(num_vars)
+        assert bits.from_bits(unpacked) == table
+
+
+def test_from_bits_rejects_non_binary():
+    with pytest.raises(ValueError):
+        bits.from_bits([0, 2, 1])
+
+
+@given(st.integers(min_value=0, max_value=6), st.randoms(use_true_random=False))
+def test_random_table_within_mask(num_vars, rnd):
+    table = bits.random_table(num_vars, rnd)
+    assert 0 <= table <= bits.table_mask(num_vars)
+
+
+def test_bit_of():
+    assert bits.bit_of(0b0100, 2) == 1
+    assert bits.bit_of(0b0100, 1) == 0

@@ -1,0 +1,160 @@
+"""Tests for repro.tt.operations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tt import bits, operations as ops
+from repro.tt.properties import depends_on, support
+
+
+def tables(num_vars):
+    return st.integers(min_value=0, max_value=bits.table_mask(num_vars))
+
+
+def test_negate_is_involution():
+    rng = random.Random(1)
+    for num_vars in range(1, 7):
+        table = bits.random_table(num_vars, rng)
+        assert ops.negate(ops.negate(table, num_vars), num_vars) == table
+
+
+def test_cofactor_values():
+    # f = x0 AND x1 on 2 variables: table 0b1000
+    table = 0b1000
+    assert ops.cofactor(table, 0, 1, 2) == 0b1100  # f|x0=1 = x1
+    assert ops.cofactor(table, 0, 0, 2) == 0       # f|x0=0 = 0
+
+
+def test_cofactor_removes_dependency():
+    rng = random.Random(2)
+    for _ in range(20):
+        num_vars = rng.randint(1, 6)
+        table = bits.random_table(num_vars, rng)
+        var = rng.randrange(num_vars)
+        for value in (0, 1):
+            cof = ops.cofactor(table, var, value, num_vars)
+            assert not depends_on(cof, var, num_vars)
+
+
+def test_cofactor_rejects_bad_value():
+    with pytest.raises(ValueError):
+        ops.cofactor(0b1000, 0, 2, 2)
+
+
+def test_remove_insert_variable_roundtrip():
+    rng = random.Random(3)
+    for _ in range(20):
+        num_vars = rng.randint(2, 6)
+        table = bits.random_table(num_vars - 1, rng)
+        var = rng.randrange(num_vars)
+        expanded = ops.insert_variable(table, var, num_vars)
+        assert not depends_on(expanded, var, num_vars)
+        assert ops.remove_variable(expanded, var, num_vars) == table
+
+
+def test_flip_variable_involution_and_semantics():
+    rng = random.Random(4)
+    for _ in range(20):
+        num_vars = rng.randint(1, 6)
+        table = bits.random_table(num_vars, rng)
+        var = rng.randrange(num_vars)
+        flipped = ops.flip_variable(table, var, num_vars)
+        assert ops.flip_variable(flipped, var, num_vars) == table
+        for row in range(bits.num_bits(num_vars)):
+            assert bits.bit_of(flipped, row) == bits.bit_of(table, row ^ (1 << var))
+
+
+def test_swap_variables_semantics():
+    # f = x0 on 2 vars; swapping x0,x1 gives x1
+    assert ops.swap_variables(bits.projection(0, 2), 0, 1, 2) == bits.projection(1, 2)
+    # swapping a variable with itself is the identity
+    table = 0b0110
+    assert ops.swap_variables(table, 1, 1, 2) == table
+
+
+def test_swap_variables_involution():
+    rng = random.Random(5)
+    for _ in range(20):
+        num_vars = rng.randint(2, 6)
+        table = bits.random_table(num_vars, rng)
+        a, b = rng.sample(range(num_vars), 2)
+        swapped = ops.swap_variables(table, a, b, num_vars)
+        assert ops.swap_variables(swapped, a, b, num_vars) == table
+
+
+def test_xor_variable_into_semantics():
+    # f = x0 (2 vars); substituting x0 <- x0 ^ x1 gives x0 ^ x1
+    expected = bits.projection(0, 2) ^ bits.projection(1, 2)
+    assert ops.xor_variable_into(bits.projection(0, 2), 0, 1, 2) == expected
+
+
+def test_xor_variable_into_requires_distinct():
+    with pytest.raises(ValueError):
+        ops.xor_variable_into(0b1000, 1, 1, 2)
+
+
+def test_xor_with_variable():
+    table = 0b1000
+    assert ops.xor_with_variable(table, 0, 2) == table ^ bits.projection(0, 2)
+
+
+def test_apply_input_transform_identity():
+    rng = random.Random(6)
+    for num_vars in range(1, 6):
+        table = bits.random_table(num_vars, rng)
+        identity = [1 << i for i in range(num_vars)]
+        assert ops.apply_input_transform(table, identity, 0, num_vars) == table
+
+
+def test_apply_input_transform_matches_flip():
+    rng = random.Random(7)
+    num_vars = 4
+    table = bits.random_table(num_vars, rng)
+    identity = [1 << i for i in range(num_vars)]
+    transformed = ops.apply_input_transform(table, identity, 0b0100, num_vars)
+    assert transformed == ops.flip_variable(table, 2, num_vars)
+
+
+def test_apply_output_affine():
+    table = 0b1000
+    result = ops.apply_output_affine(table, 0b01, 1, 2)
+    expected = ops.negate(table ^ bits.projection(0, 2), 2)
+    assert result == expected
+
+
+def test_expand_table():
+    table = 0b10  # f = x0 on 1 var
+    assert ops.expand_table(table, 1, 2) == 0b1010
+    with pytest.raises(ValueError):
+        ops.expand_table(table, 2, 1)
+
+
+def test_shrink_to_support():
+    # 3-var function that only depends on x1
+    table = bits.projection(1, 3)
+    reduced, sup = ops.shrink_to_support(table, 3)
+    assert sup == [1]
+    assert reduced == 0b10  # x0 over 1 variable
+
+
+@settings(max_examples=60, deadline=None)
+@given(tables(4), st.integers(0, 3))
+def test_shannon_expansion_property(table, var):
+    """f == (~x & f0) | (x & f1) for every variable."""
+    num_vars = 4
+    f0 = ops.cofactor(table, var, 0, num_vars)
+    f1 = ops.cofactor(table, var, 1, num_vars)
+    proj = bits.projection(var, num_vars)
+    mask = bits.table_mask(num_vars)
+    reconstructed = ((proj ^ mask) & f0) | (proj & f1)
+    assert reconstructed == table
+
+
+@settings(max_examples=40, deadline=None)
+@given(tables(5))
+def test_support_matches_shrink(table):
+    reduced, sup = ops.shrink_to_support(table, 5)
+    assert sup == support(table, 5)
+    assert reduced <= bits.table_mask(len(sup))

@@ -1,0 +1,235 @@
+"""Tests for the XAG data structure."""
+
+import pytest
+
+from repro.xag.graph import FALSE, TRUE, Xag, lit_complemented, lit_node, lit_not, literal
+from repro.xag.simulate import output_truth_tables
+
+
+def test_literal_helpers():
+    assert literal(5) == 10
+    assert literal(5, True) == 11
+    assert lit_node(11) == 5
+    assert lit_complemented(11)
+    assert not lit_complemented(10)
+    assert lit_not(10) == 11
+    assert lit_not(11) == 10
+
+
+def test_constants():
+    xag = Xag()
+    assert xag.get_constant(False) == FALSE
+    assert xag.get_constant(True) == TRUE
+
+
+def test_create_pis_and_names():
+    xag = Xag()
+    a = xag.create_pi("alpha")
+    b = xag.create_pi()
+    assert xag.num_pis == 2
+    assert xag.pi_name(0) == "alpha"
+    assert xag.pi_name(1) == "x1"
+    assert xag.pi_literals() == [a, b]
+
+
+def test_and_constant_propagation():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    assert xag.create_and(a, FALSE) == FALSE
+    assert xag.create_and(FALSE, b) == FALSE
+    assert xag.create_and(a, TRUE) == a
+    assert xag.create_and(TRUE, b) == b
+    assert xag.create_and(a, a) == a
+    assert xag.create_and(a, lit_not(a)) == FALSE
+    assert xag.num_gates == 0
+
+
+def test_xor_constant_propagation():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    assert xag.create_xor(a, a) == FALSE
+    assert xag.create_xor(a, lit_not(a)) == TRUE
+    assert xag.create_xor(a, FALSE) == a
+    assert xag.create_xor(a, TRUE) == lit_not(a)
+    assert xag.create_xor(FALSE, b) == b
+    assert xag.num_gates == 0
+
+
+def test_structural_hashing_and():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    first = xag.create_and(a, b)
+    second = xag.create_and(b, a)
+    assert first == second
+    assert xag.num_ands == 1
+
+
+def test_structural_hashing_xor_complements():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    plain = xag.create_xor(a, b)
+    complemented = xag.create_xor(lit_not(a), b)
+    assert complemented == lit_not(plain)
+    assert xag.num_xors == 1
+
+
+def test_counters():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    xag.create_and(a, b)
+    xag.create_xor(b, c)
+    xag.create_or(a, c)
+    assert xag.num_ands == 2  # or is an and with complemented edges
+    assert xag.num_xors == 1
+    assert xag.num_gates == 3
+    assert xag.num_nodes == 1 + 3 + 3
+
+
+def test_helper_gates_functionality():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    xag.create_po(xag.create_or(a, b), "or")
+    xag.create_po(xag.create_nand(a, b), "nand")
+    xag.create_po(xag.create_nor(a, b), "nor")
+    xag.create_po(xag.create_xnor(a, b), "xnor")
+    xag.create_po(xag.create_mux(c, a, b), "mux")
+    xag.create_po(xag.create_maj(a, b, c), "maj")
+    xag.create_po(xag.create_maj_naive(a, b, c), "maj_naive")
+    tts = output_truth_tables(xag)
+    a_t, b_t, c_t = 0xAA, 0xCC, 0xF0
+    mask = 0xFF
+    assert tts[0] == (a_t | b_t)
+    assert tts[1] == (a_t & b_t) ^ mask
+    assert tts[2] == (a_t | b_t) ^ mask
+    assert tts[3] == (a_t ^ b_t) ^ mask
+    assert tts[4] == (c_t & a_t) | (~c_t & b_t) & mask
+    assert tts[5] == tts[6] == 0xE8
+
+
+def test_multi_input_helpers():
+    xag = Xag()
+    inputs = xag.create_pis(5)
+    assert xag.create_and_multi([]) == TRUE
+    assert xag.create_or_multi([]) == FALSE
+    assert xag.create_xor_multi([]) == FALSE
+    assert xag.create_and_multi([inputs[2]]) == inputs[2]
+    xag.create_po(xag.create_and_multi(inputs), "and")
+    xag.create_po(xag.create_xor_multi(inputs), "xor")
+    tts = output_truth_tables(xag)
+    assert tts[0] == 1 << 31  # only the all-ones row
+    assert bin(tts[1]).count("1") == 16
+
+
+def test_maj_uses_single_and():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    xag.create_po(xag.create_maj(a, b, c), "maj")
+    assert xag.num_ands == 1
+
+
+def test_create_po_and_replace():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    index = xag.create_po(a, "out")
+    assert xag.po_literal(index) == a
+    xag.replace_po(index, b)
+    assert xag.po_literal(index) == b
+    assert xag.po_name(index) == "out"
+
+
+def test_invalid_literal_rejected():
+    xag = Xag()
+    xag.create_pi()
+    with pytest.raises(ValueError):
+        xag.create_and(2, 100)
+    with pytest.raises(ValueError):
+        xag.create_po(99)
+
+
+def test_checkpoint_rollback():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    xag.create_and(a, b)
+    checkpoint = xag.checkpoint()
+    xag.create_and(a, c)
+    xag.create_xor(b, c)
+    assert xag.num_gates == 3
+    xag.rollback(checkpoint)
+    assert xag.num_gates == 1
+    assert xag.num_ands == 1
+    # the rolled-back gates can be re-created afresh
+    lit = xag.create_and(a, c)
+    assert lit_node(lit) == xag.num_nodes - 1
+
+
+def test_rollback_restores_strash():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    checkpoint = xag.checkpoint()
+    first = xag.create_and(a, b)
+    xag.rollback(checkpoint)
+    second = xag.create_and(a, b)
+    assert lit_node(first) == lit_node(second)
+    assert xag.num_ands == 1
+
+
+def test_clone_is_independent():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    xag.create_po(xag.create_and(a, b), "y")
+    clone = xag.clone()
+    clone.create_po(clone.create_xor(a, b), "z")
+    assert xag.num_pos == 1
+    assert clone.num_pos == 2
+    assert clone.num_xors == xag.num_xors + 1
+
+
+def test_fanout_counts():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    g = xag.create_and(a, b)
+    h = xag.create_xor(g, a)
+    xag.create_po(h, "y")
+    xag.create_po(g, "z")
+    counts = xag.fanout_counts()
+    assert counts[lit_node(g)] == 2   # used by h and a PO
+    assert counts[lit_node(a)] == 2
+    assert counts[lit_node(h)] == 1
+
+
+def test_copy_cone():
+    source = Xag()
+    a, b, c = source.create_pis(3)
+    g = source.create_and(a, b)
+    h = source.create_xor(g, c)
+    source.create_po(h, "y")
+
+    target = Xag()
+    x, y, z = target.create_pis(3)
+    leaf_map = {lit_node(a): x, lit_node(b): y, lit_node(c): z}
+    copied = source.copy_cone(target, [h], leaf_map)
+    target.create_po(copied[0], "y")
+    assert target.num_ands == 1
+    assert target.num_xors == 1
+    assert output_truth_tables(target) == output_truth_tables(source)
+
+
+def test_copy_cone_rejects_unmapped_leaf():
+    source = Xag()
+    a, b = source.create_pis(2)
+    g = source.create_and(a, b)
+    target = Xag()
+    x = target.create_pi()
+    with pytest.raises(ValueError):
+        source.copy_cone(target, [g], {lit_node(a): x})
+
+
+def test_gates_iteration_topological():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    g = xag.create_and(a, b)
+    h = xag.create_xor(g, c)
+    xag.create_po(h, "y")
+    gates = list(xag.gates())
+    assert gates == sorted(gates)
+    assert lit_node(g) in gates and lit_node(h) in gates

@@ -1,0 +1,204 @@
+"""Tests for simulation, depth, cleanup, equivalence, serialisation and DOT export."""
+
+import random
+
+import pytest
+
+from conftest import full_adder_naive, random_xag
+from repro.xag import (
+    Xag,
+    depth,
+    equivalent,
+    from_dict,
+    multiplicative_depth,
+    node_levels,
+    output_truth_tables,
+    simulate_assignment,
+    simulate_integers,
+    simulate_pattern,
+    simulate_words,
+    sweep,
+    to_dict,
+    to_dot,
+)
+from repro.xag.serialize import load, save
+
+
+# ----------------------------------------------------------------------
+# simulation
+# ----------------------------------------------------------------------
+def test_simulate_pattern_full_adder():
+    fa = full_adder_naive()
+    for a in (0, 1):
+        for b in (0, 1):
+            for cin in (0, 1):
+                total, carry = simulate_pattern(fa, [a, b, cin])
+                assert total == (a + b + cin) & 1
+                assert carry == (a + b + cin) >> 1
+
+
+def test_simulate_assignment_names():
+    fa = full_adder_naive()
+    result = simulate_assignment(fa, {"x0": 1, "x1": 1, "x2": 0})
+    assert result == {"sum": 0, "cout": 1}
+
+
+def test_simulate_words_requires_matching_width():
+    fa = full_adder_naive()
+    with pytest.raises(ValueError):
+        simulate_words(fa, [1, 2], 3)
+
+
+def test_output_truth_tables_limit():
+    xag = Xag()
+    xag.create_pis(17)
+    xag.create_po(xag.get_constant(False))
+    with pytest.raises(ValueError):
+        output_truth_tables(xag, max_vars=16)
+
+
+def test_simulate_integers_adder_interface():
+    from repro.circuits.arithmetic import adder
+
+    add = adder(6)
+    for a, b in [(0, 0), (13, 50), (63, 63), (1, 62)]:
+        total, carry = simulate_integers(add, [a, b], [6, 6], [6, 1])
+        assert total == (a + b) % 64
+        assert carry == (a + b) // 64
+
+
+def test_simulate_integers_width_checks():
+    from repro.circuits.arithmetic import adder
+
+    add = adder(4)
+    with pytest.raises(ValueError):
+        simulate_integers(add, [1, 2], [4, 3], [4, 1])
+    with pytest.raises(ValueError):
+        simulate_integers(add, [1, 2], [4, 4], [4])
+
+
+def test_random_simulation_consistency(rng):
+    xag = random_xag(rng, num_pis=8, num_gates=40)
+    mask = (1 << 32) - 1
+    words = [rng.getrandbits(32) for _ in range(8)]
+    outputs = simulate_words(xag, words, mask)
+    # bit i of the word simulation equals the single-pattern simulation
+    for bit in (0, 7, 31):
+        pattern = [(word >> bit) & 1 for word in words]
+        singles = simulate_pattern(xag, pattern)
+        assert [(
+            out >> bit) & 1 for out in outputs] == singles
+
+
+# ----------------------------------------------------------------------
+# depth
+# ----------------------------------------------------------------------
+def test_depth_and_multiplicative_depth():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    stage1 = xag.create_xor(a, b)
+    stage2 = xag.create_and(stage1, c)
+    stage3 = xag.create_xor(stage2, a)
+    xag.create_po(stage3, "y")
+    assert depth(xag) == 3
+    assert multiplicative_depth(xag) == 1
+    levels = node_levels(xag)
+    assert max(levels) == 3
+
+
+def test_depth_of_empty_network():
+    xag = Xag()
+    assert depth(xag) == 0
+    assert multiplicative_depth(xag) == 0
+
+
+def test_multiplicative_depth_of_adder():
+    from repro.circuits.arithmetic import adder
+
+    add = adder(8)
+    assert multiplicative_depth(add) >= 8  # a ripple carry chain
+
+
+# ----------------------------------------------------------------------
+# cleanup
+# ----------------------------------------------------------------------
+def test_sweep_removes_dead_logic():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    used = xag.create_and(a, b)
+    xag.create_and(b, c)          # dead
+    xag.create_xor(a, c)          # dead
+    xag.create_po(used, "y")
+    swept = sweep(xag)
+    assert swept.num_gates == 1
+    assert swept.num_pis == 3     # the interface never changes
+    assert equivalent(xag, swept)
+
+
+def test_sweep_preserves_names_and_outputs():
+    fa = full_adder_naive()
+    swept = sweep(fa)
+    assert swept.pi_names() == fa.pi_names()
+    assert swept.po_names() == fa.po_names()
+    assert equivalent(fa, swept)
+
+
+# ----------------------------------------------------------------------
+# equivalence
+# ----------------------------------------------------------------------
+def test_equivalent_detects_differences():
+    left = full_adder_naive()
+    right = full_adder_naive()
+    assert equivalent(left, right)
+    # change one output
+    right.replace_po(0, right.get_constant(False))
+    assert not equivalent(left, right)
+
+
+def test_equivalent_requires_same_interface():
+    left = full_adder_naive()
+    other = Xag()
+    other.create_pis(2)
+    other.create_po(other.get_constant(True))
+    assert not equivalent(left, other)
+
+
+def test_equivalent_random_mode(rng):
+    xag = random_xag(rng, num_pis=20, num_gates=60)
+    clone = xag.clone()
+    assert equivalent(xag, clone, exhaustive_limit=4)
+
+
+# ----------------------------------------------------------------------
+# serialisation / DOT
+# ----------------------------------------------------------------------
+def test_dict_roundtrip(rng):
+    xag = random_xag(rng, num_pis=5, num_gates=25)
+    data = to_dict(xag)
+    rebuilt = from_dict(data)
+    assert equivalent(xag, rebuilt)
+    assert rebuilt.pi_names() == xag.pi_names()
+    assert rebuilt.po_names() == xag.po_names()
+
+
+def test_save_load_roundtrip(tmp_path):
+    fa = full_adder_naive()
+    path = tmp_path / "fa.json"
+    save(fa, path)
+    loaded = load(path)
+    assert equivalent(fa, loaded)
+
+
+def test_dict_rejects_unknown_gate():
+    data = {"name": "", "num_pis": 1, "pi_names": ["a"], "po_names": ["y"],
+            "gates": [["nand", 2, 2]], "outputs": [4]}
+    with pytest.raises(ValueError):
+        from_dict(data)
+
+
+def test_to_dot_contains_structure():
+    fa = full_adder_naive()
+    dot = to_dot(fa)
+    assert dot.startswith("digraph")
+    assert "AND" in dot and "XOR" in dot
+    assert "dashed" in dot  # the OR gate introduces complemented edges
