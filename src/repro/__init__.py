@@ -13,7 +13,9 @@ The package is organised in layers:
 * :mod:`repro.cuts`, :mod:`repro.rewriting` — cut enumeration and the cut
   rewriting algorithm (paper Sections 3–4);
 * :mod:`repro.circuits` — EPFL-style and MPC/FHE benchmark generators;
-* :mod:`repro.io`, :mod:`repro.analysis` — interchange formats and reporting.
+* :mod:`repro.io`, :mod:`repro.analysis` — interchange formats and reporting;
+* :mod:`repro.engine` — batch orchestration over the benchmark registries
+  with shared caches and per-stage timing (CLI: ``python -m repro.engine``).
 
 Quick start::
 
@@ -28,8 +30,10 @@ Quick start::
 """
 
 from repro.xag.graph import Xag
+from repro.xag.bitsim import BitSimulator, SimulationCache
 from repro.xag.equivalence import equivalent
 from repro.xag.depth import depth, multiplicative_depth
+from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
 from repro.mc.synthesize import McSynthesizer
 from repro.affine.classify import AffineClassifier
@@ -40,6 +44,9 @@ __version__ = "0.1.0"
 
 __all__ = [
     "Xag",
+    "BitSimulator",
+    "SimulationCache",
+    "CutFunctionCache",
     "equivalent",
     "depth",
     "multiplicative_depth",

@@ -29,8 +29,8 @@ from typing import Callable, List, Optional, Tuple
 
 from repro import gf2
 from repro.affine.operations import AffineOp, AffineTransform
-from repro.tt.bits import num_bits, table_mask
-from repro.tt.operations import apply_input_transform
+from repro.tt.bits import num_bits, projection, table_mask
+from repro.tt.operations import apply_input_transform, translate_rows
 from repro.tt.spectrum import walsh_spectrum
 
 
@@ -90,6 +90,7 @@ class AffineClassifier:
         self.exhaustive_limit = exhaustive_limit
         self.iteration_limit = iteration_limit
         self._group_cache: dict = {}
+        self._linear_table_cache: dict = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -133,19 +134,51 @@ class AffineClassifier:
         self._group_cache[num_vars] = matrices
         return matrices
 
+    def _linear_output_tables(self, num_vars: int) -> List[int]:
+        """Truth table of ``<linear, x>`` for every linear mask (cached)."""
+        cached = self._linear_table_cache.get(num_vars)
+        if cached is not None:
+            return cached
+        tables = [0] * num_bits(num_vars)
+        for linear in range(1, len(tables)):
+            low = linear & -linear
+            tables[linear] = tables[linear ^ low] ^ projection(low.bit_length() - 1, num_vars)
+        self._linear_table_cache[num_vars] = tables
+        return tables
+
     def _classify_exhaustive(self, table: int, num_vars: int) -> Classification:
-        best: Optional[Tuple[int, AffineTransform]] = None
+        """Lexicographically smallest table over the full affine group.
+
+        The heavy input transform is applied once per invertible matrix; the
+        ``2**n`` input offsets are swept with bit-parallel row translations
+        (``f(A(x ^ c)) = f(Ax ^ Ac)``, and ``Ac`` covers every offset), and
+        the ``2**n * 2`` output affine corrections are single XORs against
+        precomputed linear tables.  This is ~``4**n`` times fewer full
+        transform evaluations than enumerating the group tuple-wise.
+        """
         size = num_bits(num_vars)
+        mask = table_mask(num_vars)
+        linear_tables = self._linear_output_tables(num_vars)
+        best_table: Optional[int] = None
+        best_choice: Optional[Tuple[List[int], int, int, int]] = None
         for matrix in self._general_linear_group(num_vars):
-            for offset in range(size):
+            base = apply_input_transform(table, matrix, 0, num_vars)
+            for translation in range(size):
+                shifted = translate_rows(base, translation, num_vars)
                 for linear in range(size):
-                    for const in (0, 1):
-                        transform = AffineTransform(num_vars, list(matrix), offset, linear, const)
-                        candidate = transform.apply_to_table(table)
-                        if best is None or candidate < best[0]:
-                            best = (candidate, transform)
-        assert best is not None
-        representative, forward = best
+                    candidate = shifted ^ linear_tables[linear]
+                    if best_table is None or candidate < best_table:
+                        best_table = candidate
+                        best_choice = (matrix, translation, linear, 0)
+                    candidate ^= mask
+                    if candidate < best_table:
+                        best_table = candidate
+                        best_choice = (matrix, translation, linear, 1)
+        assert best_table is not None and best_choice is not None
+        matrix, translation, linear, const = best_choice
+        offset = gf2.mat_vec(matrix, translation)
+        forward = AffineTransform(num_vars, list(matrix), offset, linear, const)
+        representative = best_table
         return Classification(
             table=table,
             num_vars=num_vars,

@@ -1,11 +1,13 @@
-"""Cut enumeration and fanout-free cone analysis."""
+"""Cut enumeration, fanout-free cone analysis, and the shared cut cache."""
 
 from repro.cuts.cut import Cut
+from repro.cuts.cache import CutFunctionCache
 from repro.cuts.enumeration import enumerate_cuts, cut_function, cut_cone, cut_and_count
 from repro.cuts.mffc import mffc, mffc_and_count
 
 __all__ = [
     "Cut",
+    "CutFunctionCache",
     "enumerate_cuts",
     "cut_function",
     "cut_cone",

@@ -1,0 +1,176 @@
+"""Shared cut-function and implementation-plan cache.
+
+During cut rewriting the same Boolean functions recur constantly — carry
+chains, S-box slices, majority fragments — and in the seed every candidate
+cut paid for (a) a fresh simulation of its cone and (b) a fresh trip through
+:meth:`repro.mc.database.McDatabase.plan_for`.  This module centralises both
+behind one object that the cut enumerator (:func:`repro.cuts.enumeration
+.cut_function`) and the rewriter (:class:`repro.rewriting.rewrite
+.CutRewriter`) share:
+
+* **cone functions** are memoised per network epoch, keyed by
+  ``(root, leaves)`` — valid because a :class:`repro.xag.graph.Xag` never
+  mutates existing nodes, and the memo is dropped whenever the cache is bound
+  to a different network (:meth:`CutFunctionCache.bind`);
+
+* **implementation plans** are memoised by the network-independent key
+  ``(truth table, num_vars)``.  This is the first level of a two-level
+  canonical-form scheme: the exact table resolves here, and a miss falls
+  through to the :class:`~repro.mc.database.McDatabase`, which keys recipes
+  by the *affine class representative*.  The net effect is that a cut
+  function hits the MC database (and affine classification) once per batch
+  of circuits, not once per cut per round.
+
+The cache is deliberately long-lived: :func:`repro.rewriting.flow.optimize`
+keeps one across all rounds of a convergence loop, and
+:mod:`repro.engine` keeps one across a whole batch of benchmark circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mc.database import ImplementationPlan, McDatabase
+from repro.tt.bits import projection, table_mask
+from repro.xag.graph import Xag, lit_node
+
+
+class CutFunctionCache:
+    """Memoising front-end for cut-cone simulation and MC database plans."""
+
+    def __init__(self, database: Optional[McDatabase] = None) -> None:
+        # explicit `is None` check — an empty McDatabase is falsy (it defines
+        # __len__) but must still be honoured.
+        self.database = database if database is not None else McDatabase()
+        self._functions: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        self._plans: Dict[Tuple[int, int], ImplementationPlan] = {}
+        self._bound_xag: Optional[Xag] = None
+        self._bound_epoch = -1
+        self.function_hits = 0
+        self.function_misses = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+    @classmethod
+    def ensure(cls, cut_cache: Optional["CutFunctionCache"],
+               database: Optional[McDatabase]) -> "CutFunctionCache":
+        """Reconcile an optional shared cache with an optional database.
+
+        Returns ``cut_cache`` when given (raising if it is bound to a
+        *different* explicit ``database``), otherwise a fresh cache over
+        ``database``.  This is the single place encoding the pairing rule for
+        every API that accepts both parameters.
+        """
+        if cut_cache is None:
+            return cls(database)
+        if database is not None and cut_cache.database is not database:
+            raise ValueError("cut_cache is bound to a different database")
+        return cut_cache
+
+    # ------------------------------------------------------------------
+    # cone functions (per network epoch)
+    # ------------------------------------------------------------------
+    def bind(self, xag: Xag) -> None:
+        """Attach the cone-function memo to ``xag``.
+
+        Keys of the memo are node indices, so entries from a different
+        network are meaningless; binding to a new network drops them, as
+        does a rollback of the bound network (rollback recycles node
+        indices — detected via the network's rollback epoch, exactly like
+        :meth:`repro.xag.bitsim.BitSimulator.sync`).  The plan memo is keyed
+        by truth tables and survives rebinding.
+        """
+        if xag is not self._bound_xag or xag._rollback_epoch != self._bound_epoch:
+            self._functions.clear()
+            self._bound_xag = xag
+            self._bound_epoch = xag._rollback_epoch
+
+    def cone_function(self, xag: Xag, root: int, leaves: Tuple[int, ...],
+                      interior: Optional[Sequence[int]] = None) -> int:
+        """Truth table of ``root`` over ``leaves`` (leaf ``i`` = variable ``i``).
+
+        ``interior`` may pass an already-computed topological ordering of the
+        cone (as produced by :func:`repro.cuts.enumeration.cut_cone`) to skip
+        the traversal on a memo miss.
+        """
+        self.bind(xag)
+        key = (root, leaves)
+        table = self._functions.get(key)
+        if table is not None:
+            self.function_hits += 1
+            return table
+        self.function_misses += 1
+        if interior is None:
+            from repro.cuts.enumeration import cut_cone
+            interior = cut_cone(xag, root, leaves)
+        table = _simulate_cone(xag, root, leaves, interior)
+        self._functions[key] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # implementation plans (network independent)
+    # ------------------------------------------------------------------
+    def plan_for(self, table: int, num_vars: int) -> ImplementationPlan:
+        """Implementation plan for ``table``, memoised by exact function."""
+        table &= table_mask(num_vars)
+        key = (table, num_vars)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.plan_hits += 1
+            return plan
+        self.plan_misses += 1
+        plan = self.database.plan_for(table, num_vars)
+        self._plans[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Counters for the engine report and the ablation benchmarks."""
+        function_total = self.function_hits + self.function_misses
+        plan_total = self.plan_hits + self.plan_misses
+        return {
+            "stored_functions": len(self._functions),
+            "stored_plans": len(self._plans),
+            "function_hits": self.function_hits,
+            "function_misses": self.function_misses,
+            "function_hit_rate": self.function_hits / function_total if function_total else 0.0,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_hit_rate": self.plan_hits / plan_total if plan_total else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop all memoised entries and counters (the database is untouched)."""
+        self._functions.clear()
+        self._plans.clear()
+        self._bound_xag = None
+        self._bound_epoch = -1
+        self.function_hits = 0
+        self.function_misses = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+def _simulate_cone(xag: Xag, root: int, leaves: Tuple[int, ...],
+                   interior: Sequence[int]) -> int:
+    """Simulate a cut cone with projection truth tables."""
+    num_vars = len(leaves)
+    mask = table_mask(num_vars)
+    values: Dict[int, int] = {0: 0}
+    for position, leaf in enumerate(leaves):
+        values[leaf] = projection(position, num_vars)
+    for node in interior:
+        f0, f1 = xag.fanins(node)
+        a = values[lit_node(f0)]
+        if f0 & 1:
+            a ^= mask
+        b = values[lit_node(f1)]
+        if f1 & 1:
+            b ^= mask
+        values[node] = (a & b) if xag.is_and(node) else (a ^ b)
+    return values[root]

@@ -14,11 +14,13 @@ cheaper in pure Python than maintaining tables through every merge.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cuts.cut import Cut
-from repro.tt.bits import projection, table_mask
-from repro.xag.graph import Xag, lit_complemented, lit_node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.cuts.cache import CutFunctionCache
+from repro.xag.graph import Xag, lit_node
 
 
 def enumerate_cuts(xag: Xag, cut_size: int = 6, cut_limit: int = 12) -> Dict[int, List[Cut]]:
@@ -117,25 +119,22 @@ def cut_cone(xag: Xag, root: int, leaves: Sequence[int]) -> List[int]:
     return order
 
 
-def cut_function(xag: Xag, cut: Cut) -> int:
-    """Truth table of the cut root in terms of its leaves (leaf ``i`` = variable ``i``)."""
+def cut_function(xag: Xag, cut: Cut, cache: Optional["CutFunctionCache"] = None) -> int:
+    """Truth table of the cut root in terms of its leaves (leaf ``i`` = variable ``i``).
+
+    ``cache`` may pass a shared :class:`repro.cuts.cache.CutFunctionCache` so
+    that repeated queries for the same cut (e.g. by the rewriter and by the
+    ablation benchmarks) simulate the cone only once per network.
+    """
     num_vars = len(cut.leaves)
     if num_vars > 16:
         raise ValueError("cut function computation limited to 16 leaves")
-    mask = table_mask(num_vars)
-    values: Dict[int, int] = {0: 0}
-    for position, leaf in enumerate(cut.leaves):
-        values[leaf] = projection(position, num_vars)
-    for node in cut_cone(xag, cut.root, cut.leaves):
-        f0, f1 = xag.fanins(node)
-        a = values[lit_node(f0)]
-        if lit_complemented(f0):
-            a ^= mask
-        b = values[lit_node(f1)]
-        if lit_complemented(f1):
-            b ^= mask
-        values[node] = (a & b) if xag.is_and(node) else (a ^ b)
-    return values[cut.root]
+    if cache is not None:
+        return cache.cone_function(xag, cut.root, cut.leaves)
+    from repro.cuts.cache import _simulate_cone
+
+    return _simulate_cone(xag, cut.root, cut.leaves,
+                          cut_cone(xag, cut.root, cut.leaves))
 
 
 def cut_and_count(xag: Xag, cut: Cut) -> int:

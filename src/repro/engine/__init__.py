@@ -1,0 +1,30 @@
+"""Batch orchestration engine for the MC cut-rewriting flow.
+
+:mod:`repro.engine` is the scaling layer on top of the single-circuit flows
+in :mod:`repro.rewriting.flow`: it resolves benchmark suites (EPFL Table 1,
+MPC/FHE Table 2), runs :func:`repro.rewriting.flow.paper_flow` over every
+selected circuit with **one shared MC database, one shared cut-function
+cache and one shared simulation cache**, collects per-stage timings (build,
+one round, convergence, verification), and renders the batch as a report.
+
+The CLI entry point lives in :mod:`repro.engine.cli` and is reachable both
+as ``python -m repro.engine`` and as the ``repro-engine`` console script.
+"""
+
+from repro.engine.core import (
+    BatchReport,
+    CircuitReport,
+    EngineConfig,
+    available_cases,
+    run_batch,
+    run_circuit,
+)
+
+__all__ = [
+    "BatchReport",
+    "CircuitReport",
+    "EngineConfig",
+    "available_cases",
+    "run_batch",
+    "run_circuit",
+]

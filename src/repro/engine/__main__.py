@@ -1,0 +1,7 @@
+"""``python -m repro.engine`` — dispatch to the CLI."""
+
+import sys
+
+from repro.engine.cli import main
+
+sys.exit(main())

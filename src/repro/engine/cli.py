@@ -1,0 +1,116 @@
+"""Command-line interface of the batch engine.
+
+Examples::
+
+    # two small EPFL control circuits, two rounds, full report
+    python -m repro.engine --suite epfl --circuits decoder,int2float --rounds 2
+
+    # everything in the crypto registry, reduced scale, no convergence cap
+    python -m repro.engine --suite crypto --rounds 0
+
+    # list what can be run
+    python -m repro.engine --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.engine.core import EngineConfig, available_cases, run_batch
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of ``repro-engine``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-engine",
+        description="Batch MC cut-rewriting over the EPFL and MPC/FHE registries.")
+    parser.add_argument("--suite", default="epfl", choices=["epfl", "crypto", "all"],
+                        help="benchmark registry to load (default: epfl)")
+    parser.add_argument("--circuits", default=None,
+                        help="comma-separated circuit names (default: whole suite)")
+    parser.add_argument("--groups", default=None,
+                        help="comma-separated registry groups "
+                             "(arithmetic, control, mpc)")
+    parser.add_argument("--cut-size", type=int, default=6,
+                        help="maximum cut leaves (default: 6)")
+    parser.add_argument("--cut-limit", type=int, default=12,
+                        help="cuts kept per node (default: 12)")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="cap on rewriting rounds, 0 = run to convergence "
+                             "(default: 2)")
+    parser.add_argument("--size-baseline", action="store_true",
+                        help="run the generic size optimiser before MC rewriting")
+    parser.add_argument("--full-scale", action="store_true",
+                        help="build paper-scale netlists (slow in pure Python)")
+    parser.add_argument("--verify-limit", type=int, default=20000,
+                        help="verify equivalence up to this many gates, 0 disables "
+                             "(default: 20000)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the per-circuit numbers as JSON")
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="list the circuits of the selected suite and exit")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> EngineConfig:
+    """Translate parsed arguments into an :class:`EngineConfig`."""
+    return EngineConfig(
+        suites=(args.suite,),
+        circuits=args.circuits.split(",") if args.circuits else None,
+        groups=args.groups.split(",") if args.groups else None,
+        cut_size=args.cut_size,
+        cut_limit=args.cut_limit,
+        max_rounds=None if args.rounds == 0 else args.rounds,
+        size_baseline=args.size_baseline,
+        full_scale=args.full_scale,
+        verify_limit=args.verify_limit,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (also exposed as the ``repro-engine`` console script)."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_only:
+        for case in available_cases((args.suite,)):
+            print(f"{case.name:<20} {case.group:<12} {case.scale_note}")
+        return 0
+
+    try:
+        batch = run_batch(config_from_args(args))
+    except ValueError as error:
+        print(f"repro-engine: error: {error}", file=sys.stderr)
+        return 2
+    print(batch.render())
+
+    if args.json:
+        payload = [
+            {
+                "name": report.name,
+                "group": report.group,
+                "error": report.error,
+                "num_pis": report.num_pis,
+                "num_pos": report.num_pos,
+                "ands_before": report.ands_before,
+                "xors_before": report.xors_before,
+                "ands_after": report.ands_after,
+                "xors_after": report.xors_after,
+                "and_improvement": report.and_improvement,
+                "rounds": len(report.rounds),
+                "verified": report.verified,
+                "stage_seconds": report.stage_timings(),
+            }
+            for report in batch.reports
+        ]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    return 1 if batch.failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""Batch runner: suites → circuits → paper flow, with shared caches.
+
+The engine exists so that running the paper's experiment over *many*
+workloads amortises every piece of reusable state:
+
+* one :class:`repro.mc.database.McDatabase` — representatives synthesised for
+  circuit 1 are free for circuit 2;
+* one :class:`repro.cuts.cache.CutFunctionCache` — implementation plans are
+  keyed by truth table and are network independent, so recurring cut
+  functions (carry chains, S-box slices) resolve with a single dict hit
+  across the whole batch;
+* one :class:`repro.xag.bitsim.SimulationCache` — each intermediate network
+  of a convergence loop is bit-parallel-simulated at most once.
+
+Every stage is timed separately (build, one round, convergence,
+verification) so regressions in any layer show up directly in the report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.benchmark_case import BenchmarkCase
+from repro.circuits.crypto.registry import mpc_benchmarks
+from repro.circuits.epfl import epfl_benchmarks
+from repro.cuts.cache import CutFunctionCache
+from repro.mc.database import McDatabase
+from repro.rewriting.flow import PaperFlowResult, paper_flow
+from repro.rewriting.rewrite import RewriteParams, RoundStats
+from repro.xag.bitsim import SimulationCache
+
+#: suite name → registry loader.
+SUITES = {
+    "epfl": epfl_benchmarks,
+    "crypto": mpc_benchmarks,
+}
+
+
+@dataclass
+class EngineConfig:
+    """Knobs of one batch run (defaults follow the paper's §4.1 setup)."""
+
+    #: suites to load: any subset of ``{"epfl", "crypto"}`` (or ``"all"``).
+    suites: Tuple[str, ...] = ("epfl",)
+    #: restrict to these circuit names (``None`` = every circuit).
+    circuits: Optional[Sequence[str]] = None
+    #: restrict to these registry groups ("arithmetic", "control", "mpc").
+    groups: Optional[Sequence[str]] = None
+    cut_size: int = 6
+    cut_limit: int = 12
+    #: cap on rewriting rounds per circuit (``None`` = run to convergence).
+    max_rounds: Optional[int] = 2
+    #: run the generic size-optimisation baseline before MC rewriting.
+    size_baseline: bool = False
+    #: build paper-scale netlists instead of the reduced defaults.
+    full_scale: bool = False
+    #: verify equivalence for networks up to this many gates (0 disables).
+    verify_limit: int = 20000
+
+
+@dataclass
+class CircuitReport:
+    """Everything measured for one circuit of the batch."""
+
+    name: str
+    group: str
+    num_pis: int = 0
+    num_pos: int = 0
+    ands_before: int = 0
+    xors_before: int = 0
+    ands_after: int = 0
+    xors_after: int = 0
+    rounds: List[RoundStats] = field(default_factory=list)
+    build_seconds: float = 0.0
+    baseline_seconds: float = 0.0
+    one_round_seconds: float = 0.0
+    convergence_seconds: float = 0.0
+    verified: Optional[bool] = None
+    error: Optional[str] = None
+
+    @property
+    def verify_seconds(self) -> float:
+        """Total time spent in equivalence checking across all rounds."""
+        return sum(stats.verify_seconds for stats in self.rounds)
+
+    @property
+    def total_seconds(self) -> float:
+        """Build plus baseline plus optimisation time."""
+        return self.build_seconds + self.baseline_seconds + self.convergence_seconds
+
+    @property
+    def and_improvement(self) -> float:
+        """Fractional AND reduction over the whole run."""
+        if self.ands_before == 0:
+            return 0.0
+        return 1.0 - self.ands_after / self.ands_before
+
+    def stage_timings(self) -> Dict[str, float]:
+        """Per-stage wall-clock seconds (verification overlaps the rounds)."""
+        return {
+            "build": self.build_seconds,
+            "baseline": self.baseline_seconds,
+            "one_round": self.one_round_seconds,
+            "convergence": self.convergence_seconds - self.one_round_seconds,
+            "verify": self.verify_seconds,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Result of :func:`run_batch`."""
+
+    config: EngineConfig
+    reports: List[CircuitReport] = field(default_factory=list)
+    database_stats: Dict[str, float] = field(default_factory=dict)
+    cut_cache_stats: Dict[str, float] = field(default_factory=dict)
+    sim_cache_hits: int = 0
+    sim_cache_misses: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> List[CircuitReport]:
+        """Reports of circuits that completed without an error."""
+        return [report for report in self.reports if report.error is None]
+
+    @property
+    def failed(self) -> List[CircuitReport]:
+        """Reports of circuits that raised during build or optimisation."""
+        return [report for report in self.reports if report.error is not None]
+
+    def render(self) -> str:
+        """Human-readable batch table plus cache summary."""
+        header = (f"{'Name':<20} {'Grp':<6} {'In':>5} {'Out':>5} | "
+                  f"{'AND0':>7} {'AND':>7} {'impr':>6} {'rnds':>5} | "
+                  f"{'build':>7} {'1rnd':>7} {'conv':>7} {'verify':>7} {'ok':>3}")
+        lines = [header, "-" * len(header)]
+        for report in self.reports:
+            if report.error is not None:
+                lines.append(f"{report.name:<20} {report.group:<6} ERROR: {report.error}")
+                continue
+            stages = report.stage_timings()
+            verified = {True: "yes", False: "NO", None: "-"}[report.verified]
+            lines.append(
+                f"{report.name:<20} {report.group:<6} {report.num_pis:>5} {report.num_pos:>5} | "
+                f"{report.ands_before:>7} {report.ands_after:>7} "
+                f"{round(100 * report.and_improvement):>5}% {len(report.rounds):>5} | "
+                f"{report.build_seconds:>7.2f} {stages['one_round']:>7.2f} "
+                f"{stages['convergence']:>7.2f} {stages['verify']:>7.2f} {verified:>3}")
+        lines.append("-" * len(header))
+        lines.append(
+            f"{len(self.succeeded)}/{len(self.reports)} circuits in "
+            f"{self.total_seconds:.2f}s | plan cache "
+            f"{self.cut_cache_stats.get('plan_hits', 0):.0f} hits / "
+            f"{self.cut_cache_stats.get('plan_misses', 0):.0f} misses | "
+            f"classification hit rate "
+            f"{self.database_stats.get('classification_hit_rate', 0.0):.2f} | "
+            f"sim cache {self.sim_cache_hits} hits / {self.sim_cache_misses} misses")
+        return "\n".join(lines)
+
+
+def available_cases(suites: Sequence[str] = ("epfl", "crypto")) -> List[BenchmarkCase]:
+    """All benchmark cases of the requested suites, in registry order."""
+    cases: List[BenchmarkCase] = []
+    for suite in suites:
+        if suite == "all":
+            return available_cases(tuple(SUITES))
+        loader = SUITES.get(suite)
+        if loader is None:
+            raise ValueError(f"unknown suite {suite!r} (available: {sorted(SUITES)})")
+        cases.extend(loader())
+    return cases
+
+
+def select_cases(config: EngineConfig) -> List[BenchmarkCase]:
+    """Resolve the configuration's suite/group/name filters to cases."""
+    cases = available_cases(config.suites)
+    if config.groups is not None:
+        wanted_groups = set(config.groups)
+        cases = [case for case in cases if case.group in wanted_groups]
+    if config.circuits is not None:
+        by_name = {case.name: case for case in cases}
+        missing = [name for name in config.circuits if name not in by_name]
+        if missing:
+            raise ValueError(f"unknown circuits {missing} "
+                             f"(available: {sorted(by_name)})")
+        cases = [by_name[name] for name in config.circuits]
+    return cases
+
+
+def run_circuit(case: BenchmarkCase, config: EngineConfig,
+                database: Optional[McDatabase] = None,
+                cut_cache: Optional[CutFunctionCache] = None,
+                sim_cache: Optional[SimulationCache] = None) -> CircuitReport:
+    """Run the paper flow on one benchmark case and time every stage."""
+    report = CircuitReport(name=case.name, group=case.group)
+    cut_cache = CutFunctionCache.ensure(cut_cache, database)
+    sim_cache = sim_cache if sim_cache is not None else SimulationCache()
+    try:
+        build_start = time.perf_counter()
+        xag = case.build(full_scale=config.full_scale)
+        report.build_seconds = time.perf_counter() - build_start
+
+        report.num_pis = xag.num_pis
+        report.num_pos = xag.num_pos
+        verify = 0 < (xag.num_ands + xag.num_xors) <= config.verify_limit
+        params = RewriteParams(cut_size=config.cut_size, cut_limit=config.cut_limit,
+                               verify=verify)
+        result: PaperFlowResult = paper_flow(
+            xag, name=case.name, params=params, size_baseline=config.size_baseline,
+            max_rounds=config.max_rounds, cut_cache=cut_cache, sim_cache=sim_cache)
+
+        report.ands_before = result.initial.num_ands
+        report.xors_before = result.initial.num_xors
+        report.ands_after = result.after_convergence.num_ands
+        report.xors_after = result.after_convergence.num_xors
+        report.rounds = result.rounds
+        report.baseline_seconds = result.baseline_seconds
+        report.one_round_seconds = result.one_round_seconds
+        report.convergence_seconds = result.convergence_seconds
+        if verify:
+            report.verified = all(stats.verified in (True, None)
+                                  for stats in result.rounds)
+    except Exception as exc:  # noqa: BLE001 - batch runs must survive one bad case
+        report.error = f"{type(exc).__name__}: {exc}"
+    return report
+
+
+def run_batch(config: Optional[EngineConfig] = None,
+              database: Optional[McDatabase] = None) -> BatchReport:
+    """Run the configured suites with shared database and caches."""
+    config = config if config is not None else EngineConfig()
+    database = database if database is not None else McDatabase()
+    cut_cache = CutFunctionCache(database)
+    sim_cache = SimulationCache()
+    batch = BatchReport(config=config)
+    start = time.perf_counter()
+    for case in select_cases(config):
+        batch.reports.append(
+            run_circuit(case, config, cut_cache=cut_cache, sim_cache=sim_cache))
+    batch.total_seconds = time.perf_counter() - start
+    batch.database_stats = database.stats()
+    batch.cut_cache_stats = cut_cache.stats()
+    batch.sim_cache_hits = sim_cache.hits
+    batch.sim_cache_misses = sim_cache.misses
+    return batch

@@ -8,6 +8,11 @@ database here is *populated on demand*: the first time a representative is
 requested its recipe is synthesised and cached; the database can be saved to
 and loaded from JSON so that long optimisation campaigns can reuse earlier
 work (see DESIGN.md, substitution table).
+
+This is the canonical (affine-representative-keyed) level of the two-level
+caching scheme: :class:`repro.cuts.cache.CutFunctionCache` resolves exact
+truth tables in front of it, so during rewriting a given cut function
+reaches :meth:`McDatabase.plan_for` once per batch of circuits.
 """
 
 from __future__ import annotations

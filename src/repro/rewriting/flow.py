@@ -19,8 +19,10 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
 from repro.rewriting.rewrite import CutRewriter, RewriteParams, RoundStats
+from repro.xag.bitsim import SimulationCache
 from repro.xag.graph import Xag
 
 
@@ -52,17 +54,29 @@ class FlowResult:
 
 
 def one_round(xag: Xag, database: Optional[McDatabase] = None,
-              params: Optional[RewriteParams] = None) -> FlowResult:
+              params: Optional[RewriteParams] = None,
+              cut_cache: Optional[CutFunctionCache] = None,
+              sim_cache: Optional[SimulationCache] = None) -> FlowResult:
     """Apply a single round of MC cut rewriting (paper "One round" columns)."""
-    return optimize(xag, database=database, params=params, max_rounds=1)
+    return optimize(xag, database=database, params=params, max_rounds=1,
+                    cut_cache=cut_cache, sim_cache=sim_cache)
 
 
 def optimize(xag: Xag, database: Optional[McDatabase] = None,
              params: Optional[RewriteParams] = None,
-             max_rounds: Optional[int] = None) -> FlowResult:
-    """Repeat MC cut rewriting until no AND improvement (or ``max_rounds``)."""
+             max_rounds: Optional[int] = None,
+             cut_cache: Optional[CutFunctionCache] = None,
+             sim_cache: Optional[SimulationCache] = None) -> FlowResult:
+    """Repeat MC cut rewriting until no AND improvement (or ``max_rounds``).
+
+    ``cut_cache`` / ``sim_cache`` may pass caches shared with other flows
+    (the engine shares them across a whole batch of circuits); fresh ones are
+    created otherwise, so plans and simulation values are still reused
+    between the rounds of this call.
+    """
     params = params or RewriteParams()
-    rewriter = CutRewriter(database=database, params=params)
+    rewriter = CutRewriter(database=database, params=params,
+                           cut_cache=cut_cache, sim_cache=sim_cache)
     start = time.perf_counter()
     current = xag
     rounds: List[RoundStats] = []
@@ -80,7 +94,9 @@ def optimize(xag: Xag, database: Optional[McDatabase] = None,
 
 def size_optimize(xag: Xag, database: Optional[McDatabase] = None,
                   max_rounds: int = 4, cut_size: int = 4,
-                  cut_limit: int = 8, verify: bool = True) -> FlowResult:
+                  cut_limit: int = 8, verify: bool = True,
+                  cut_cache: Optional[CutFunctionCache] = None,
+                  sim_cache: Optional[SimulationCache] = None) -> FlowResult:
     """Generic size optimisation baseline (unit cost for AND and XOR).
 
     This plays the role of the ABC script the paper uses to produce its
@@ -89,8 +105,8 @@ def size_optimize(xag: Xag, database: Optional[McDatabase] = None,
     """
     params = RewriteParams(cut_size=cut_size, cut_limit=cut_limit, objective="size",
                            verify=verify)
-    database = database if database is not None else McDatabase()
-    rewriter = CutRewriter(database=database, params=params)
+    rewriter = CutRewriter(database=database, params=params,
+                           cut_cache=cut_cache, sim_cache=sim_cache)
     start = time.perf_counter()
     current = xag
     rounds: List[RoundStats] = []
@@ -121,6 +137,12 @@ class PaperFlowResult:
     convergence_rounds: int
     one_round_seconds: float
     convergence_seconds: float
+    #: wall-clock of the generic size-optimisation baseline (0 when not run).
+    baseline_seconds: float = 0.0
+    #: statistics of every executed round, in order: size-baseline rounds
+    #: first (when run), then the "one round" stage, then the convergence
+    #: rounds (the engine consumes these for per-stage timing).
+    rounds: List[RoundStats] = field(default_factory=list)
 
     @property
     def initial_ands(self) -> int:
@@ -149,28 +171,38 @@ def paper_flow(xag: Xag, name: Optional[str] = None,
                database: Optional[McDatabase] = None,
                params: Optional[RewriteParams] = None,
                size_baseline: bool = False,
-               max_rounds: Optional[int] = None) -> PaperFlowResult:
+               max_rounds: Optional[int] = None,
+               cut_cache: Optional[CutFunctionCache] = None,
+               sim_cache: Optional[SimulationCache] = None) -> PaperFlowResult:
     """Run the full experimental pipeline of the paper on one benchmark.
 
     With ``size_baseline`` the input network is first run through the generic
     size optimiser (mirroring the ABC pre-optimisation of the EPFL
     benchmarks); the (possibly optimised) starting point is reported as the
     "Initial" network.  ``max_rounds`` caps the convergence loop, which is
-    useful for the large cryptographic benchmarks in pure Python.
+    useful for the large cryptographic benchmarks in pure Python.  One
+    cut-function cache and one simulation cache are shared by all stages
+    (callers batching several circuits can pass their own).
     """
     params = params if params is not None else RewriteParams()
-    database = database if database is not None else McDatabase()
+    cut_cache = CutFunctionCache.ensure(cut_cache, database)
+    sim_cache = sim_cache if sim_cache is not None else SimulationCache()
     initial = xag
+    baseline: Optional[FlowResult] = None
     if size_baseline:
-        initial = size_optimize(xag, verify=params.verify).final
+        baseline = size_optimize(xag, verify=params.verify, cut_cache=cut_cache,
+                                 sim_cache=sim_cache)
+        initial = baseline.final
 
     start_one = time.perf_counter()
-    one = optimize(initial, database=database, params=params, max_rounds=1)
+    one = optimize(initial, params=params, max_rounds=1,
+                   cut_cache=cut_cache, sim_cache=sim_cache)
     one_round_seconds = time.perf_counter() - start_one
 
     start_conv = time.perf_counter()
-    conv = optimize(one.final, database=database, params=params,
-                    max_rounds=None if max_rounds is None else max(0, max_rounds - 1))
+    conv = optimize(one.final, params=params,
+                    max_rounds=None if max_rounds is None else max(0, max_rounds - 1),
+                    cut_cache=cut_cache, sim_cache=sim_cache)
     convergence_seconds = one_round_seconds + (time.perf_counter() - start_conv)
 
     return PaperFlowResult(
@@ -184,4 +216,6 @@ def paper_flow(xag: Xag, name: Optional[str] = None,
         convergence_rounds=1 + conv.num_rounds,
         one_round_seconds=one_round_seconds,
         convergence_seconds=convergence_seconds,
+        baseline_seconds=baseline.runtime_seconds if baseline is not None else 0.0,
+        rounds=(baseline.rounds if baseline is not None else []) + one.rounds + conv.rounds,
     )

@@ -29,12 +29,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.cuts.cache import CutFunctionCache
 from repro.cuts.cut import Cut
 from repro.cuts.enumeration import cut_cone, enumerate_cuts
 from repro.cuts.mffc import mffc
 from repro.mc.database import ImplementationPlan, McDatabase
 from repro.rewriting.insert import insert_plan
-from repro.tt.bits import projection, table_mask
+from repro.xag.bitsim import SimulationCache
 from repro.xag.cleanup import sweep
 from repro.xag.equivalence import equivalent
 from repro.xag.graph import Xag, lit_node
@@ -82,6 +83,12 @@ class RoundStats:
     rewrites_selected: int = 0
     rewrites_applied: int = 0
     runtime_seconds: float = 0.0
+    #: time spent inside the equivalence check (included in runtime_seconds).
+    verify_seconds: float = 0.0
+    #: cut-cache traffic of this round (deltas of the shared cache counters).
+    function_cache_hits: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     verified: Optional[bool] = None
 
     @property
@@ -96,10 +103,14 @@ class CutRewriter:
     """Two-phase DAG-aware cut rewriting engine (see module docstring)."""
 
     def __init__(self, database: Optional[McDatabase] = None,
-                 params: Optional[RewriteParams] = None) -> None:
-        # note: an explicit `is None` check — an empty McDatabase is falsy
-        # because it defines __len__, but it must still be honoured.
-        self.database = database if database is not None else McDatabase()
+                 params: Optional[RewriteParams] = None,
+                 cut_cache: Optional[CutFunctionCache] = None,
+                 sim_cache: Optional[SimulationCache] = None) -> None:
+        # note: explicit `is None` checks — an empty McDatabase / cache is
+        # falsy because it defines __len__, but it must still be honoured.
+        self.cut_cache = CutFunctionCache.ensure(cut_cache, database)
+        self.database = self.cut_cache.database
+        self.sim_cache = sim_cache if sim_cache is not None else SimulationCache()
         self.params = params if params is not None else RewriteParams()
 
     # ------------------------------------------------------------------
@@ -115,11 +126,13 @@ class CutRewriter:
 
         stats.ands_after = result.num_ands
         stats.xors_after = result.num_xors
-        stats.runtime_seconds = time.perf_counter() - start
         if self.params.verify:
-            stats.verified = equivalent(xag, result)
+            verify_start = time.perf_counter()
+            stats.verified = equivalent(xag, result, sim_cache=self.sim_cache)
+            stats.verify_seconds = time.perf_counter() - verify_start
             if not stats.verified:
                 raise AssertionError("cut rewriting changed the network function")
+        stats.runtime_seconds = time.perf_counter() - start
         return result, stats
 
     # ------------------------------------------------------------------
@@ -130,6 +143,11 @@ class CutRewriter:
         cuts = enumerate_cuts(xag, cut_size=params.cut_size, cut_limit=params.cut_limit)
         fanout_counts = xag.fanout_counts()
         selections: Dict[int, Candidate] = {}
+        cache = self.cut_cache
+        cache.bind(xag)
+        function_hits_before = cache.function_hits
+        plan_hits_before = cache.plan_hits
+        plan_misses_before = cache.plan_misses
 
         for node in xag.gates():
             node_cuts = cuts.get(node, [])
@@ -153,8 +171,8 @@ class CutRewriter:
                 if params.objective == "mc" and saved_ands == 0 and not params.allow_zero_gain:
                     continue
 
-                table = self._cone_function(xag, node, cut.leaves, interior)
-                plan = self.database.plan_for(table, cut.size)
+                table = cache.cone_function(xag, node, cut.leaves, interior)
+                plan = cache.plan_for(table, cut.size)
                 stats.candidates_evaluated += 1
 
                 cost_ands = plan.num_ands
@@ -171,6 +189,9 @@ class CutRewriter:
             if best is not None:
                 selections[node] = best
                 stats.rewrites_selected += 1
+        stats.function_cache_hits = cache.function_hits - function_hits_before
+        stats.plan_cache_hits = cache.plan_hits - plan_hits_before
+        stats.plan_cache_misses = cache.plan_misses - plan_misses_before
         return selections
 
     def _acceptable(self, candidate: Candidate) -> bool:
@@ -191,26 +212,6 @@ class CutRewriter:
             key = (candidate.gain_gates, candidate.gain_ands)
             incumbent_key = (incumbent.gain_gates, incumbent.gain_ands)
         return key > incumbent_key
-
-    @staticmethod
-    def _cone_function(xag: Xag, root: int, leaves: Tuple[int, ...],
-                       interior: List[int]) -> int:
-        """Truth table of the cut using an already-computed interior ordering."""
-        num_vars = len(leaves)
-        mask = table_mask(num_vars)
-        values: Dict[int, int] = {0: 0}
-        for position, leaf in enumerate(leaves):
-            values[leaf] = projection(position, num_vars)
-        for node in interior:
-            f0, f1 = xag.fanins(node)
-            a = values[lit_node(f0)]
-            if f0 & 1:
-                a ^= mask
-            b = values[lit_node(f1)]
-            if f1 & 1:
-                b ^= mask
-            values[node] = (a & b) if xag.is_and(node) else (a ^ b)
-        return values[root]
 
     @staticmethod
     def _estimated_gates(plan: ImplementationPlan) -> int:

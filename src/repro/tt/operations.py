@@ -63,42 +63,53 @@ def insert_variable(table: int, var: int, num_vars: int) -> int:
 
 
 def flip_variable(table: int, var: int, num_vars: int) -> int:
-    """Return the table of ``f(..., ~x_var, ...)``."""
-    result = 0
-    for row in range(num_bits(num_vars)):
-        if bit_of(table, row ^ (1 << var)):
-            result |= 1 << row
+    """Return the table of ``f(..., ~x_var, ...)`` (bit-parallel butterfly)."""
+    shift = 1 << var
+    upper = projection(var, num_vars)
+    lower = upper ^ table_mask(num_vars)
+    return ((table & upper) >> shift) | ((table & lower) << shift)
+
+
+def translate_rows(table: int, delta: int, num_vars: int) -> int:
+    """Return the table of ``f(x ^ delta)`` (rows permuted by XOR with ``delta``).
+
+    Implemented as one butterfly per set bit of ``delta`` — the packed
+    equivalent of remapping every row index, and the workhorse that lets the
+    affine classifier sweep all ``2**n`` input offsets off a single matrix
+    application.
+    """
+    result = table
+    remaining = delta
+    while remaining:
+        low = remaining & -remaining
+        result = flip_variable(result, low.bit_length() - 1, num_vars)
+        remaining ^= low
     return result
 
 
 def swap_variables(table: int, var_a: int, var_b: int, num_vars: int) -> int:
-    """Return the table of ``f`` with variables ``var_a`` and ``var_b`` swapped."""
+    """Return the table of ``f`` with ``var_a`` and ``var_b`` swapped (delta swap)."""
     if var_a == var_b:
         return table
-    result = 0
-    for row in range(num_bits(num_vars)):
-        bit_a = (row >> var_a) & 1
-        bit_b = (row >> var_b) & 1
-        src = row
-        if bit_a != bit_b:
-            src ^= (1 << var_a) | (1 << var_b)
-        if bit_of(table, src):
-            result |= 1 << row
-    return result
+    if var_a > var_b:
+        var_a, var_b = var_b, var_a
+    # rows with x_a = 1, x_b = 0 trade places with rows x_a = 0, x_b = 1
+    movers = projection(var_a, num_vars) & ~projection(var_b, num_vars)
+    shift = (1 << var_b) - (1 << var_a)
+    moved_up = (table & movers) << shift
+    moved_down = (table >> shift) & movers
+    keep = table & ~(movers | (movers << shift)) & table_mask(num_vars)
+    return keep | moved_up | moved_down
 
 
 def xor_variable_into(table: int, var: int, other: int, num_vars: int) -> int:
     """Return the table of ``f`` with ``x_var`` replaced by ``x_var ^ x_other``."""
     if var == other:
         raise ValueError("translation requires two distinct variables")
-    result = 0
-    for row in range(num_bits(num_vars)):
-        src = row
-        if (row >> other) & 1:
-            src ^= 1 << var
-        if bit_of(table, src):
-            result |= 1 << row
-    return result
+    # rows with x_other = 1 read their value from the row with x_var flipped
+    affected = projection(other, num_vars)
+    flipped = flip_variable(table, var, num_vars)
+    return (table & ~affected) | (flipped & affected)
 
 
 def xor_with_variable(table: int, var: int, num_vars: int) -> int:
@@ -114,16 +125,52 @@ def apply_input_transform(
     ``matrix`` is a GF(2) matrix given as ``num_vars`` row bitmasks: row ``i``
     describes which input variables are XOR-ed together to form the value fed
     to variable ``i`` of ``f``.  ``offset`` is the constant vector ``b``.
+
+    Bit-parallel: the table of each transformed input ``<row_i, x> ^ b_i`` is
+    assembled by XOR-ing projection words, and ``f`` is evaluated over those
+    packed words by Shannon recursion — no per-row Python loop.  This is the
+    innermost operation of affine classification, executed tens of thousands
+    of times per classified function.
     """
-    result = 0
-    for row in range(num_bits(num_vars)):
-        src = offset
-        for i, mask in enumerate(matrix):
-            if bin(row & mask).count("1") & 1:
-                src ^= 1 << i
-        if bit_of(table, src):
-            result |= 1 << row
-    return result
+    mask = table_mask(num_vars)
+    table &= mask
+    if table == 0 or table == mask:
+        return table
+    inputs = []
+    for i, row in enumerate(matrix):
+        word = mask if (offset >> i) & 1 else 0
+        remaining = row
+        while remaining:
+            low = remaining & -remaining
+            word ^= projection(low.bit_length() - 1, num_vars)
+            remaining ^= low
+        inputs.append(word)
+    return eval_packed(table, num_vars, inputs, mask)
+
+
+def eval_packed(table: int, num_vars: int, inputs: Sequence[int], out_mask: int) -> int:
+    """Evaluate ``f`` (a ``num_vars`` truth table) over packed input words.
+
+    ``inputs[i]`` is an arbitrarily wide bit-vector giving the value of
+    variable ``i`` in every simulated pattern; the result packs ``f`` applied
+    patternwise.  Shannon recursion on the top variable with constant /
+    don't-care collapsing keeps the work proportional to the decision-tree
+    size of ``f`` rather than to ``2**num_vars`` in the common case.
+    """
+    if table == 0:
+        return 0
+    if num_vars == 0:
+        return out_mask
+    width = 1 << (num_vars - 1)
+    sub_mask = (1 << width) - 1
+    low_half = table & sub_mask
+    high_half = (table >> width) & sub_mask
+    if low_half == high_half:
+        return eval_packed(low_half, num_vars - 1, inputs, out_mask)
+    word = inputs[num_vars - 1]
+    zero_branch = eval_packed(low_half, num_vars - 1, inputs, out_mask)
+    one_branch = eval_packed(high_half, num_vars - 1, inputs, out_mask)
+    return (zero_branch & (word ^ out_mask)) | (one_branch & word)
 
 
 def apply_output_affine(table: int, linear: int, constant: int, num_vars: int) -> int:

@@ -19,9 +19,10 @@ from repro.xag.simulate import (
     node_truth_tables,
     node_values,
 )
+from repro.xag.bitsim import BitSimulator, SimulationCache
 from repro.xag.depth import depth, multiplicative_depth, node_levels
 from repro.xag.cleanup import sweep, sweep_with_map
-from repro.xag.equivalence import equivalent
+from repro.xag.equivalence import equivalence_stimulus, equivalent
 from repro.xag.serialize import to_dict, from_dict, save, load
 from repro.xag.dot import to_dot
 
@@ -41,6 +42,9 @@ __all__ = [
     "output_truth_tables",
     "node_truth_tables",
     "node_values",
+    "BitSimulator",
+    "SimulationCache",
+    "equivalence_stimulus",
     "depth",
     "multiplicative_depth",
     "node_levels",

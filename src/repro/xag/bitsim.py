@@ -1,0 +1,323 @@
+"""Incremental, packed-integer bit-parallel simulation of XAGs.
+
+The seed simulator (:mod:`repro.xag.simulate`) recomputes the value of every
+node on every call, which makes repeated queries — equivalence checks after
+each rewriting round, re-simulation after appending nodes, stimulus sweeps —
+pay the full network cost each time.  This module provides the two pieces the
+optimisation flows build on instead:
+
+* :class:`BitSimulator` — holds one arbitrarily wide packed integer per node
+  (Python big-ints act as bit-vectors of any width, so thousands of input
+  patterns are simulated in a single topological pass).  The simulator is
+  *incremental*:
+
+  - appending nodes to the network only simulates the new suffix
+    (:meth:`BitSimulator.sync`), matching the append-only construction
+    discipline of :class:`repro.xag.graph.Xag`;
+  - rolling the network back simply truncates the value array;
+  - changing the stimulus (:meth:`BitSimulator.update_inputs`) or externally
+    dirtying nodes (:meth:`BitSimulator.invalidate`) recomputes **only the
+    transitive fanout** of the changed nodes, with value-change pruning: a
+    node whose recomputed word is unchanged does not dirty its fanout.
+
+* :class:`SimulationCache` — a small LRU of simulators keyed by network
+  identity.  The convergence loop in :mod:`repro.rewriting.flow` verifies
+  ``round k``'s output against ``round k+1``'s input, which is the *same
+  network object*; with the cache each network is fully simulated exactly
+  once over the whole flow instead of once per equivalence check.
+
+The per-node update counters (:attr:`BitSimulator.full_updates`,
+:attr:`BitSimulator.incremental_updates`) feed the engine's per-stage report
+and the speed benchmark in ``benchmarks/bench_engine_speed.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Sequence
+
+from repro.xag.graph import NodeKind, Xag, lit_complemented, lit_node
+
+
+class BitSimulator:
+    """Incremental word-parallel simulator bound to one :class:`Xag`.
+
+    ``pi_words`` assigns one packed integer per primary input (in PI creation
+    order); ``mask`` is the all-ones word defining the simulation width.
+    Values are computed lazily: every query first calls :meth:`sync`, which
+    simulates only the nodes created since the last query.
+    """
+
+    def __init__(self, xag: Xag, pi_words: Sequence[int], mask: int) -> None:
+        self.xag = xag
+        self.mask = mask
+        self._pi_words: List[int] = list(pi_words)
+        self._values: List[int] = []
+        self._synced = 0
+        self._rollback_epoch = xag._rollback_epoch
+        #: nodes simulated by suffix syncs (initial pass + appended nodes).
+        self.full_updates = 0
+        #: nodes recomputed by transitive-fanout invalidation sweeps.
+        self.incremental_updates = 0
+
+    # ------------------------------------------------------------------
+    # stimulus
+    # ------------------------------------------------------------------
+    def stimulus_matches(self, pi_words: Sequence[int]) -> bool:
+        """True when ``pi_words`` equals the currently applied stimulus."""
+        return self._pi_words == list(pi_words)
+
+    def update_inputs(self, pi_words: Sequence[int]) -> int:
+        """Apply a new stimulus, recomputing only the fanout of changed PIs.
+
+        Returns the number of gate nodes that were recomputed — on localised
+        stimulus changes this is far smaller than the network size, which is
+        the point of keeping the simulator around between queries.
+        """
+        self.sync()
+        xag = self.xag
+        if len(pi_words) != xag.num_pis:
+            raise ValueError("one simulation word per primary input is required")
+        values = self._values
+        mask = self.mask
+        dirty = bytearray(xag.num_nodes)
+        first: Optional[int] = None
+        for position, node in enumerate(xag.pis()):
+            word = pi_words[position] & mask
+            if values[node] != word:
+                values[node] = word
+                dirty[node] = 1
+                if first is None:
+                    first = node
+        self._pi_words = list(pi_words)
+        if first is None:
+            return 0
+        return self._propagate(dirty, first)
+
+    def invalidate(self, nodes: Iterable[int]) -> int:
+        """Recompute ``nodes`` and their transitive fanout.
+
+        This is the hook for in-place network edits: mark the rewritten nodes
+        and only their forward cone is re-simulated.  Returns the number of
+        gate nodes recomputed.
+        """
+        self.sync()
+        xag = self.xag
+        dirty = bytearray(xag.num_nodes)
+        first: Optional[int] = None
+        for node in nodes:
+            dirty[node] = 1
+            self._recompute_node(node)
+            if first is None or node < first:
+                first = node
+        if first is None:
+            return 0
+        return self._propagate(dirty, first)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Bring the value array up to date with the network.
+
+        Nodes appended since the last call are simulated; nodes removed by a
+        rollback are truncated.  A rollback that happened *between* queries
+        (possibly followed by re-growth past the old size) is detected via
+        the network's rollback epoch, in which case everything is
+        resimulated — without the epoch the node count alone could not tell
+        "rolled back and re-grown" apart from "only appended".
+        """
+        xag = self.xag
+        count = xag.num_nodes
+        if xag._rollback_epoch != self._rollback_epoch:
+            self._rollback_epoch = xag._rollback_epoch
+            del self._values[:]
+            self._synced = 0
+        if count == self._synced:
+            return
+        if len(self._pi_words) != xag.num_pis:
+            raise ValueError("one simulation word per primary input is required")
+        self._values.extend([0] * (count - len(self._values)))
+        self._simulate_range(self._synced, count)
+        self.full_updates += count - self._synced
+        self._synced = count
+
+    def values(self) -> List[int]:
+        """Packed values of every node (live list — do not mutate)."""
+        self.sync()
+        return self._values
+
+    def value(self, node: int) -> int:
+        """Packed value of one node."""
+        self.sync()
+        return self._values[node]
+
+    def literal_value(self, lit: int) -> int:
+        """Packed value of a literal (complement realised against the mask)."""
+        word = self.value(lit_node(lit))
+        return word ^ self.mask if lit_complemented(lit) else word
+
+    def po_words(self) -> List[int]:
+        """Packed values of all primary outputs."""
+        self.sync()
+        values = self._values
+        mask = self.mask
+        out = []
+        for lit in self.xag.po_literals():
+            word = values[lit >> 1]
+            if lit & 1:
+                word ^= mask
+            out.append(word)
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _simulate_range(self, start: int, end: int) -> None:
+        xag = self.xag
+        kinds = xag._kind
+        fanin0 = xag._fanin0
+        fanin1 = xag._fanin1
+        values = self._values
+        mask = self.mask
+        pi_words = self._pi_words
+        and_kind = NodeKind.AND
+        xor_kind = NodeKind.XOR
+        pi_kind = NodeKind.PI
+        pi_position = None  # built lazily: appended suffixes rarely contain PIs
+        for node in range(start, end):
+            kind = kinds[node]
+            if kind == and_kind or kind == xor_kind:
+                f0 = fanin0[node]
+                f1 = fanin1[node]
+                a = values[f0 >> 1]
+                if f0 & 1:
+                    a ^= mask
+                b = values[f1 >> 1]
+                if f1 & 1:
+                    b ^= mask
+                values[node] = (a & b) if kind == and_kind else (a ^ b)
+            elif kind == pi_kind:
+                if pi_position is None:
+                    pi_position = {pi: i for i, pi in enumerate(xag.pis())}
+                values[node] = pi_words[pi_position[node]] & mask
+            else:
+                values[node] = 0
+
+    def _recompute_node(self, node: int) -> None:
+        xag = self.xag
+        if xag.is_gate(node):
+            f0, f1 = xag.fanins(node)
+            a = self._values[f0 >> 1] ^ (self.mask if f0 & 1 else 0)
+            b = self._values[f1 >> 1] ^ (self.mask if f1 & 1 else 0)
+            self._values[node] = (a & b) if xag.is_and(node) else (a ^ b)
+        elif xag.is_pi(node):
+            self._values[node] = self._pi_words[xag.pi_index(node)] & self.mask
+
+    def _propagate(self, dirty: bytearray, start: int) -> int:
+        """Forward sweep recomputing gates with a dirty fan-in; prunes on no-change."""
+        xag = self.xag
+        kinds = xag._kind
+        fanin0 = xag._fanin0
+        fanin1 = xag._fanin1
+        values = self._values
+        mask = self.mask
+        and_kind = NodeKind.AND
+        xor_kind = NodeKind.XOR
+        updated = 0
+        for node in range(start + 1, xag.num_nodes):
+            kind = kinds[node]
+            if kind != and_kind and kind != xor_kind:
+                continue
+            f0 = fanin0[node]
+            f1 = fanin1[node]
+            if not (dirty[f0 >> 1] or dirty[f1 >> 1]):
+                continue
+            a = values[f0 >> 1]
+            if f0 & 1:
+                a ^= mask
+            b = values[f1 >> 1]
+            if f1 & 1:
+                b ^= mask
+            word = (a & b) if kind == and_kind else (a ^ b)
+            updated += 1
+            if word != values[node]:
+                values[node] = word
+                dirty[node] = 1
+        self.incremental_updates += updated
+        return updated
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BitSimulator nodes={self._synced}/{self.xag.num_nodes} "
+                f"full={self.full_updates} incr={self.incremental_updates}>")
+
+
+class SimulationCache:
+    """LRU of :class:`BitSimulator` instances keyed by network identity.
+
+    The cache holds strong references to the networks it has simulated, so an
+    ``id()`` key can never be recycled while its entry is alive.  ``max_entries``
+    bounds memory: the convergence loop only ever needs the last two networks,
+    the engine's batch runner a handful more.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[int, BitSimulator]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        #: cache entries refreshed in place via transitive-fanout invalidation
+        #: (same network and width, different stimulus).
+        self.stimulus_updates = 0
+
+    def simulator(self, xag: Xag, pi_words: Sequence[int], mask: int) -> BitSimulator:
+        """Simulator for ``xag`` under the given stimulus (reused when possible).
+
+        A cached simulator with the same stimulus is returned as-is; one with
+        a *different* stimulus of the same width is refreshed through
+        :meth:`BitSimulator.update_inputs`, recomputing only the transitive
+        fanout of the changed inputs instead of resimulating from scratch.
+        """
+        key = id(xag)
+        sim = self._entries.get(key)
+        if sim is not None and sim.xag is xag and sim.mask == mask:
+            if sim.stimulus_matches(pi_words):
+                self.hits += 1
+            elif len(pi_words) == xag.num_pis == len(sim._pi_words):
+                sim.update_inputs(pi_words)
+                self.stimulus_updates += 1
+            else:
+                # PI count changed since the simulator was built (or the
+                # stimulus width is wrong) — rebuild instead of refreshing
+                sim = None
+            if sim is not None:
+                self._entries.move_to_end(key)
+                return sim
+        self.misses += 1
+        sim = BitSimulator(xag, pi_words, mask)
+        self._entries[key] = sim
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return sim
+
+    def discard(self, xag: Xag) -> None:
+        """Drop the cached simulator of one network, if any."""
+        self._entries.pop(id(xag), None)
+
+    def clear(self) -> None:
+        """Drop every cached simulator and reset the hit counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of simulator requests served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

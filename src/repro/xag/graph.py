@@ -85,6 +85,9 @@ class Xag:
         self._strash_log: List[Tuple[int, int, int]] = []
         self._num_ands = 0
         self._num_xors = 0
+        #: bumped on every rollback so observers (e.g. incremental simulators)
+        #: can tell "rolled back and re-grown" apart from "only appended".
+        self._rollback_epoch = 0
         self.name: str = ""
 
     # ------------------------------------------------------------------
@@ -267,6 +270,7 @@ class Xag:
         del self._fanin1[checkpoint.num_nodes:]
         self._num_ands = checkpoint.num_ands
         self._num_xors = checkpoint.num_xors
+        self._rollback_epoch += 1
 
     # ------------------------------------------------------------------
     # queries

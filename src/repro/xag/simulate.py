@@ -1,4 +1,10 @@
-"""Simulation of XAGs: single patterns, word-parallel, full truth tables."""
+"""Simulation of XAGs: single patterns, word-parallel, full truth tables.
+
+Every function here recomputes the whole network per call, which is the
+right tool for one-shot queries.  Repeated queries against the same (or a
+growing) network should use :class:`repro.xag.bitsim.BitSimulator`, which
+keeps packed node values alive and only simulates what changed.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,4 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite (circuit builders live in ``helpers``)."""
 
 from __future__ import annotations
 
@@ -6,43 +6,8 @@ import random
 
 import pytest
 
-from repro.xag.graph import Xag
-
 
 @pytest.fixture
 def rng() -> random.Random:
     """Deterministic random generator for reproducible tests."""
     return random.Random(0xDAC19)
-
-
-def random_xag(rng: random.Random, num_pis: int = 6, num_gates: int = 30,
-               num_pos: int = 3, and_bias: float = 0.5) -> Xag:
-    """Random, connected XAG used by property-style tests."""
-    xag = Xag()
-    xag.name = "random"
-    signals = list(xag.create_pis(num_pis))
-    for _ in range(num_gates):
-        a = rng.choice(signals)
-        b = rng.choice(signals)
-        if rng.random() < 0.3:
-            a = xag.create_not(a)
-        if rng.random() < 0.3:
-            b = xag.create_not(b)
-        if rng.random() < and_bias:
-            signals.append(xag.create_and(a, b))
-        else:
-            signals.append(xag.create_xor(a, b))
-    for index in range(num_pos):
-        xag.create_po(signals[-(index + 1)], f"y{index}")
-    return xag
-
-
-def full_adder_naive() -> Xag:
-    """The paper's Fig. 1 full adder (3 AND gates)."""
-    xag = Xag()
-    xag.name = "full_adder"
-    a, b, cin = xag.create_pis(3)
-    a_xor_b = xag.create_xor(a, b)
-    xag.create_po(xag.create_xor(a_xor_b, cin), "sum")
-    xag.create_po(xag.create_or(xag.create_and(a, b), xag.create_and(cin, a_xor_b)), "cout")
-    return xag

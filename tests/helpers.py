@@ -1,0 +1,48 @@
+"""Importable circuit builders shared by the test suite.
+
+These used to live in ``tests/conftest.py``, but importing helpers from a
+``conftest`` module is fragile: pytest inserts every rootdir that contains a
+``conftest.py`` into ``sys.path``, so ``from conftest import ...`` can resolve
+to ``benchmarks/conftest.py`` instead of the intended test one depending on
+collection order.  Keeping the helpers in a regular module removes the
+ambiguity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xag.graph import Xag
+
+
+def random_xag(rng: random.Random, num_pis: int = 6, num_gates: int = 30,
+               num_pos: int = 3, and_bias: float = 0.5) -> Xag:
+    """Random, connected XAG used by property-style tests."""
+    xag = Xag()
+    xag.name = "random"
+    signals = list(xag.create_pis(num_pis))
+    for _ in range(num_gates):
+        a = rng.choice(signals)
+        b = rng.choice(signals)
+        if rng.random() < 0.3:
+            a = xag.create_not(a)
+        if rng.random() < 0.3:
+            b = xag.create_not(b)
+        if rng.random() < and_bias:
+            signals.append(xag.create_and(a, b))
+        else:
+            signals.append(xag.create_xor(a, b))
+    for index in range(num_pos):
+        xag.create_po(signals[-(index + 1)], f"y{index}")
+    return xag
+
+
+def full_adder_naive() -> Xag:
+    """The paper's Fig. 1 full adder (3 AND gates)."""
+    xag = Xag()
+    xag.name = "full_adder"
+    a, b, cin = xag.create_pis(3)
+    a_xor_b = xag.create_xor(a, b)
+    xag.create_po(xag.create_xor(a_xor_b, cin), "sum")
+    xag.create_po(xag.create_or(xag.create_and(a, b), xag.create_and(cin, a_xor_b)), "cout")
+    return xag

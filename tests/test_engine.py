@@ -1,0 +1,230 @@
+"""Tests for the cut-function cache and the batch orchestration engine."""
+
+import json
+import random
+
+import pytest
+
+from helpers import full_adder_naive, random_xag
+from repro.cuts import CutFunctionCache, cut_function, enumerate_cuts
+from repro.engine import EngineConfig, available_cases, run_batch, run_circuit
+from repro.engine.cli import build_parser, config_from_args, main
+from repro.engine.core import select_cases
+from repro.mc import McDatabase
+from repro.rewriting import CutRewriter, RewriteParams
+from repro.xag.bitsim import SimulationCache
+
+
+# ----------------------------------------------------------------------
+# cut-function cache
+# ----------------------------------------------------------------------
+def test_cut_function_cache_memoises_cone_functions():
+    xag = full_adder_naive()
+    cuts = enumerate_cuts(xag, cut_size=3)
+    cache = CutFunctionCache()
+    some_cut = next(cut for node_cuts in cuts.values() for cut in node_cuts)
+
+    uncached = cut_function(xag, some_cut)
+    assert cut_function(xag, some_cut, cache=cache) == uncached
+    assert cut_function(xag, some_cut, cache=cache) == uncached
+    assert cache.function_misses == 1
+    assert cache.function_hits == 1
+
+
+def test_cut_function_cache_resets_on_rebind():
+    left = full_adder_naive()
+    right = random_xag(random.Random(1), num_pis=3, num_gates=10)
+    cache = CutFunctionCache()
+    cut = next(cut for node_cuts in enumerate_cuts(left, cut_size=3).values()
+               for cut in node_cuts)
+    cut_function(left, cut, cache=cache)
+    assert len(cache._functions) == 1
+    cache.bind(right)                     # different network → memo dropped
+    assert len(cache._functions) == 0
+
+
+def test_cut_function_cache_invalidated_by_rollback():
+    """Rollback recycles node indices; the cone memo must not survive it."""
+    from repro.cuts import Cut
+    from repro.xag import Xag
+
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    checkpoint = xag.checkpoint()
+    gate = xag.create_and(a, b)
+    cut = Cut(gate >> 1, (a >> 1, b >> 1))
+    cache = CutFunctionCache()
+    assert cut_function(xag, cut, cache=cache) == 0b1000
+
+    xag.rollback(checkpoint)
+    xag.create_xor(a, b)                     # reuses the rolled-back index
+    assert cut_function(xag, cut, cache=cache) == 0b0110
+
+
+def test_cut_function_cache_plans_match_database():
+    database = McDatabase()
+    cache = CutFunctionCache(database)
+    rng = random.Random(2)
+    from repro.tt import random_table
+
+    for _ in range(10):
+        num_vars = rng.randint(2, 4)
+        table = random_table(num_vars, rng)
+        plan = cache.plan_for(table, num_vars)
+        again = cache.plan_for(table, num_vars)
+        assert again is plan              # exact-table level hit
+        reference = database.plan_for(table, num_vars)
+        assert reference.representative == plan.representative
+        assert reference.num_ands == plan.num_ands
+    assert cache.plan_hits == 10
+    assert cache.plan_misses == 10
+    stats = cache.stats()
+    assert stats["plan_hit_rate"] == 0.5
+    assert stats["stored_plans"] == len(cache) <= 10
+
+    cache.clear()
+    assert cache.plan_hits == 0 and len(cache) == 0
+    assert len(database) > 0              # the database itself is untouched
+
+
+def test_rewriter_shares_cut_cache_across_rounds():
+    """Plans resolved in round 1 must be cache hits in round 2."""
+    xag = random_xag(random.Random(3), num_pis=6, num_gates=40)
+    rewriter = CutRewriter(params=RewriteParams(cut_size=4))
+    first, stats1 = rewriter.rewrite(xag)
+    _, stats2 = rewriter.rewrite(first)
+    assert stats1.plan_cache_misses > 0
+    assert stats2.plan_cache_hits > 0
+    # truth tables recur heavily between rounds of the same network
+    assert stats2.plan_cache_hits >= stats2.plan_cache_misses
+
+
+def test_rewriter_rejects_mismatched_cache_database():
+    with pytest.raises(ValueError):
+        CutRewriter(database=McDatabase(), cut_cache=CutFunctionCache(McDatabase()))
+
+
+# ----------------------------------------------------------------------
+# engine: case selection
+# ----------------------------------------------------------------------
+def test_available_cases_suites():
+    epfl = available_cases(("epfl",))
+    crypto = available_cases(("crypto",))
+    both = available_cases(("all",))
+    assert {case.group for case in epfl} == {"arithmetic", "control"}
+    assert all(case.group == "mpc" for case in crypto)
+    assert len(both) == len(epfl) + len(crypto)
+    with pytest.raises(ValueError):
+        available_cases(("nope",))
+
+
+def test_select_cases_filters():
+    config = EngineConfig(suites=("epfl",), groups=["control"])
+    cases = select_cases(config)
+    assert cases and all(case.group == "control" for case in cases)
+
+    config = EngineConfig(suites=("epfl",), circuits=["decoder", "adder"])
+    names = [case.name for case in select_cases(config)]
+    assert names == ["decoder", "adder"]
+
+    with pytest.raises(ValueError):
+        select_cases(EngineConfig(suites=("epfl",), circuits=["not_a_circuit"]))
+
+
+# ----------------------------------------------------------------------
+# engine: running circuits
+# ----------------------------------------------------------------------
+def test_run_circuit_reports_stages_and_verifies():
+    case = next(case for case in available_cases(("epfl",)) if case.name == "alu_ctrl")
+    config = EngineConfig(suites=("epfl",), max_rounds=1)
+    report = run_circuit(case, config)
+    assert report.error is None
+    assert report.verified is True
+    assert report.ands_after <= report.ands_before
+    assert report.rounds and report.rounds[0].verified is True
+    stages = report.stage_timings()
+    assert set(stages) == {"build", "baseline", "one_round", "convergence", "verify"}
+    assert stages["baseline"] == 0.0          # size_baseline off by default
+    assert report.total_seconds > 0
+
+
+def test_run_circuit_survives_broken_case():
+    from repro.circuits.benchmark_case import BenchmarkCase, PaperNumbers
+
+    def explode():
+        raise RuntimeError("boom")
+
+    broken = BenchmarkCase(name="broken", group="control",
+                           paper=PaperNumbers(1, 1, 1, 0, 1, 0, 0.0, 1, 0, 0.0),
+                           build_default=explode, build_full=explode)
+    report = run_circuit(broken, EngineConfig())
+    assert report.error is not None and "boom" in report.error
+
+
+def test_run_batch_shares_caches_and_renders():
+    config = EngineConfig(suites=("epfl",), circuits=["decoder"], max_rounds=1)
+    batch = run_batch(config)
+    assert len(batch.reports) == 1 and not batch.failed
+    assert batch.total_seconds > 0
+    assert batch.cut_cache_stats["plan_misses"] > 0
+    rendered = batch.render()
+    assert "decoder" in rendered
+    assert "plan cache" in rendered
+
+
+def test_run_batch_skips_verification_above_limit():
+    config = EngineConfig(suites=("epfl",), circuits=["decoder"], max_rounds=1,
+                          verify_limit=1)
+    batch = run_batch(config)
+    report = batch.reports[0]
+    assert report.error is None
+    assert report.verified is None        # too large for the verify budget
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_config_mapping():
+    args = build_parser().parse_args(
+        ["--suite", "crypto", "--circuits", "md5,sha_256", "--rounds", "0",
+         "--cut-size", "4", "--full-scale"])
+    config = config_from_args(args)
+    assert config.suites == ("crypto",)
+    assert config.circuits == ["md5", "sha_256"]
+    assert config.max_rounds is None
+    assert config.cut_size == 4
+    assert config.full_scale is True
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "adder" in out and "voter" in out
+
+
+def test_cli_runs_and_writes_json(tmp_path, capsys):
+    json_path = tmp_path / "report.json"
+    exit_code = main(["--suite", "epfl", "--circuits", "decoder", "--rounds", "1",
+                      "--json", str(json_path)])
+    assert exit_code == 0
+    payload = json.loads(json_path.read_text())
+    assert payload[0]["name"] == "decoder"
+    assert payload[0]["verified"] is True
+    assert "decoder" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# incremental verification equivalence (tentpole acceptance)
+# ----------------------------------------------------------------------
+def test_cached_flow_produces_same_result_as_uncached():
+    """Shared caches must not change the optimisation result, only its cost."""
+    from repro.rewriting import optimize
+
+    xag = random_xag(random.Random(4), num_pis=6, num_gates=45)
+    plain = optimize(xag, max_rounds=2)
+    cached = optimize(xag, max_rounds=2,
+                      cut_cache=CutFunctionCache(), sim_cache=SimulationCache())
+    assert plain.final.num_ands == cached.final.num_ands
+    assert plain.final.num_xors == cached.final.num_xors
+    from repro.xag import equivalent
+    assert equivalent(plain.final, cached.final)
