@@ -17,12 +17,14 @@ the equivalence checks still passing.  Results are persisted to
 """
 
 import random
+import tempfile
 import time
 from pathlib import Path
 
 from repro.affine.classify import AffineClassifier, Classification
 from repro.affine.operations import AffineTransform
 from repro.circuits import control as C
+from repro.engine import EngineConfig, run_batch
 from repro.mc import McDatabase
 from repro.rewriting import CutRewriter, RewriteParams
 from repro.tt.bits import bit_of, num_bits
@@ -33,6 +35,7 @@ from repro.xag.simulate import node_values, simulate_words
 
 RESULTS_DIR = Path(__file__).parent / "results"
 _LINES = []
+_BATCH_LINES = []
 
 
 # ----------------------------------------------------------------------
@@ -181,4 +184,91 @@ def test_engine_speed_report():
          "| measurement | seed / full | new / incremental | speedup |",
          "| --- | --- | --- | --- |"] + _LINES) + "\n"
     (RESULTS_DIR / "engine_speed.md").write_text(body)
+    print("\n" + body)
+
+
+# ----------------------------------------------------------------------
+# batch engine: warm starts and sharding
+# ----------------------------------------------------------------------
+_WARM_CIRCUITS = ["decoder", "int2float"]
+_SHARD_CIRCUITS = ["decoder", "int2float", "alu_ctrl", "arbiter"]
+
+
+def test_cold_vs_warm_batch():
+    """A warm-started batch must do ~zero plan/classification work."""
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "warm.json"
+        base = dict(suites=("epfl",), circuits=_WARM_CIRCUITS, max_rounds=1)
+
+        start = time.perf_counter()
+        cold = run_batch(EngineConfig(**base, persist=bundle))
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = run_batch(EngineConfig(**base, warm_start=bundle))
+        warm_seconds = time.perf_counter() - start
+
+    assert not cold.failed and not warm.failed
+    assert warm.warm_start_loaded
+    for cold_report, warm_report in zip(cold.reports, warm.reports):
+        assert cold_report.ands_after == warm_report.ands_after
+    # the whole point of the bundle: repeat runs skip every expensive layer
+    assert warm.cut_cache_stats["plan_misses"] == 0
+    assert warm.database_stats["classification_misses"] == 0
+    assert warm.database_stats["synthesis_calls"] == 0
+    assert warm_seconds < cold_seconds
+
+    speedup = cold_seconds / warm_seconds
+    names = ",".join(_WARM_CIRCUITS)
+    _BATCH_LINES.append(
+        f"| cold vs warm ({names}) | {cold_seconds:.2f} s "
+        f"({cold.cut_cache_stats['plan_misses']:.0f} plan misses, "
+        f"{cold.database_stats['classification_misses']:.0f} classifications, "
+        f"{cold.database_stats['synthesis_calls']:.0f} syntheses) "
+        f"| {warm_seconds:.2f} s (0 / 0 / 0) | {speedup:.1f}x |")
+    print(f"\ncold {cold_seconds:.2f}s vs warm {warm_seconds:.2f}s "
+          f"({speedup:.1f}x); warm misses collapse to 0")
+
+
+def test_sharded_batch_matches_sequential():
+    """--jobs N: identical per-circuit results, wall-clock measured."""
+    base = dict(suites=("epfl",), circuits=_SHARD_CIRCUITS, max_rounds=1)
+
+    start = time.perf_counter()
+    sequential = run_batch(EngineConfig(**base, jobs=1))
+    seq_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = run_batch(EngineConfig(**base, jobs=2))
+    shard_seconds = time.perf_counter() - start
+
+    assert not sequential.failed and not sharded.failed
+    assert sharded.jobs == 2
+    for seq, par in zip(sequential.reports, sharded.reports):
+        assert seq.name == par.name
+        assert (seq.ands_after, seq.xors_after) == (par.ands_after, par.xors_after)
+        assert seq.verified == par.verified
+
+    speedup = seq_seconds / shard_seconds
+    names = ",".join(_SHARD_CIRCUITS)
+    _BATCH_LINES.append(
+        f"| 1 vs 2 jobs ({names}) | {seq_seconds:.2f} s "
+        f"| {shard_seconds:.2f} s | {speedup:.1f}x |")
+    print(f"\n1 job {seq_seconds:.2f}s vs 2 jobs {shard_seconds:.2f}s "
+          f"({speedup:.1f}x), identical per-circuit results")
+
+
+def test_engine_batch_report():
+    if not _BATCH_LINES:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = "\n".join(
+        ["# Batch engine: warm starts and sharding", "",
+         "Cold runs pay for classification and synthesis once; the `--db`",
+         "bundle persists recipes, classifications and plan keys, so warm",
+         "runs report ~zero misses.  `--jobs N` shards the circuits across",
+         "worker processes with per-worker cache trios merged afterwards.", "",
+         "| measurement | baseline | warm / sharded | speedup |",
+         "| --- | --- | --- | --- |"] + _BATCH_LINES) + "\n"
+    (RESULTS_DIR / "engine_batch.md").write_text(body)
     print("\n" + body)

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.affine.classify import AffineClassifier, Classification
+from repro.affine.operations import AffineTransform
 
 
 class ClassificationCache:
@@ -33,6 +34,75 @@ class ClassificationCache:
         result = self.classifier.classify(table, num_vars)
         self._entries[key] = result
         return result
+
+    def peek(self, table: int, num_vars: int) -> Optional[Classification]:
+        """Cached classification for ``(table, num_vars)`` or ``None``.
+
+        Unlike :meth:`classify` this never invokes the classifier and never
+        perturbs the hit/miss statistics — it is the lookup used when warm
+        starting from a persisted bundle, where touching the counters would
+        make a restored run look like it classified everything again.
+        """
+        return self._entries.get((table, num_vars))
+
+    # ------------------------------------------------------------------
+    # persistence (warm-start bundles)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> List[Dict]:
+        """JSON-friendly list of all cached classifications."""
+        return [
+            {
+                "table": entry.table,
+                "num_vars": entry.num_vars,
+                "representative": entry.representative,
+                "transform": entry.from_representative.to_dict(),
+                "method": entry.method,
+                "canonical": entry.canonical,
+            }
+            for _, entry in sorted(self._entries.items())
+        ]
+
+    def install_payload(self, payload: List[Dict], validate: bool = True,
+                        origin: str = "bundle") -> int:
+        """Install classifications from :meth:`to_payload` output.
+
+        Every entry is checked before installation: the stored transform must
+        rebuild the classified table from its representative, otherwise the
+        bundle is stale or corrupt and loading it would poison every rewrite
+        that trusts the cache.  Returns the number of entries installed
+        (already-present keys are kept, matching the merge semantics of
+        sharded runs).
+        """
+        installed = 0
+        for position, data in enumerate(payload):
+            try:
+                transform = AffineTransform.from_dict(data["transform"])
+                entry = Classification(
+                    table=int(data["table"]),
+                    num_vars=int(data["num_vars"]),
+                    representative=int(data["representative"]),
+                    from_representative=transform,
+                    method=str(data.get("method", "spectral")),
+                    canonical=bool(data.get("canonical", True)),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{origin}: malformed classification entry "
+                    f"#{position}: {exc}") from exc
+            if validate and not entry.verify():
+                raise ValueError(
+                    f"{origin}: classification entry #{position} for table "
+                    f"{entry.table:#x} over {entry.num_vars} vars is corrupt: "
+                    f"its transform does not rebuild the table from "
+                    f"representative {entry.representative:#x}")
+            # rebuild the elementary-operation view from the stored closed
+            # form so loaded entries are indistinguishable from computed ones
+            entry.ops = entry.from_representative.inverse().to_ops()
+            key = (entry.table, entry.num_vars)
+            if key not in self._entries:
+                self._entries[key] = entry
+                installed += 1
+        return installed
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -23,7 +23,7 @@ XOR gates and inverters only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro import gf2
 from repro.tt import operations as tt_ops
@@ -160,6 +160,36 @@ class AffineTransform:
         inv_linear = gf2.vec_mat(self.output_linear, inv_matrix)
         inv_const = (bin(self.output_linear & inv_offset).count("1") & 1) ^ self.output_const
         return AffineTransform(self.num_vars, inv_matrix, inv_offset, inv_linear, inv_const)
+
+    # ------------------------------------------------------------------
+    # persistence (warm-start bundles)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation of the closed form ``(A, b, c, d)``."""
+        return {
+            "num_vars": self.num_vars,
+            "matrix": list(self.matrix),
+            "offset": self.offset,
+            "output_linear": self.output_linear,
+            "output_const": self.output_const,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AffineTransform":
+        """Rebuild a transform from :meth:`to_dict` output."""
+        try:
+            num_vars = int(data["num_vars"])
+            matrix = [int(row) for row in data["matrix"]]
+            offset = int(data["offset"])
+            output_linear = int(data["output_linear"])
+            output_const = int(data["output_const"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed affine transform payload: {exc!r}") from exc
+        if num_vars < 0 or len(matrix) != num_vars:
+            raise ValueError(
+                f"affine transform payload has {len(matrix)} matrix rows "
+                f"for {num_vars} variables")
+        return cls(num_vars, matrix, offset, output_linear, output_const)
 
     def is_identity(self) -> bool:
         """True when the transform leaves every function unchanged."""

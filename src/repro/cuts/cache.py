@@ -124,6 +124,35 @@ class CutFunctionCache:
         return plan
 
     # ------------------------------------------------------------------
+    # persistence (warm-start bundles)
+    # ------------------------------------------------------------------
+    def plan_keys(self) -> List[Tuple[int, int]]:
+        """Sorted ``(table, num_vars)`` keys of every memoised plan.
+
+        These keys are what a warm-start bundle persists for this cache: the
+        plans themselves are reconstructed on load from the database's
+        recipes and classifications, so storing the keys is enough.
+        """
+        return sorted(self._plans)
+
+    def warm_start(self, keys: Sequence[Sequence[int]]) -> int:
+        """Pre-materialise plans for ``keys`` (from a bundle or another shard).
+
+        Goes through :meth:`McDatabase.materialize_plan`, which serves
+        restored classifications without counting them as hits — after a
+        warm start the statistics still measure only the work of the current
+        run.  Returns the number of plans installed.
+        """
+        installed = 0
+        for table, num_vars in keys:
+            key = (int(table), int(num_vars))
+            if key in self._plans:
+                continue
+            self._plans[key] = self.database.materialize_plan(*key)
+            installed += 1
+        return installed
+
+    # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:

@@ -7,6 +7,12 @@ selected circuit with **one shared MC database, one shared cut-function
 cache and one shared simulation cache**, collects per-stage timings (build,
 one round, convergence, verification), and renders the batch as a report.
 
+The engine scales past a single process along two axes: warm-start bundles
+(``EngineConfig.warm_start`` / ``EngineConfig.persist``, CLI ``--db``)
+persist every recipe, classification and plan across invocations, and
+``EngineConfig.jobs`` (CLI ``--jobs``) shards the selected circuits over
+worker processes whose learnt state is merged back into the shared store.
+
 The CLI entry point lives in :mod:`repro.engine.cli` and is reachable both
 as ``python -m repro.engine`` and as the ``repro-engine`` console script.
 """
@@ -16,6 +22,8 @@ from repro.engine.core import (
     CircuitReport,
     EngineConfig,
     available_cases,
+    load_warm_start,
+    persist_warm_start,
     run_batch,
     run_circuit,
 )
@@ -25,6 +33,8 @@ __all__ = [
     "CircuitReport",
     "EngineConfig",
     "available_cases",
+    "load_warm_start",
+    "persist_warm_start",
     "run_batch",
     "run_circuit",
 ]

@@ -8,6 +8,13 @@ Examples::
     # everything in the crypto registry, reduced scale, no convergence cap
     python -m repro.engine --suite crypto --rounds 0
 
+    # shard the control half of Table 1 over four worker processes
+    python -m repro.engine --suite epfl --groups control --jobs 4
+
+    # warm-start: the second run reuses every recipe/classification/plan
+    python -m repro.engine --circuits decoder,int2float --db /tmp/db.json
+    python -m repro.engine --circuits decoder,int2float --db /tmp/db.json
+
     # list what can be run
     python -m repro.engine --list
 """
@@ -20,6 +27,30 @@ import sys
 from typing import List, Optional
 
 from repro.engine.core import EngineConfig, available_cases, run_batch
+
+
+def non_negative_int(text: str) -> int:
+    """argparse type: integer >= 0 (rejects ``--rounds -3`` loudly)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}")
+    return value
+
+
+def positive_int(text: str) -> int:
+    """argparse type: integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,9 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="maximum cut leaves (default: 6)")
     parser.add_argument("--cut-limit", type=int, default=12,
                         help="cuts kept per node (default: 12)")
-    parser.add_argument("--rounds", type=int, default=2,
+    parser.add_argument("--rounds", type=non_negative_int, default=2,
                         help="cap on rewriting rounds, 0 = run to convergence "
                              "(default: 2)")
+    parser.add_argument("--jobs", type=positive_int, default=1, metavar="N",
+                        help="shard the selected circuits over N worker "
+                             "processes (default: 1)")
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="warm-start bundle: load it when present, save "
+                             "recipes/classifications/plans back on exit")
     parser.add_argument("--size-baseline", action="store_true",
                         help="run the generic size optimiser before MC rewriting")
     parser.add_argument("--full-scale", action="store_true",
@@ -67,6 +104,9 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
         size_baseline=args.size_baseline,
         full_scale=args.full_scale,
         verify_limit=args.verify_limit,
+        jobs=args.jobs,
+        warm_start=args.db,
+        persist=args.db,
     )
 
 
@@ -85,26 +125,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-engine: error: {error}", file=sys.stderr)
         return 2
     print(batch.render())
+    if args.db:
+        loaded = "loaded and updated" if batch.warm_start_loaded else "created"
+        print(f"warm-start bundle {loaded}: {args.db}")
 
     if args.json:
-        payload = [
-            {
-                "name": report.name,
-                "group": report.group,
-                "error": report.error,
-                "num_pis": report.num_pis,
-                "num_pos": report.num_pos,
-                "ands_before": report.ands_before,
-                "xors_before": report.xors_before,
-                "ands_after": report.ands_after,
-                "xors_after": report.xors_after,
-                "and_improvement": report.and_improvement,
-                "rounds": len(report.rounds),
-                "verified": report.verified,
-                "stage_seconds": report.stage_timings(),
-            }
-            for report in batch.reports
-        ]
+        payload = {
+            "config": {
+                "suites": list(batch.config.suites),
+                "circuits": batch.config.circuits,
+                "groups": batch.config.groups,
+                "rounds": args.rounds,
+                "jobs": batch.jobs,
+            },
+            "summary": {
+                "total_seconds": batch.total_seconds,
+                "warm_start_loaded": batch.warm_start_loaded,
+                "database": batch.database_stats,
+                "cut_cache": batch.cut_cache_stats,
+                "sim_cache": {"hits": batch.sim_cache_hits,
+                              "misses": batch.sim_cache_misses},
+            },
+            "circuits": [
+                {
+                    "name": report.name,
+                    "group": report.group,
+                    "error": report.error,
+                    "num_pis": report.num_pis,
+                    "num_pos": report.num_pos,
+                    "ands_before": report.ands_before,
+                    "xors_before": report.xors_before,
+                    "ands_after": report.ands_after,
+                    "xors_after": report.xors_after,
+                    "and_improvement": report.and_improvement,
+                    "rounds": len(report.rounds),
+                    "verified": report.verified,
+                    "stage_seconds": report.stage_timings(),
+                }
+                for report in batch.reports
+            ],
+        }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")

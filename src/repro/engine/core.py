@@ -12,15 +12,30 @@ workloads amortises every piece of reusable state:
 * one :class:`repro.xag.bitsim.SimulationCache` — each intermediate network
   of a convergence loop is bit-parallel-simulated at most once.
 
+Two scaling axes extend the amortisation beyond a single process:
+
+* **warm starts** — the database, the classification results and the plan
+  keys persist as a versioned JSON bundle (``EngineConfig.warm_start`` /
+  ``EngineConfig.persist``, CLI ``--db``), so nothing is ever classified or
+  synthesised twice *across invocations* either;
+* **sharding** — ``EngineConfig.jobs`` partitions the selected circuits
+  across worker processes, each with its own cache trio; worker state is
+  merged back into the shared store afterwards and per-worker statistics are
+  aggregated, so a sharded run reports (and persists) the same state as a
+  sequential one.
+
 Every stage is timed separately (build, one round, convergence,
 verification) so regressions in any layer show up directly in the report.
 """
 
 from __future__ import annotations
 
+import json
+import multiprocessing
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuits.benchmark_case import BenchmarkCase
 from repro.circuits.crypto.registry import mpc_benchmarks
@@ -58,6 +73,13 @@ class EngineConfig:
     full_scale: bool = False
     #: verify equivalence for networks up to this many gates (0 disables).
     verify_limit: int = 20000
+    #: worker processes; the cases are partitioned round-robin across them
+    #: and the results merged back (1 = run in-process, sequentially).
+    jobs: int = 1
+    #: warm-start bundle to load before the run (ignored when missing).
+    warm_start: Optional[Union[str, Path]] = None
+    #: bundle path to write after the run (recipes + classifications + plans).
+    persist: Optional[Union[str, Path]] = None
 
 
 @dataclass
@@ -119,6 +141,12 @@ class BatchReport:
     sim_cache_hits: int = 0
     sim_cache_misses: int = 0
     total_seconds: float = 0.0
+    #: worker processes actually used (1 = sequential in-process run).
+    jobs: int = 1
+    #: True when a warm-start bundle was found and loaded.
+    warm_start_loaded: bool = False
+    #: per-worker cache statistics of a sharded run (empty when jobs == 1).
+    worker_stats: List[Dict[str, Dict[str, float]]] = field(default_factory=list)
 
     @property
     def succeeded(self) -> List[CircuitReport]:
@@ -149,13 +177,23 @@ class BatchReport:
                 f"{report.build_seconds:>7.2f} {stages['one_round']:>7.2f} "
                 f"{stages['convergence']:>7.2f} {stages['verify']:>7.2f} {verified:>3}")
         lines.append("-" * len(header))
+        # NOTE: the classification hit rate is deliberately absent here — the
+        # plan memo shares the (table, num_vars) key and absorbs every repeat
+        # before the classification cache could hit, so that rate is
+        # structurally 0 in batch runs and reporting it was misleading.
+        plan_hits = self.cut_cache_stats.get("plan_hits", 0)
+        plan_misses = self.cut_cache_stats.get("plan_misses", 0)
+        plan_total = plan_hits + plan_misses
+        plan_rate = plan_hits / plan_total if plan_total else 0.0
+        jobs_note = f" [{self.jobs} jobs]" if self.jobs > 1 else ""
+        warm_note = " [warm start]" if self.warm_start_loaded else ""
         lines.append(
             f"{len(self.succeeded)}/{len(self.reports)} circuits in "
-            f"{self.total_seconds:.2f}s | plan cache "
-            f"{self.cut_cache_stats.get('plan_hits', 0):.0f} hits / "
-            f"{self.cut_cache_stats.get('plan_misses', 0):.0f} misses | "
-            f"classification hit rate "
-            f"{self.database_stats.get('classification_hit_rate', 0.0):.2f} | "
+            f"{self.total_seconds:.2f}s{jobs_note}{warm_note} | plan cache "
+            f"{plan_hits:.0f} hits / {plan_misses:.0f} misses "
+            f"({round(100 * plan_rate)}% hit rate) | db "
+            f"{self.database_stats.get('stored_recipes', 0):.0f} recipes / "
+            f"{self.database_stats.get('synthesis_calls', 0):.0f} synthesis calls | "
             f"sim cache {self.sim_cache_hits} hits / {self.sim_cache_misses} misses")
         return "\n".join(lines)
 
@@ -227,21 +265,188 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
     return report
 
 
+# ----------------------------------------------------------------------
+# warm-start persistence
+# ----------------------------------------------------------------------
+def load_warm_start(path: Union[str, Path], database: McDatabase,
+                    cut_cache: CutFunctionCache) -> bool:
+    """Load a warm-start bundle into the shared store, if ``path`` exists.
+
+    Restores the database's recipes and classification results, then
+    re-materialises the persisted cut-function plans on top of them (no
+    classification or synthesis is repeated, and the cache statistics are
+    untouched).  Returns ``True`` when a bundle was found and loaded.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False
+    try:
+        bundle = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not a valid JSON bundle: {exc}") from exc
+    database.install_bundle(bundle, origin=str(path))
+    if isinstance(bundle, dict):
+        cut_cache.warm_start(bundle.get("plans", []))
+    return True
+
+
+def persist_warm_start(path: Union[str, Path], database: McDatabase,
+                       cut_cache: CutFunctionCache) -> None:
+    """Write the shared store (including plan keys) as a warm-start bundle."""
+    database.save(path, plan_keys=cut_cache.plan_keys())
+
+
+# ----------------------------------------------------------------------
+# sharded execution
+# ----------------------------------------------------------------------
+def _partition_cases(cases: Sequence[BenchmarkCase],
+                     jobs: int) -> List[List[Tuple[int, str]]]:
+    """Round-robin split into ``(registry position, case name)`` shards.
+
+    Positions travel with the names so the merged report can be restored to
+    registry order regardless of which worker finished first.
+    """
+    shards: List[List[Tuple[int, str]]] = [[] for _ in range(min(jobs, len(cases)))]
+    for index, case in enumerate(cases):
+        shards[index % len(shards)].append((index, case.name))
+    return shards
+
+
+def _shard_worker(payload: Tuple[EngineConfig, List[Tuple[int, str]],
+                                 Optional[Dict], bool]) -> Tuple:
+    """Run one shard of cases in a worker process.
+
+    Receives case *names* rather than cases (the registry builders are
+    lambdas, which do not survive pickling under the spawn start method) and
+    re-resolves them from the registry.  Each worker owns a fresh cache trio,
+    optionally warm-started from the parent's bundle, and returns its indexed
+    reports plus the bundle of everything it learnt so the parent can merge
+    shards into the shared store.
+    """
+    config, indexed_names, bundle, use_classification = payload
+    database = McDatabase(use_classification=use_classification)
+    cut_cache = CutFunctionCache(database)
+    sim_cache = SimulationCache()
+    if bundle is not None:
+        # the parent already validated the bundle (or built it itself)
+        database.install_bundle(bundle, validate=False)
+        cut_cache.warm_start(bundle.get("plans", []))
+    cases_by_name = {case.name: case for case in available_cases(config.suites)}
+    reports = [
+        (index, run_circuit(cases_by_name[name], config,
+                            cut_cache=cut_cache, sim_cache=sim_cache))
+        for index, name in indexed_names
+    ]
+    learnt = database.to_bundle(plan_keys=cut_cache.plan_keys())
+    stats = {
+        "database": database.stats(),
+        "cut_cache": cut_cache.stats(),
+        "sim_cache": {"hits": sim_cache.hits, "misses": sim_cache.misses},
+    }
+    return reports, learnt, stats
+
+
+def _aggregate_worker_stats(batch: BatchReport, database: McDatabase,
+                            cut_cache: CutFunctionCache) -> None:
+    """Sum per-worker counters into the batch-level statistics.
+
+    Counter-like keys (hits, misses, synthesis calls) add up across workers;
+    store sizes come from the merged shared store, so the aggregate describes
+    both the total work done and the state a ``persist`` would write.
+    """
+    database_stats: Dict[str, float] = {key: 0.0 for key in (
+        "synthesis_calls", "classification_hits", "classification_misses")}
+    cut_stats: Dict[str, float] = {key: 0.0 for key in (
+        "function_hits", "function_misses", "plan_hits", "plan_misses")}
+    for worker in batch.worker_stats:
+        for key in database_stats:
+            database_stats[key] += worker["database"].get(key, 0)
+        for key in cut_stats:
+            cut_stats[key] += worker["cut_cache"].get(key, 0)
+        batch.sim_cache_hits += int(worker["sim_cache"]["hits"])
+        batch.sim_cache_misses += int(worker["sim_cache"]["misses"])
+    classification_total = (database_stats["classification_hits"]
+                            + database_stats["classification_misses"])
+    database_stats["classification_hit_rate"] = (
+        database_stats["classification_hits"] / classification_total
+        if classification_total else 0.0)
+    merged = database.stats()
+    database_stats["stored_recipes"] = merged["stored_recipes"]
+    database_stats["total_recipe_ands"] = merged["total_recipe_ands"]
+    for total_key, hit_key, miss_key, rate_key in (
+            ("function", "function_hits", "function_misses", "function_hit_rate"),
+            ("plan", "plan_hits", "plan_misses", "plan_hit_rate")):
+        total = cut_stats[hit_key] + cut_stats[miss_key]
+        cut_stats[rate_key] = cut_stats[hit_key] / total if total else 0.0
+    cut_stats["stored_plans"] = len(cut_cache)
+    cut_stats["stored_functions"] = sum(
+        worker["cut_cache"].get("stored_functions", 0)
+        for worker in batch.worker_stats)
+    batch.database_stats = database_stats
+    batch.cut_cache_stats = cut_stats
+
+
+def _run_batch_sharded(batch: BatchReport, cases: Sequence[BenchmarkCase],
+                       config: EngineConfig, database: McDatabase,
+                       cut_cache: CutFunctionCache) -> None:
+    """Fan the cases out over worker processes and merge the results."""
+    shards = _partition_cases(cases, config.jobs)
+    # workers run their shard sequentially and never touch the filesystem;
+    # warm-start state travels in as a bundle value, results travel back the
+    # same way.  The shared database's classification mode is propagated so
+    # ablation runs stay identical to sequential ones (custom classifier /
+    # synthesizer instances are not shipped — workers use the defaults).
+    worker_config = replace(config, jobs=1, warm_start=None, persist=None)
+    seed_bundle = database.to_bundle(plan_keys=cut_cache.plan_keys())
+    payloads = [(worker_config, shard, seed_bundle, database.use_classification)
+                for shard in shards]
+    with multiprocessing.Pool(processes=len(shards)) as pool:
+        results = pool.map(_shard_worker, payloads)
+    indexed_reports: List[Tuple[int, CircuitReport]] = []
+    for reports, learnt, stats in results:
+        indexed_reports.extend(reports)
+        database.install_bundle(learnt, validate=False)
+        cut_cache.warm_start(learnt.get("plans", []))
+        batch.worker_stats.append(stats)
+    batch.reports.extend(report for _, report in
+                         sorted(indexed_reports, key=lambda pair: pair[0]))
+    _aggregate_worker_stats(batch, database, cut_cache)
+
+
 def run_batch(config: Optional[EngineConfig] = None,
               database: Optional[McDatabase] = None) -> BatchReport:
-    """Run the configured suites with shared database and caches."""
+    """Run the configured suites with shared database and caches.
+
+    With ``config.jobs > 1`` the selected cases are partitioned across worker
+    processes; the merged report is ordered and (apart from timings and the
+    shard statistics) identical to a sequential run.  ``config.warm_start``
+    and ``config.persist`` bracket the run with bundle I/O so consecutive
+    invocations never repeat classification or synthesis work.
+    """
     config = config if config is not None else EngineConfig()
+    if config.jobs < 1:
+        raise ValueError(f"jobs must be a positive integer (got {config.jobs})")
     database = database if database is not None else McDatabase()
     cut_cache = CutFunctionCache(database)
     sim_cache = SimulationCache()
     batch = BatchReport(config=config)
     start = time.perf_counter()
-    for case in select_cases(config):
-        batch.reports.append(
-            run_circuit(case, config, cut_cache=cut_cache, sim_cache=sim_cache))
+    if config.warm_start is not None:
+        batch.warm_start_loaded = load_warm_start(config.warm_start, database,
+                                                  cut_cache)
+    cases = select_cases(config)
+    batch.jobs = min(config.jobs, max(1, len(cases)))
+    if batch.jobs > 1:
+        _run_batch_sharded(batch, cases, config, database, cut_cache)
+    else:
+        for case in cases:
+            batch.reports.append(
+                run_circuit(case, config, cut_cache=cut_cache, sim_cache=sim_cache))
+        batch.database_stats = database.stats()
+        batch.cut_cache_stats = cut_cache.stats()
+        batch.sim_cache_hits = sim_cache.hits
+        batch.sim_cache_misses = sim_cache.misses
     batch.total_seconds = time.perf_counter() - start
-    batch.database_stats = database.stats()
-    batch.cut_cache_stats = cut_cache.stats()
-    batch.sim_cache_hits = sim_cache.hits
-    batch.sim_cache_misses = sim_cache.misses
+    if config.persist is not None:
+        persist_warm_start(config.persist, database, cut_cache)
     return batch

@@ -9,14 +9,14 @@ edges are folded into the covers, so no extra inverter nodes are created.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.xag.graph import Xag, lit_complemented, lit_node
 
 
-def write_blif(xag: Xag, model_name: str = None) -> str:
+def write_blif(xag: Xag, model_name: Optional[str] = None) -> str:
     """Serialise a network as BLIF text."""
-    name = model_name or xag.name or "xag"
+    name = model_name if model_name is not None else (xag.name or "xag")
     lines = [f".model {name}"]
     lines.append(".inputs " + " ".join(xag.pi_name(i) for i in range(xag.num_pis)))
     lines.append(".outputs " + " ".join(xag.po_name(i) for i in range(xag.num_pos)))

@@ -19,20 +19,22 @@ Format summary (one gate per line)::
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.xag.graph import FALSE, Xag, lit_complemented, lit_node
 
 
-def write_bristol(xag: Xag, input_widths: Sequence[int] = None,
-                  output_widths: Sequence[int] = None) -> str:
+def write_bristol(xag: Xag, input_widths: Optional[Sequence[int]] = None,
+                  output_widths: Optional[Sequence[int]] = None) -> str:
     """Serialise a network in Bristol Fashion.
 
     ``input_widths`` / ``output_widths`` group the PIs/POs into values (they
-    default to a single value spanning all bits).
+    default to a single value spanning all bits).  An explicitly passed
+    grouping is always honoured — e.g. ``input_widths=[]`` fails the coverage
+    check below instead of silently falling back to the default.
     """
-    input_widths = list(input_widths) if input_widths else [xag.num_pis]
-    output_widths = list(output_widths) if output_widths else [xag.num_pos]
+    input_widths = list(input_widths) if input_widths is not None else [xag.num_pis]
+    output_widths = list(output_widths) if output_widths is not None else [xag.num_pos]
     if sum(input_widths) != xag.num_pis:
         raise ValueError("input widths do not cover the primary inputs")
     if sum(output_widths) != xag.num_pos:

@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from repro.xag.graph import Xag, lit_complemented, lit_node
 
 
-def write_verilog(xag: Xag, module_name: str = None) -> str:
+def write_verilog(xag: Xag, module_name: Optional[str] = None) -> str:
     """Emit a gate-level Verilog module using ``assign`` statements."""
-    name = module_name or xag.name or "xag"
+    name = module_name if module_name is not None else (xag.name or "xag")
     name = name.replace("-", "_") or "xag"
     pi_names = [_sanitize(xag.pi_name(i)) for i in range(xag.num_pis)]
     po_names = [_sanitize(xag.po_name(i)) for i in range(xag.num_pos)]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.affine.cache import ClassificationCache
 from repro.affine.classify import AffineClassifier
@@ -29,6 +29,7 @@ from repro.mc.synthesize import McSynthesizer
 from repro.tt.bits import table_mask
 from repro.xag import serialize as xag_serialize
 from repro.xag.graph import Xag
+from repro.xag.simulate import output_truth_tables
 
 
 @dataclass
@@ -73,19 +74,36 @@ class McDatabase:
     # ------------------------------------------------------------------
     def plan_for(self, table: int, num_vars: int) -> ImplementationPlan:
         """Implementation plan (recipe + affine re-wiring) for ``table``."""
+        return self._plan(table, num_vars, peek_first=False)
+
+    def and_cost(self, table: int, num_vars: int) -> int:
+        """AND gates needed to implement ``table`` through the database."""
+        return self.plan_for(table, num_vars).num_ands
+
+    def materialize_plan(self, table: int, num_vars: int) -> ImplementationPlan:
+        """Plan for ``table`` without perturbing the hit/miss statistics.
+
+        This is the warm-start path: classifications restored from a bundle
+        are consulted via :meth:`ClassificationCache.peek`, so rebuilding the
+        plans of a previous run does not inflate the hit counters (and a
+        restored run reporting ~zero misses really did no new work).  Keys
+        missing from the cache fall back to a real, counted classification.
+        """
+        return self._plan(table, num_vars, peek_first=True)
+
+    def _plan(self, table: int, num_vars: int, peek_first: bool) -> ImplementationPlan:
         table &= table_mask(num_vars)
         if not self.use_classification:
             recipe = self._recipe_for(table, num_vars)
             return ImplementationPlan(table, num_vars, table, recipe,
                                       AffineTransform.identity(num_vars))
-        classification = self.classification_cache.classify(table, num_vars)
+        classification = (self.classification_cache.peek(table, num_vars)
+                          if peek_first else None)
+        if classification is None:
+            classification = self.classification_cache.classify(table, num_vars)
         recipe = self._recipe_for(classification.representative, num_vars)
         return ImplementationPlan(table, num_vars, classification.representative,
                                   recipe, classification.from_representative)
-
-    def and_cost(self, table: int, num_vars: int) -> int:
-        """AND gates needed to implement ``table`` through the database."""
-        return self.plan_for(table, num_vars).num_ands
 
     def _recipe_for(self, representative: int, num_vars: int) -> Xag:
         key = (representative, num_vars)
@@ -113,21 +131,129 @@ class McDatabase:
             "total_recipe_ands": sum(r.num_ands for r in self._recipes.values()),
         }
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Persist all recipes to a JSON file."""
-        payload = [
-            {"representative": rep, "num_vars": nv, "recipe": xag_serialize.to_dict(recipe)}
-            for (rep, nv), recipe in sorted(self._recipes.items())
-        ]
-        Path(path).write_text(json.dumps(payload))
+    #: bundle file magic / schema version (version 1 was a bare recipe list).
+    BUNDLE_FORMAT = "repro-warm-start"
+    BUNDLE_VERSION = 2
 
-    def load(self, path: Union[str, Path]) -> int:
-        """Load recipes from a JSON file; returns the number of entries read."""
-        payload = json.loads(Path(path).read_text())
-        for entry in payload:
-            key = (entry["representative"], entry["num_vars"])
-            self._recipes[key] = xag_serialize.from_dict(entry["recipe"])
-        return len(payload)
+    def to_bundle(self, plan_keys: Optional[Iterable[Tuple[int, int]]] = None) -> Dict:
+        """Versioned warm-start bundle of everything the database has learnt.
+
+        The bundle carries the three layers of reusable state: synthesised
+        recipes, classification results (serialised through
+        :class:`~repro.affine.operations.AffineTransform`) and — when
+        ``plan_keys`` is given — the ``(table, num_vars)`` keys of the
+        :class:`~repro.cuts.cache.CutFunctionCache` plans resolved so far.
+        Plans are stored as keys only: their recipe and transform are shared
+        with the other two sections, so they are rebuilt on load without
+        re-running classification or synthesis.
+        """
+        bundle: Dict = {
+            "format": self.BUNDLE_FORMAT,
+            "version": self.BUNDLE_VERSION,
+            "recipes": [
+                {"representative": rep, "num_vars": nv,
+                 "recipe": xag_serialize.to_dict(recipe)}
+                for (rep, nv), recipe in sorted(self._recipes.items())
+            ],
+            "classifications": self.classification_cache.to_payload(),
+        }
+        if plan_keys is not None:
+            bundle["plans"] = [[table, num_vars]
+                               for table, num_vars in sorted(plan_keys)]
+        return bundle
+
+    def install_bundle(self, bundle: Union[Dict, List], validate: bool = True,
+                       origin: str = "bundle") -> Dict[str, int]:
+        """Merge a bundle (or legacy v1 recipe list) into this database.
+
+        Already-present keys win, which makes installation idempotent and
+        order-independent — exactly what the engine's shard merge needs.
+        With ``validate`` every recipe is re-simulated over its ``num_vars``
+        inputs and checked against its claimed representative, and every
+        classification transform is checked to rebuild its table; a stale or
+        hand-edited bundle is rejected with a descriptive error instead of
+        silently producing wrong rewrites whenever verification is off.
+        """
+        if isinstance(bundle, list):  # legacy v1 layout: bare recipe list
+            recipes, classifications = bundle, []
+        elif isinstance(bundle, dict):
+            file_format = bundle.get("format", self.BUNDLE_FORMAT)
+            if file_format != self.BUNDLE_FORMAT:
+                raise ValueError(f"{origin}: not a warm-start bundle "
+                                 f"(format {file_format!r})")
+            version = int(bundle.get("version", self.BUNDLE_VERSION))
+            if version > self.BUNDLE_VERSION:
+                raise ValueError(
+                    f"{origin}: bundle version {version} is newer than the "
+                    f"supported version {self.BUNDLE_VERSION}")
+            recipes = bundle.get("recipes", [])
+            classifications = bundle.get("classifications", [])
+        else:
+            raise ValueError(f"{origin}: bundle must be a mapping or a legacy "
+                             f"recipe list, got {type(bundle).__name__}")
+
+        installed = 0
+        for position, entry in enumerate(recipes):
+            try:
+                representative = int(entry["representative"])
+                num_vars = int(entry["num_vars"])
+                recipe = xag_serialize.from_dict(entry["recipe"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{origin}: malformed recipe entry "
+                                 f"#{position}: {exc}") from exc
+            if validate:
+                self._validate_recipe(recipe, representative, num_vars,
+                                      f"{origin}: recipe entry #{position}")
+            key = (representative, num_vars)
+            if key not in self._recipes:
+                self._recipes[key] = recipe
+                installed += 1
+        installed_classifications = self.classification_cache.install_payload(
+            classifications, validate=validate, origin=origin)
+        return {
+            "recipes": installed,
+            "classifications": installed_classifications,
+            "plans": len(bundle.get("plans", [])) if isinstance(bundle, dict) else 0,
+        }
+
+    @staticmethod
+    def _validate_recipe(recipe: Xag, representative: int, num_vars: int,
+                         origin: str) -> None:
+        """Check that ``recipe`` really computes ``representative``."""
+        if recipe.num_pos != 1:
+            raise ValueError(f"{origin}: recipe for representative "
+                             f"{representative:#x} has {recipe.num_pos} outputs "
+                             f"(expected exactly 1)")
+        if recipe.num_pis != num_vars:
+            raise ValueError(f"{origin}: recipe for representative "
+                             f"{representative:#x} has {recipe.num_pis} inputs "
+                             f"but claims {num_vars} variables")
+        computed = output_truth_tables(recipe)[0]
+        expected = representative & table_mask(num_vars)
+        if computed != expected:
+            raise ValueError(
+                f"{origin}: corrupt recipe — claims representative "
+                f"{expected:#x} over {num_vars} vars but computes "
+                f"{computed:#x}; rejecting the bundle")
+
+    def save(self, path: Union[str, Path],
+             plan_keys: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        """Persist the warm-start bundle (recipes + classifications) as JSON."""
+        Path(path).write_text(json.dumps(self.to_bundle(plan_keys)))
+
+    def load(self, path: Union[str, Path], validate: bool = True) -> int:
+        """Load a bundle from a JSON file; returns the number of recipes read.
+
+        Accepts both the current versioned bundle layout and the legacy bare
+        recipe list.  Entries failing validation abort the load with a
+        descriptive :class:`ValueError` (see :meth:`install_bundle`).
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a valid JSON bundle: {exc}") from exc
+        counts = self.install_bundle(payload, validate=validate, origin=str(path))
+        return counts["recipes"]
 
     def export_combined_xag(self) -> Xag:
         """Single multi-output XAG with one output per stored representative.

@@ -41,28 +41,65 @@ def to_dict(xag: Xag) -> Dict:
 
 
 def from_dict(data: Dict) -> Xag:
-    """Rebuild a network from :func:`to_dict` output."""
+    """Rebuild a network from :func:`to_dict` output.
+
+    The payload is validated as it is consumed: missing keys, unknown gate
+    kinds and fanin references to not-yet-defined signals all raise
+    :class:`ValueError` with enough context to locate the broken entry.  This
+    matters because serialised networks travel inside warm-start bundles
+    (:meth:`repro.mc.database.McDatabase.load`), where a truncated or edited
+    file must fail loudly instead of producing a structurally wrong graph.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"XAG payload must be a mapping, got {type(data).__name__}")
+    try:
+        num_pis = int(data["num_pis"])
+        gate_entries = data["gates"]
+        outputs = data["outputs"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed XAG payload: {exc!r}") from exc
+    if not isinstance(gate_entries, list) or not isinstance(outputs, list):
+        raise ValueError("malformed XAG payload: 'gates' and 'outputs' "
+                         "must be lists")
+
     xag = Xag()
     xag.name = data.get("name", "")
-    pi_names = data.get("pi_names") or [f"x{i}" for i in range(data["num_pis"])]
+    pi_names = data.get("pi_names") or [f"x{i}" for i in range(num_pis)]
+    if len(pi_names) != num_pis:
+        raise ValueError(f"XAG payload names {len(pi_names)} inputs "
+                         f"but declares num_pis={num_pis}")
     literals: List[int] = [0]
     for name in pi_names:
         literals.append(xag.create_pi(name))
 
-    def serial_to_lit(serial: int) -> int:
+    def serial_to_lit(serial: int, context: str) -> int:
+        if not isinstance(serial, int) or not 0 <= (serial >> 1) < len(literals):
+            raise ValueError(f"XAG payload {context} references undefined "
+                             f"signal serial {serial!r}")
         return literals[serial >> 1] ^ (serial & 1)
 
-    for kind, a, b in data["gates"]:
+    for position, entry in enumerate(gate_entries):
+        try:
+            kind, a, b = entry
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"malformed XAG gate entry #{position}: "
+                             f"{entry!r}") from exc
+        context = f"gate #{position}"
         if kind == "and":
-            literals.append(xag.create_and(serial_to_lit(a), serial_to_lit(b)))
+            literals.append(xag.create_and(serial_to_lit(a, context),
+                                           serial_to_lit(b, context)))
         elif kind == "xor":
-            literals.append(xag.create_xor(serial_to_lit(a), serial_to_lit(b)))
+            literals.append(xag.create_xor(serial_to_lit(a, context),
+                                           serial_to_lit(b, context)))
         else:
-            raise ValueError(f"unknown gate kind {kind!r}")
+            raise ValueError(f"unknown gate kind {kind!r} in {context}")
 
-    po_names = data.get("po_names") or [f"y{i}" for i in range(len(data["outputs"]))]
-    for serial, name in zip(data["outputs"], po_names):
-        xag.create_po(serial_to_lit(serial), name)
+    po_names = data.get("po_names") or [f"y{i}" for i in range(len(outputs))]
+    if len(po_names) != len(outputs):
+        raise ValueError(f"XAG payload names {len(po_names)} outputs "
+                         f"but declares {len(outputs)}")
+    for position, (serial, name) in enumerate(zip(outputs, po_names)):
+        xag.create_po(serial_to_lit(serial, f"output #{position}"), name)
     return xag
 
 

@@ -195,6 +195,58 @@ def test_classification_constant_functions():
 # ----------------------------------------------------------------------
 # cache
 # ----------------------------------------------------------------------
+def test_transform_dict_round_trip():
+    rng = random.Random(7)
+    for num_vars in (2, 3, 4, 6):
+        transform = AffineTransform(num_vars)
+        for _ in range(8):
+            kind = rng.choice(OP_KINDS)
+            a, b = rng.sample(range(num_vars), 2) if num_vars >= 2 else (0, 0)
+            transform.apply_op(AffineOp(kind, a, b))
+        rebuilt = AffineTransform.from_dict(transform.to_dict())
+        table = random_table(num_vars, rng)
+        assert rebuilt.apply_to_table(table) == transform.apply_to_table(table)
+        assert rebuilt.num_vars == transform.num_vars
+
+
+def test_transform_from_dict_rejects_malformed_payloads():
+    with pytest.raises(ValueError):
+        AffineTransform.from_dict({"num_vars": 2})          # missing keys
+    with pytest.raises(ValueError):
+        AffineTransform.from_dict({"num_vars": 3, "matrix": [1, 2], "offset": 0,
+                                   "output_linear": 0, "output_const": 0})
+
+
+def test_classification_cache_payload_round_trip():
+    cache = ClassificationCache()
+    rng = random.Random(11)
+    for _ in range(6):
+        num_vars = rng.randint(2, 4)
+        cache.classify(random_table(num_vars, rng), num_vars)
+
+    restored = ClassificationCache()
+    installed = restored.install_payload(cache.to_payload())
+    assert installed == len(cache)
+    for key, entry in cache._entries.items():
+        twin = restored.peek(*key)
+        assert twin is not None
+        assert twin.representative == entry.representative
+        assert twin.verify()
+        # the elementary-op view is rebuilt from the stored closed form
+        assert apply_ops(twin.table, twin.num_vars, twin.ops) == twin.representative
+    # peek never touches the statistics
+    assert restored.hits == 0 and restored.misses == 0
+
+
+def test_classification_cache_install_rejects_corrupt_entry():
+    cache = ClassificationCache()
+    cache.classify(0xE8, 3)
+    payload = cache.to_payload()
+    payload[0]["table"] ^= 0x55
+    with pytest.raises(ValueError, match="corrupt"):
+        ClassificationCache().install_payload(payload)
+
+
 def test_classification_cache_hits():
     cache = ClassificationCache()
     table = 0xE8

@@ -208,9 +208,168 @@ def test_cli_runs_and_writes_json(tmp_path, capsys):
                       "--json", str(json_path)])
     assert exit_code == 0
     payload = json.loads(json_path.read_text())
-    assert payload[0]["name"] == "decoder"
-    assert payload[0]["verified"] is True
+    assert set(payload) == {"config", "summary", "circuits"}
+    assert payload["config"]["suites"] == ["epfl"]
+    assert payload["config"]["jobs"] == 1
+    assert payload["summary"]["warm_start_loaded"] is False
+    assert payload["summary"]["cut_cache"]["plan_misses"] > 0
+    circuit = payload["circuits"][0]
+    assert circuit["name"] == "decoder"
+    assert circuit["verified"] is True
+    assert set(circuit["stage_seconds"]) == {"build", "baseline", "one_round",
+                                             "convergence", "verify"}
     assert "decoder" in capsys.readouterr().out
+
+
+def test_cli_rejects_negative_rounds(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--rounds", "-3"])
+    assert excinfo.value.code == 2
+    assert "non-negative" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_jobs(capsys):
+    for bad in ("0", "-2", "two"):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--jobs", bad])
+        assert excinfo.value.code == 2
+
+
+def test_cli_db_flag_sets_warm_start_and_persist(tmp_path):
+    bundle = tmp_path / "db.json"
+    args = build_parser().parse_args(["--db", str(bundle), "--jobs", "3"])
+    config = config_from_args(args)
+    assert config.warm_start == str(bundle)
+    assert config.persist == str(bundle)
+    assert config.jobs == 3
+
+
+def test_cli_db_round_trip(tmp_path, capsys):
+    """Second CLI run against the same --db bundle must be a warm start."""
+    bundle = tmp_path / "db.json"
+    assert main(["--circuits", "decoder", "--rounds", "1", "--db", str(bundle)]) == 0
+    first = capsys.readouterr().out
+    assert "warm-start bundle created" in first
+    assert bundle.exists()
+
+    assert main(["--circuits", "decoder", "--rounds", "1", "--db", str(bundle)]) == 0
+    second = capsys.readouterr().out
+    assert "warm-start bundle loaded and updated" in second
+    assert "[warm start]" in second
+    assert " 0 misses" in second          # plan cache fully warm
+    assert " 0 synthesis calls" in second
+
+
+# ----------------------------------------------------------------------
+# warm start and persistence (tentpole)
+# ----------------------------------------------------------------------
+def test_run_batch_persist_then_warm_start(tmp_path):
+    """Save→load→rerun: the warm run does no new classification/synthesis."""
+    bundle = tmp_path / "warm.json"
+    base = dict(suites=("epfl",), circuits=["decoder", "int2float"], max_rounds=1)
+    cold = run_batch(EngineConfig(**base, persist=bundle))
+    assert not cold.failed and bundle.exists()
+    assert cold.cut_cache_stats["plan_misses"] > 0
+    assert cold.database_stats["synthesis_calls"] > 0
+
+    warm = run_batch(EngineConfig(**base, warm_start=bundle))
+    assert warm.warm_start_loaded is True
+    assert warm.cut_cache_stats["plan_misses"] == 0
+    assert warm.database_stats["classification_misses"] == 0
+    assert warm.database_stats["synthesis_calls"] == 0
+    for cold_report, warm_report in zip(cold.reports, warm.reports):
+        assert cold_report.name == warm_report.name
+        assert cold_report.ands_after == warm_report.ands_after
+        assert cold_report.xors_after == warm_report.xors_after
+
+
+def test_run_batch_missing_warm_start_is_cold(tmp_path):
+    batch = run_batch(EngineConfig(suites=("epfl",), circuits=["decoder"],
+                                   max_rounds=1,
+                                   warm_start=tmp_path / "missing.json"))
+    assert batch.warm_start_loaded is False
+    assert not batch.failed
+
+
+# ----------------------------------------------------------------------
+# sharding (tentpole)
+# ----------------------------------------------------------------------
+def test_jobs_two_matches_jobs_one():
+    """Sharded runs must report identical results in registry order."""
+    base = dict(suites=("epfl",), circuits=["decoder", "int2float"], max_rounds=1)
+    sequential = run_batch(EngineConfig(**base, jobs=1))
+    sharded = run_batch(EngineConfig(**base, jobs=2))
+    assert sharded.jobs == 2
+    assert len(sharded.worker_stats) == 2
+    assert [r.name for r in sharded.reports] == [r.name for r in sequential.reports]
+    for seq, par in zip(sequential.reports, sharded.reports):
+        assert seq.error is None and par.error is None
+        assert (seq.ands_before, seq.xors_before) == (par.ands_before, par.xors_before)
+        assert (seq.ands_after, seq.xors_after) == (par.ands_after, par.xors_after)
+        assert seq.verified == par.verified
+    # aggregated worker counters land in the batch-level statistics
+    assert sharded.cut_cache_stats["plan_misses"] > 0
+    assert sharded.database_stats["synthesis_calls"] > 0
+    # the merged shared store holds every worker's recipes
+    assert sharded.database_stats["stored_recipes"] > 0
+
+
+def test_jobs_capped_by_case_count():
+    batch = run_batch(EngineConfig(suites=("epfl",), circuits=["decoder"],
+                                   max_rounds=1, jobs=8))
+    assert batch.jobs == 1                # one case → no point forking
+    assert not batch.failed
+
+
+def test_run_batch_rejects_non_positive_jobs():
+    with pytest.raises(ValueError):
+        run_batch(EngineConfig(suites=("epfl",), circuits=["decoder"], jobs=0))
+
+
+def test_shard_worker_honours_direct_mode():
+    """Workers must inherit the shared database's classification mode, so an
+    ablation run (use_classification=False) stays identical under --jobs."""
+    from repro.engine.core import _shard_worker
+
+    config = EngineConfig(suites=("epfl",), max_rounds=1)
+    reports, learnt, stats = _shard_worker((config, [(0, "alu_ctrl")], None, False))
+    assert reports[0][1].error is None
+    assert stats["database"]["classification_misses"] == 0   # classifier unused
+    assert stats["database"]["synthesis_calls"] > 0
+
+
+def test_sharded_run_persists_merged_bundle(tmp_path):
+    """A sharded run's bundle must warm-start a later sequential run."""
+    bundle = tmp_path / "merged.json"
+    base = dict(suites=("epfl",), circuits=["decoder", "int2float"], max_rounds=1)
+    sharded = run_batch(EngineConfig(**base, jobs=2, persist=bundle))
+    assert not sharded.failed and bundle.exists()
+
+    warm = run_batch(EngineConfig(**base, warm_start=bundle))
+    assert warm.warm_start_loaded is True
+    assert warm.cut_cache_stats["plan_misses"] == 0
+    assert warm.database_stats["synthesis_calls"] == 0
+
+
+# ----------------------------------------------------------------------
+# batch report rendering (regression: the summary shows live metrics)
+# ----------------------------------------------------------------------
+def test_batch_report_summary_pins_meaningful_metrics():
+    """The summary reports plan hit rate and db counters, not the dead
+    classification hit rate (structurally 0 behind the plan memo)."""
+    from repro.engine.core import BatchReport, CircuitReport
+
+    batch = BatchReport(config=EngineConfig(), jobs=2, warm_start_loaded=True)
+    batch.reports = [CircuitReport(name="decoder", group="control")]
+    batch.total_seconds = 1.5
+    batch.cut_cache_stats = {"plan_hits": 30, "plan_misses": 10}
+    batch.database_stats = {"stored_recipes": 4, "synthesis_calls": 5}
+    summary = batch.render().splitlines()[-1]
+    assert summary == ("1/1 circuits in 1.50s [2 jobs] [warm start] | "
+                       "plan cache 30 hits / 10 misses (75% hit rate) | "
+                       "db 4 recipes / 5 synthesis calls | "
+                       "sim cache 0 hits / 0 misses")
+    assert "classification hit rate" not in batch.render()
 
 
 # ----------------------------------------------------------------------

@@ -67,6 +67,19 @@ def test_bristol_width_validation():
         write_bristol(fa, [1, 1, 1], [3])
 
 
+def test_bristol_explicit_empty_widths_error_not_default():
+    """``input_widths=[]`` must fail the coverage check, not silently fall
+    back to the single-value default (regression: truthiness vs ``is None``)."""
+    fa = full_adder_naive()
+    with pytest.raises(ValueError, match="input widths"):
+        write_bristol(fa, input_widths=[])
+    with pytest.raises(ValueError, match="output widths"):
+        write_bristol(fa, output_widths=[])
+    # None still means "one value spanning all bits"
+    header = write_bristol(fa, input_widths=None).splitlines()[1]
+    assert header == "1 3"
+
+
 def test_bristol_rejects_bad_input():
     with pytest.raises(ValueError):
         read_bristol("1 1")
@@ -132,6 +145,8 @@ def test_blif_model_name():
     fa = full_adder_naive()
     text = write_blif(fa, model_name="my_adder")
     assert ".model my_adder" in text
+    # an explicit name always wins; only None falls back to the network name
+    assert write_blif(fa, model_name=None).startswith(f".model {fa.name}")
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,9 @@
 """Tests for the representative database (XAG_DB analogue)."""
 
+import json
 import random
+
+import pytest
 
 from repro.mc import McDatabase, McSynthesizer
 from repro.tt import random_table, table_mask
@@ -74,6 +77,138 @@ def test_database_persistence(tmp_path):
         assert plan.num_ands == ands
     # no new synthesis was necessary for already-stored representatives
     assert restored.synthesis_calls == 0
+
+
+def test_bundle_is_versioned_and_carries_classifications(tmp_path):
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    database.plan_for(0x96, 3)
+    path = tmp_path / "bundle.json"
+    database.save(path, plan_keys=[(0xE8, 3), (0x96, 3)])
+
+    payload = json.loads(path.read_text())
+    assert payload["format"] == McDatabase.BUNDLE_FORMAT
+    assert payload["version"] == McDatabase.BUNDLE_VERSION
+    assert payload["plans"] == [[0x96, 3], [0xE8, 3]]
+    assert len(payload["classifications"]) == len(database.classification_cache)
+
+    restored = McDatabase()
+    restored.load(path)
+    # classifications travel with the bundle: replanning a loaded table goes
+    # through the restored entry, not a fresh classifier run
+    assert restored.classification_cache.peek(0xE8, 3) is not None
+    plan = restored.plan_for(0xE8, 3)
+    assert plan.num_ands == 1
+    assert restored.synthesis_calls == 0
+    assert restored.classification_cache.hits == 1
+
+
+def test_load_accepts_legacy_recipe_list(tmp_path):
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    bundle = database.to_bundle()
+    path = tmp_path / "legacy.json"
+    path.write_text(json.dumps(bundle["recipes"]))  # v1 layout: bare list
+
+    restored = McDatabase()
+    assert restored.load(path) == len(database._recipes)
+    assert restored.plan_for(0xE8, 3).num_ands == 1
+
+
+def test_load_rejects_corrupt_recipe(tmp_path):
+    """A recipe that does not compute its claimed representative must not load."""
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    path = tmp_path / "bundle.json"
+    database.save(path)
+
+    payload = json.loads(path.read_text())
+    entry = payload["recipes"][0]
+    entry["representative"] ^= 1          # stale/corrupt claim
+    path.write_text(json.dumps(payload))
+
+    with pytest.raises(ValueError, match="corrupt recipe"):
+        McDatabase().load(path)
+    # ... unless validation is explicitly waived
+    unchecked = McDatabase()
+    assert unchecked.load(path, validate=False) == 1
+
+
+def test_load_rejects_corrupt_classification(tmp_path):
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    path = tmp_path / "bundle.json"
+    database.save(path)
+
+    payload = json.loads(path.read_text())
+    assert payload["classifications"], "expected at least one classification"
+    payload["classifications"][0]["representative"] ^= 0xFF
+    path.write_text(json.dumps(payload))
+
+    with pytest.raises(ValueError, match="classification"):
+        McDatabase().load(path)
+
+
+def test_load_rejects_malformed_payloads(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="JSON"):
+        McDatabase().load(path)
+
+    path.write_text(json.dumps({"format": "something-else", "version": 1}))
+    with pytest.raises(ValueError, match="format"):
+        McDatabase().load(path)
+
+    path.write_text(json.dumps({"format": McDatabase.BUNDLE_FORMAT,
+                                "version": McDatabase.BUNDLE_VERSION + 1}))
+    with pytest.raises(ValueError, match="version"):
+        McDatabase().load(path)
+
+    path.write_text(json.dumps({
+        "format": McDatabase.BUNDLE_FORMAT,
+        "version": McDatabase.BUNDLE_VERSION,
+        "recipes": [{"representative": 8, "num_vars": 2,
+                     "recipe": {"num_pis": 2, "gates": [["nand", 2, 4]],
+                                "outputs": [6]}}],
+    }))
+    with pytest.raises(ValueError, match="gate kind"):
+        McDatabase().load(path)
+
+
+def test_materialize_plan_does_not_count_restored_hits(tmp_path):
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    path = tmp_path / "bundle.json"
+    database.save(path)
+
+    restored = McDatabase()
+    restored.load(path)
+    plan = restored.materialize_plan(0xE8, 3)
+    assert plan.num_ands == 1
+    assert restored.classification_cache.hits == 0
+    assert restored.classification_cache.misses == 0
+    assert restored.synthesis_calls == 0
+    # an unknown table still falls back to real (counted) classification
+    restored.materialize_plan(0x17, 3)
+    assert restored.classification_cache.misses == 1
+
+
+def test_install_bundle_merge_is_idempotent():
+    left = McDatabase()
+    left.plan_for(0xE8, 3)
+    right = McDatabase()
+    right.plan_for(0xE8, 3)
+    right.plan_for(0x96, 3)
+
+    merged = McDatabase()
+    first = merged.install_bundle(left.to_bundle())
+    again = merged.install_bundle(left.to_bundle())
+    other = merged.install_bundle(right.to_bundle())
+    assert first["recipes"] == 1
+    assert again["recipes"] == 0          # already present → no-op
+    assert other["recipes"] == 1          # only the new representative lands
+    assert len(merged) == 2
+    assert merged.plan_for(0x96, 3).num_ands == right.plan_for(0x96, 3).num_ands
 
 
 def test_export_combined_xag():

@@ -196,6 +196,24 @@ def test_dict_rejects_unknown_gate():
         from_dict(data)
 
 
+def test_dict_rejects_malformed_payloads():
+    with pytest.raises(ValueError, match="mapping"):
+        from_dict(["not", "a", "dict"])
+    with pytest.raises(ValueError, match="malformed"):
+        from_dict({"num_pis": 1})                       # missing gates/outputs
+    base = {"name": "", "num_pis": 2, "pi_names": ["a", "b"]}
+    with pytest.raises(ValueError, match="lists"):
+        from_dict({**base, "gates": [], "outputs": 5})  # outputs not a list
+    with pytest.raises(ValueError, match="undefined"):
+        from_dict({**base, "gates": [["and", 2, 99]], "outputs": [6]})
+    with pytest.raises(ValueError, match="names 2 inputs"):
+        from_dict({**base, "num_pis": 3, "gates": [], "outputs": [2]})
+    # truncated po_names must not silently drop outputs
+    with pytest.raises(ValueError, match="names 1 outputs"):
+        from_dict({**base, "po_names": ["y0"], "gates": [["and", 2, 4]],
+                   "outputs": [6, 4]})
+
+
 def test_to_dot_contains_structure():
     fa = full_adder_naive()
     dot = to_dot(fa)
