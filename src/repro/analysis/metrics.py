@@ -12,7 +12,13 @@ from repro.xag.graph import Xag
 
 @dataclass(frozen=True)
 class NetworkMetrics:
-    """Size and depth metrics of one network."""
+    """Size, depth and fanout metrics of one network.
+
+    The fanout statistics read the network's maintained reference counts
+    (kept current across in-place substitution); ``num_dead_slots`` counts
+    node slots dereferenced by in-place rewriting that a
+    :func:`repro.xag.cleanup.sweep` would compact away.
+    """
 
     num_pis: int
     num_pos: int
@@ -20,6 +26,12 @@ class NetworkMetrics:
     num_xors: int
     depth: int
     multiplicative_depth: int
+    #: largest fan-out (reference count) of any live node.
+    max_fanout: int = 0
+    #: mean fan-out over the live gates.
+    mean_fanout: float = 0.0
+    #: dead node slots left behind by in-place rewriting (0 once swept).
+    num_dead_slots: int = 0
 
     @property
     def num_gates(self) -> int:
@@ -29,6 +41,8 @@ class NetworkMetrics:
 
 def measure(xag: Xag) -> NetworkMetrics:
     """Collect all metrics of a network."""
+    refs = xag.fanout_counts()
+    gate_refs = [refs[node] for node in xag.gates()]
     return NetworkMetrics(
         num_pis=xag.num_pis,
         num_pos=xag.num_pos,
@@ -36,6 +50,9 @@ def measure(xag: Xag) -> NetworkMetrics:
         num_xors=xag.num_xors,
         depth=depth(xag),
         multiplicative_depth=multiplicative_depth(xag),
+        max_fanout=max(refs) if refs else 0,
+        mean_fanout=sum(gate_refs) / len(gate_refs) if gate_refs else 0.0,
+        num_dead_slots=xag.num_dead,
     )
 
 

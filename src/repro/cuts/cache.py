@@ -8,10 +8,13 @@ behind one object that the cut enumerator (:func:`repro.cuts.enumeration
 .cut_function`) and the rewriter (:class:`repro.rewriting.rewrite
 .CutRewriter`) share:
 
-* **cone functions** are memoised per network epoch, keyed by
-  ``(root, leaves)`` — valid because a :class:`repro.xag.graph.Xag` never
-  mutates existing nodes, and the memo is dropped whenever the cache is bound
-  to a different network (:meth:`CutFunctionCache.bind`);
+* **cone functions** are memoised per network, keyed by ``(root, leaves)``.
+  The cache subscribes to the bound network's mutation events: an in-place
+  substitution (:meth:`repro.xag.graph.Xag.substitute_node`) invalidates
+  only the entries rooted in the **dirty transitive fanout** of the rewired
+  nodes, so memoised functions for untouched cones survive whole
+  convergence flows.  Binding to a different network — or a rollback of the
+  bound one — still drops the memo wholesale (:meth:`CutFunctionCache.bind`);
 
 * **implementation plans** are memoised by the network-independent key
   ``(truth table, num_vars)``.  This is the first level of a two-level
@@ -32,7 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.mc.database import ImplementationPlan, McDatabase
 from repro.tt.bits import projection, table_mask
-from repro.xag.graph import Xag, lit_node
+from repro.xag.graph import SubstitutionResult, Xag, lit_node
 
 
 class CutFunctionCache:
@@ -43,13 +46,18 @@ class CutFunctionCache:
         # __len__) but must still be honoured.
         self.database = database if database is not None else McDatabase()
         self._functions: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        #: root node → memo keys rooted there, for per-root invalidation.
+        self._root_keys: Dict[int, List[Tuple[int, Tuple[int, ...]]]] = {}
         self._plans: Dict[Tuple[int, int], ImplementationPlan] = {}
         self._bound_xag: Optional[Xag] = None
         self._bound_epoch = -1
+        self._bound_mutation_epoch = -1
         self.function_hits = 0
         self.function_misses = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        #: cone-function entries dropped by substitution events.
+        self.function_invalidations = 0
 
     @classmethod
     def ensure(cls, cut_cache: Optional["CutFunctionCache"],
@@ -77,13 +85,54 @@ class CutFunctionCache:
         network are meaningless; binding to a new network drops them, as
         does a rollback of the bound network (rollback recycles node
         indices — detected via the network's rollback epoch, exactly like
-        :meth:`repro.xag.bitsim.BitSimulator.sync`).  The plan memo is keyed
-        by truth tables and survives rebinding.
+        :meth:`repro.xag.bitsim.BitSimulator.sync`).  In-place substitutions
+        of the bound network do *not* drop the memo: the cache subscribes to
+        the network's mutation events and surgically removes only the
+        entries whose cone may contain a rewired node (the dirty transitive
+        fanout).  The plan memo is keyed by truth tables and survives
+        rebinding.
         """
-        if xag is not self._bound_xag or xag._rollback_epoch != self._bound_epoch:
-            self._functions.clear()
-            self._bound_xag = xag
-            self._bound_epoch = xag._rollback_epoch
+        if (xag is self._bound_xag
+                and xag._rollback_epoch == self._bound_epoch
+                and xag._mutation_epoch == self._bound_mutation_epoch):
+            return
+        self._functions.clear()
+        self._root_keys.clear()
+        if self._bound_xag is not None and self._bound_xag is not xag:
+            self._bound_xag.unsubscribe(self)
+        self._bound_xag = xag
+        self._bound_epoch = xag._rollback_epoch
+        self._bound_mutation_epoch = xag._mutation_epoch
+        xag.subscribe(self)
+
+    def on_substitution(self, xag: Xag, result: SubstitutionResult) -> None:
+        """Drop memoised cone functions invalidated by an in-place edit.
+
+        A memo entry ``(root, leaves)`` is only stale when a rewired (or
+        killed/revived) node sits *inside* its cone, which requires ``root``
+        to lie in the transitive fanout of that node — so everything outside
+        the dirty TFO survives.
+        """
+        if xag is not self._bound_xag:
+            return
+        functions = self._functions
+        root_keys = self._root_keys
+        for root in result.affected(xag):
+            keys = root_keys.pop(root, None)
+            if not keys:
+                continue
+            for key in keys:
+                if functions.pop(key, None) is not None:
+                    self.function_invalidations += 1
+        self._bound_mutation_epoch = xag._mutation_epoch
+
+    def on_rollback(self, xag: Xag) -> None:
+        """A rollback recycles node indices: drop the whole cone-function memo."""
+        if xag is not self._bound_xag:
+            return
+        self._functions.clear()
+        self._root_keys.clear()
+        self._bound_epoch = xag._rollback_epoch
 
     def cone_function(self, xag: Xag, root: int, leaves: Tuple[int, ...],
                       interior: Optional[Sequence[int]] = None) -> int:
@@ -105,6 +154,7 @@ class CutFunctionCache:
             interior = cut_cone(xag, root, leaves)
         table = _simulate_cone(xag, root, leaves, interior)
         self._functions[key] = table
+        self._root_keys.setdefault(root, []).append(key)
         return table
 
     # ------------------------------------------------------------------
@@ -164,6 +214,7 @@ class CutFunctionCache:
             "stored_plans": len(self._plans),
             "function_hits": self.function_hits,
             "function_misses": self.function_misses,
+            "function_invalidations": self.function_invalidations,
             "function_hit_rate": self.function_hits / function_total if function_total else 0.0,
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
@@ -173,13 +224,18 @@ class CutFunctionCache:
     def clear(self) -> None:
         """Drop all memoised entries and counters (the database is untouched)."""
         self._functions.clear()
+        self._root_keys.clear()
         self._plans.clear()
+        if self._bound_xag is not None:
+            self._bound_xag.unsubscribe(self)
         self._bound_xag = None
         self._bound_epoch = -1
+        self._bound_mutation_epoch = -1
         self.function_hits = 0
         self.function_misses = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        self.function_invalidations = 0
 
     def __len__(self) -> int:
         return len(self._plans)

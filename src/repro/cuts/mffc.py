@@ -7,7 +7,7 @@ count as "saved" when it replaces the node's cut (Mishchenko et al., DAC'06).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.xag.graph import Xag, lit_node
 
@@ -15,12 +15,39 @@ from repro.xag.graph import Xag, lit_node
 def mffc(xag: Xag, root: int, fanout_counts: Optional[Sequence[int]] = None) -> Set[int]:
     """Set of gate nodes in the maximum fanout-free cone of ``root``.
 
-    ``fanout_counts`` may be passed to avoid recomputing it for every call.
+    By default the walk reads the network's *maintained* reference counts
+    (kept up to date by the :class:`~repro.xag.graph.Xag` core across both
+    append-only construction and in-place substitution) and tracks its
+    decrements in a local dictionary, so the cost is proportional to the
+    cone, not the network.  ``fanout_counts`` may pass an explicit count
+    array instead (it is copied, as the walk decrements it).
     """
-    if not xag.is_gate(root):
+    if not xag.is_gate(root) or xag.is_dead(root):
         return set()
-    counts = list(fanout_counts) if fanout_counts is not None else xag.fanout_counts()
+    if fanout_counts is not None:
+        return _mffc_counted(xag, root, list(fanout_counts))
+    refs = xag._refs
+    taken: Dict[int, int] = {}
+    cone: Set[int] = set()
+    stack: List[int] = [root]
+    while stack:
+        node = stack.pop()
+        if node in cone or not xag.is_gate(node):
+            continue
+        cone.add(node)
+        for fanin in xag.fanins(node):
+            child = lit_node(fanin)
+            if not xag.is_gate(child):
+                continue
+            remaining = taken.get(child, 0) + 1
+            taken[child] = remaining
+            if refs[child] == remaining:
+                stack.append(child)
+    return cone
 
+
+def _mffc_counted(xag: Xag, root: int, counts: List[int]) -> Set[int]:
+    """MFFC walk against a caller-provided (copied) fan-out count array."""
     cone: Set[int] = set()
     stack: List[int] = [root]
     while stack:

@@ -78,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--db", metavar="PATH", default=None,
                         help="warm-start bundle: load it when present, save "
                              "recipes/classifications/plans back on exit")
+    parser.add_argument("--rebuild", action="store_true",
+                        help="rewrite by out-of-place reconstruction instead of "
+                             "in-place substitution (A/B checking)")
     parser.add_argument("--size-baseline", action="store_true",
                         help="run the generic size optimiser before MC rewriting")
     parser.add_argument("--full-scale", action="store_true",
@@ -101,6 +104,7 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
         cut_size=args.cut_size,
         cut_limit=args.cut_limit,
         max_rounds=None if args.rounds == 0 else args.rounds,
+        in_place=not args.rebuild,
         size_baseline=args.size_baseline,
         full_scale=args.full_scale,
         verify_limit=args.verify_limit,
@@ -137,6 +141,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "groups": batch.config.groups,
                 "rounds": args.rounds,
                 "jobs": batch.jobs,
+                "in_place": batch.config.in_place,
             },
             "summary": {
                 "total_seconds": batch.total_seconds,

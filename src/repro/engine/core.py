@@ -71,6 +71,9 @@ class EngineConfig:
     size_baseline: bool = False
     #: build paper-scale netlists instead of the reduced defaults.
     full_scale: bool = False
+    #: apply rewrites by in-place substitution (the default); False selects
+    #: the out-of-place rebuild path for A/B checking (CLI ``--rebuild``).
+    in_place: bool = True
     #: verify equivalence for networks up to this many gates (0 disables).
     verify_limit: int = 20000
     #: worker processes; the cases are partitioned round-robin across them
@@ -120,13 +123,21 @@ class CircuitReport:
         return 1.0 - self.ands_after / self.ands_before
 
     def stage_timings(self) -> Dict[str, float]:
-        """Per-stage wall-clock seconds (verification overlaps the rounds)."""
+        """Per-stage wall-clock seconds (verification overlaps the rounds).
+
+        ``select`` and ``apply`` split the round time into Phase-1 candidate
+        selection and Phase-2 application (in-place substitution or
+        out-of-place rebuild), so the cost of the application strategy is
+        visible directly in the report.
+        """
         return {
             "build": self.build_seconds,
             "baseline": self.baseline_seconds,
             "one_round": self.one_round_seconds,
             "convergence": self.convergence_seconds - self.one_round_seconds,
             "verify": self.verify_seconds,
+            "select": sum(stats.select_seconds for stats in self.rounds),
+            "apply": sum(stats.apply_seconds for stats in self.rounds),
         }
 
 
@@ -187,9 +198,10 @@ class BatchReport:
         plan_rate = plan_hits / plan_total if plan_total else 0.0
         jobs_note = f" [{self.jobs} jobs]" if self.jobs > 1 else ""
         warm_note = " [warm start]" if self.warm_start_loaded else ""
+        mode_note = "" if self.config.in_place else " [rebuild]"
         lines.append(
             f"{len(self.succeeded)}/{len(self.reports)} circuits in "
-            f"{self.total_seconds:.2f}s{jobs_note}{warm_note} | plan cache "
+            f"{self.total_seconds:.2f}s{jobs_note}{warm_note}{mode_note} | plan cache "
             f"{plan_hits:.0f} hits / {plan_misses:.0f} misses "
             f"({round(100 * plan_rate)}% hit rate) | db "
             f"{self.database_stats.get('stored_recipes', 0):.0f} recipes / "
@@ -244,7 +256,7 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
         report.num_pos = xag.num_pos
         verify = 0 < (xag.num_ands + xag.num_xors) <= config.verify_limit
         params = RewriteParams(cut_size=config.cut_size, cut_limit=config.cut_limit,
-                               verify=verify)
+                               verify=verify, in_place=config.in_place)
         result: PaperFlowResult = paper_flow(
             xag, name=case.name, params=params, size_baseline=config.size_baseline,
             max_rounds=config.max_rounds, cut_cache=cut_cache, sim_cache=sim_cache)

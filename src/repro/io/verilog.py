@@ -3,17 +3,28 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Set, Union
 
 from repro.xag.graph import Xag, lit_complemented, lit_node
 
 
 def write_verilog(xag: Xag, module_name: Optional[str] = None) -> str:
-    """Emit a gate-level Verilog module using ``assign`` statements."""
+    """Emit a gate-level Verilog module using ``assign`` statements.
+
+    Port names are sanitised to legal Verilog identifiers.  Two distinct
+    port names that sanitise to the same identifier (e.g. ``a-b`` and
+    ``a_b``) — or that collide with a generated wire name — are
+    disambiguated with a numeric suffix, and an empty port name raises
+    :class:`ValueError` instead of emitting an illegal module.
+    """
     name = module_name if module_name is not None else (xag.name or "xag")
-    name = name.replace("-", "_") or "xag"
-    pi_names = [_sanitize(xag.pi_name(i)) for i in range(xag.num_pis)]
-    po_names = [_sanitize(xag.po_name(i)) for i in range(xag.num_pos)]
+    name = _sanitize(name.replace("-", "_") or "xag", "module name")
+    # generated wire names are part of the identifier namespace: reserve them
+    used: Set[str] = {f"n{node}" for node in xag.gates()}
+    pi_names = _sanitize_ports(
+        [xag.pi_name(i) for i in range(xag.num_pis)], used, "input")
+    po_names = _sanitize_ports(
+        [xag.po_name(i) for i in range(xag.num_pos)], used, "output")
     lines = [f"module {name}(" + ", ".join(pi_names + po_names) + ");"]
     for pi in pi_names:
         lines.append(f"  input {pi};")
@@ -42,11 +53,28 @@ def write_verilog(xag: Xag, module_name: Optional[str] = None) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _sanitize(name: str) -> str:
+def _sanitize(name: str, context: str) -> str:
+    if not name:
+        raise ValueError(f"cannot emit Verilog: empty {context}")
     cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
-    if not cleaned or cleaned[0].isdigit():
+    if cleaned[0].isdigit():
         cleaned = "s_" + cleaned
     return cleaned
+
+
+def _sanitize_ports(names: List[str], used: Set[str], context: str) -> List[str]:
+    """Sanitise port names, de-duplicating collisions with a numeric suffix."""
+    result: List[str] = []
+    for position, name in enumerate(names):
+        cleaned = _sanitize(name, f"{context} port name (port {position})")
+        if cleaned in used:
+            suffix = 2
+            while f"{cleaned}_{suffix}" in used:
+                suffix += 1
+            cleaned = f"{cleaned}_{suffix}"
+        used.add(cleaned)
+        result.append(cleaned)
+    return result
 
 
 def save_verilog(xag: Xag, path: Union[str, Path]) -> None:

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
 from repro.rewriting.rewrite import CutRewriter, RewriteParams, RoundStats
 from repro.xag.bitsim import SimulationCache
+from repro.xag.cleanup import sweep, sweep_owned
 from repro.xag.graph import Xag
 
 
@@ -53,6 +54,43 @@ class FlowResult:
         return bool(self.rounds) and self.rounds[-1].ands_after >= self.rounds[-1].ands_before
 
 
+def _drain_in_place(rewriter: CutRewriter, working: Xag,
+                    max_rounds: Optional[int], rounds: List[RoundStats],
+                    seeds: Optional[Set[int]]):
+    """Drain dirty-worklist rounds on ``working`` (mutating it).
+
+    ``seeds`` carries the dirty nodes of a previous drain (``None`` means
+    "examine every gate" — the first round).  Appends one
+    :class:`RoundStats` per executed round and stops after ``max_rounds``
+    rounds or when a round brings no AND reduction — in which case that
+    round's mutations are discarded by returning the pre-round snapshot,
+    exactly like the rebuild loop discards the freshly built copy.  Returns
+    ``(final_network, seeds, progressed)`` where ``progressed`` reports
+    whether any executed round reduced the AND count.
+    """
+    final = working
+    executed = 0
+    progressed = False
+    while max_rounds is None or executed < max_rounds:
+        if seeds is None:
+            worklist: Optional[Set[int]] = None
+        else:
+            worklist = {node for node in working.transitive_fanout(seeds)
+                        if working.is_gate(node)}
+        stats, seeds, snapshot = rewriter.rewrite_in_place(
+            working, worklist, snapshot=True)
+        rounds.append(stats)
+        executed += 1
+        if stats.ands_after < stats.ands_before:
+            final = working
+            progressed = True
+            continue
+        if snapshot is not None:
+            final = snapshot
+        break
+    return final, seeds, progressed
+
+
 def one_round(xag: Xag, database: Optional[McDatabase] = None,
               params: Optional[RewriteParams] = None,
               cut_cache: Optional[CutFunctionCache] = None,
@@ -73,13 +111,34 @@ def optimize(xag: Xag, database: Optional[McDatabase] = None,
     (the engine shares them across a whole batch of circuits); fresh ones are
     created otherwise, so plans and simulation values are still reused
     between the rounds of this call.
+
+    With ``params.in_place`` (the default) the loop clones the input once
+    and then *drains a dirty-node worklist*: each round substitutes the
+    winning candidates into the same network object and seeds the next
+    round's worklist with the transitive fanout of everything that changed,
+    so late rounds — which typically touch a few cones — examine only those
+    cones instead of re-enumerating, re-simulating and rebuilding the whole
+    network.  With ``in_place=False`` every round rebuilds the network
+    out-of-place (the seed behaviour, kept for A/B checking).
     """
     params = params or RewriteParams()
     rewriter = CutRewriter(database=database, params=params,
                            cut_cache=cut_cache, sim_cache=sim_cache)
     start = time.perf_counter()
-    current = xag
     rounds: List[RoundStats] = []
+    if params.in_place:
+        # start from a swept working copy so pre-existing dead logic is
+        # dropped exactly as the rebuild rounds would.
+        working = sweep_owned(xag)
+        final, _seeds, _progressed = _drain_in_place(
+            rewriter, working, max_rounds, rounds, None)
+        return FlowResult(initial=xag, final=sweep(final), rounds=rounds,
+                          runtime_seconds=time.perf_counter() - start)
+    # the rebuild path starts from the swept network too: references from
+    # unreachable logic must not inflate fanout counts (and thereby shrink
+    # MFFCs) during candidate selection — and both strategies must price
+    # gains identically for the A/B comparison to be meaningful.
+    current = sweep(xag)
     while max_rounds is None or len(rounds) < max_rounds:
         improved, stats = rewriter.rewrite(current)
         rounds.append(stats)
@@ -103,8 +162,11 @@ def size_optimize(xag: Xag, database: Optional[McDatabase] = None,
     "Initial" networks: a cut-rewriting pass whose objective is the total gate
     count and which therefore does not distinguish AND from XOR gates.
     """
+    # a fixed-round loop over fresh network objects gains nothing from the
+    # in-place machinery (every round would rebind the caches to a new
+    # object anyway): keep the rebuild strategy for the baseline.
     params = RewriteParams(cut_size=cut_size, cut_limit=cut_limit, objective="size",
-                           verify=verify)
+                           verify=verify, in_place=False)
     rewriter = CutRewriter(database=database, params=params,
                            cut_cache=cut_cache, sim_cache=sim_cache)
     start = time.perf_counter()
@@ -193,6 +255,49 @@ def paper_flow(xag: Xag, name: Optional[str] = None,
         baseline = size_optimize(xag, verify=params.verify, cut_cache=cut_cache,
                                  sim_cache=sim_cache)
         initial = baseline.final
+
+    if params.in_place:
+        # one continuous in-place drain: the "one round" stage and the
+        # convergence stage operate on the same working network, so packed
+        # simulation words, cut sets and cone functions survive across the
+        # stage boundary instead of being rebuilt for a swept copy.
+        rewriter = CutRewriter(database=database, params=params,
+                               cut_cache=cut_cache, sim_cache=sim_cache)
+        start_one = time.perf_counter()
+        working = sweep_owned(initial)
+        flow_rounds: List[RoundStats] = []
+        final, seeds, progressed = _drain_in_place(
+            rewriter, working, 1, flow_rounds, None)
+        after_one = sweep(final)
+        if after_one is final:
+            after_one = final.clone()
+        one_round_seconds = time.perf_counter() - start_one
+
+        start_conv = time.perf_counter()
+        conv_cap = None if max_rounds is None else max(0, max_rounds - 1)
+        if conv_cap != 0:
+            if final is not working:
+                # round 1 was discarded: continue from the restored network
+                # with a full re-examination, as the rebuild path would.
+                working, seeds = final, None
+            final, _seeds, _prog = _drain_in_place(
+                rewriter, working, conv_cap, flow_rounds, seeds)
+        convergence_seconds = one_round_seconds + (time.perf_counter() - start_conv)
+
+        return PaperFlowResult(
+            name=name or xag.name or "benchmark",
+            num_inputs=xag.num_pis,
+            num_outputs=xag.num_pos,
+            initial=initial,
+            after_one_round=after_one,
+            after_convergence=sweep(final),
+            one_round_stats=flow_rounds[0],
+            convergence_rounds=len(flow_rounds),
+            one_round_seconds=one_round_seconds,
+            convergence_seconds=convergence_seconds,
+            baseline_seconds=baseline.runtime_seconds if baseline is not None else 0.0,
+            rounds=(baseline.rounds if baseline is not None else []) + flow_rounds,
+        )
 
     start_one = time.perf_counter()
     one = optimize(initial, params=params, max_rounds=1,

@@ -12,11 +12,21 @@ root's maximum fanout-free cone (they disappear if the root is re-expressed)
 minus the AND gates of the recipe (the affine re-wiring is AND-free).  The
 best positive-gain candidate of each node is recorded.
 
-*Phase 2 — reconstruction.*  The network is rebuilt from the primary outputs:
-a node with a selected candidate is re-implemented on top of its cut leaves
-(its old cone is simply never copied); all other gates are copied.
-Structural hashing removes any duplication.  The rebuilt network is swept and
-(optionally) verified against the original.
+*Phase 2 — application.*  Two interchangeable application strategies exist:
+
+* **in place** (the default, ``RewriteParams.in_place=True``): each winning
+  candidate is built on top of its cut leaves inside the *same* network and
+  the root is replaced via :meth:`repro.xag.graph.Xag.substitute_node` —
+  fan-outs and primary outputs are rewired, the displaced MFFC is
+  dereferenced, and subscribed observers (packed simulation words, memoised
+  cone functions) are invalidated per node instead of wholesale.  Roots are
+  applied in the same completion order the out-of-place reconstruction
+  would visit them, so both strategies make the same decisions.
+
+* **rebuild** (``in_place=False``, the seed behaviour, kept for A/B
+  checking): the network is rebuilt out-of-place from the primary outputs —
+  a node with a selected candidate is re-implemented on top of its cut
+  leaves; all other gates are copied; the result is swept.
 
 The ``objective`` parameter switches the cost model between the paper's
 AND-count objective and a unit-cost total-gate objective used as the generic
@@ -27,18 +37,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cuts.cache import CutFunctionCache
 from repro.cuts.cut import Cut
-from repro.cuts.enumeration import cut_cone, enumerate_cuts
+from repro.cuts.enumeration import CutSetCache, cut_cone
 from repro.cuts.mffc import mffc
 from repro.mc.database import ImplementationPlan, McDatabase
 from repro.rewriting.insert import insert_plan
 from repro.xag.bitsim import SimulationCache
-from repro.xag.cleanup import sweep
-from repro.xag.equivalence import equivalent
-from repro.xag.graph import Xag, lit_node
+from repro.xag.cleanup import sweep, sweep_owned
+from repro.xag.equivalence import equivalence_stimulus, equivalent
+from repro.xag.graph import Xag, lit_node, literal
 
 
 @dataclass
@@ -58,6 +68,10 @@ class RewriteParams:
     allow_zero_gain: bool = False
     #: check functional equivalence of every rewritten network.
     verify: bool = True
+    #: apply winning candidates by in-place substitution (True, the default)
+    #: or by rebuilding the network out-of-place (False — the seed
+    #: behaviour, kept for A/B checking; see the module docstring).
+    in_place: bool = True
 
 
 @dataclass
@@ -90,6 +104,17 @@ class RoundStats:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     verified: Optional[bool] = None
+    #: application strategy of this round ("in_place" or "rebuild").
+    mode: str = "rebuild"
+    #: Phase-1 / Phase-2 wall clock (both included in runtime_seconds).
+    select_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    #: in-place rounds: substitutions performed (incl. cascaded collapses),
+    #: gates recomputed by the incremental simulator, and the number of
+    #: dirty-worklist nodes this round actually examined (0 = all gates).
+    substitutions: int = 0
+    nodes_resimulated: int = 0
+    worklist_size: int = 0
 
     @property
     def and_improvement(self) -> float:
@@ -112,17 +137,39 @@ class CutRewriter:
         self.database = self.cut_cache.database
         self.sim_cache = sim_cache if sim_cache is not None else SimulationCache()
         self.params = params if params is not None else RewriteParams()
+        #: incrementally maintained cut sets (invalidated per mutation event).
+        self.cut_sets = CutSetCache(cut_size=self.params.cut_size,
+                                    cut_limit=self.params.cut_limit)
 
     # ------------------------------------------------------------------
     def rewrite(self, xag: Xag) -> Tuple[Xag, RoundStats]:
-        """Run one rewriting round and return the optimised copy with statistics."""
+        """Run one rewriting round and return the optimised copy with statistics.
+
+        The input network is never modified: with ``in_place`` the round runs
+        on a clone (callers driving a convergence loop should use
+        :meth:`rewrite_in_place` directly to keep one network identity — and
+        its observer-maintained caches — alive across rounds).
+        """
         if self.params.objective not in ("mc", "size"):
             raise ValueError(f"unknown objective {self.params.objective!r}")
-        stats = RoundStats(ands_before=xag.num_ands, xors_before=xag.num_xors)
+        if not self.params.in_place:
+            return self._rewrite_rebuild(xag)
+        working = sweep_owned(xag)
+        stats, _seeds, _pre = self.rewrite_in_place(working)
+        result = sweep(working)
+        return result, stats
+
+    def _rewrite_rebuild(self, xag: Xag) -> Tuple[Xag, RoundStats]:
+        """Out-of-place round: select, reconstruct, sweep, verify."""
+        stats = RoundStats(ands_before=xag.num_ands, xors_before=xag.num_xors,
+                           mode="rebuild")
         start = time.perf_counter()
 
         selections = self._select_candidates(xag, stats)
+        stats.select_seconds = time.perf_counter() - start
+        apply_start = time.perf_counter()
         result = self._reconstruct(xag, selections, stats)
+        stats.apply_seconds = time.perf_counter() - apply_start
 
         stats.ands_after = result.num_ands
         stats.xors_after = result.num_xors
@@ -135,13 +182,73 @@ class CutRewriter:
         stats.runtime_seconds = time.perf_counter() - start
         return result, stats
 
+    def rewrite_in_place(self, xag: Xag,
+                         worklist: Optional[Set[int]] = None,
+                         snapshot: bool = False
+                         ) -> Tuple[RoundStats, Set[int], Optional[Xag]]:
+        """Run one in-place round on ``xag``, mutating it.
+
+        ``worklist`` restricts Phase-1 candidate selection to the given
+        nodes (``None`` examines every live gate — the first round of a
+        convergence flow).  Returns the round statistics plus the *dirty
+        seeds*: every node whose structure or reference count this round
+        changed.  The caller grows the next round's worklist as the
+        transitive fanout of these seeds — nodes whose cuts, cone functions
+        or MFFCs may have changed — which is what turns "repeat until
+        convergence" into an event-driven drain instead of repeated
+        whole-network sweeps.
+
+        With ``snapshot`` a clone of the pre-application network is returned
+        as the third element whenever the round is about to mutate (``None``
+        for empty rounds); the convergence loop uses it to discard a final
+        round that brought no AND reduction, mirroring the rebuild loop.
+        """
+        if self.params.objective not in ("mc", "size"):
+            raise ValueError(f"unknown objective {self.params.objective!r}")
+        stats = RoundStats(ands_before=xag.num_ands, xors_before=xag.num_xors,
+                           mode="in_place",
+                           worklist_size=len(worklist) if worklist is not None else 0)
+        start = time.perf_counter()
+
+        sim = None
+        po_before: Optional[List[int]] = None
+        resim_before = 0
+        if self.params.verify:
+            verify_start = time.perf_counter()
+            words, mask, _ = equivalence_stimulus(xag.num_pis)
+            sim = self.sim_cache.simulator(xag, words, mask)
+            po_before = sim.po_words()
+            resim_before = sim.incremental_updates
+            stats.verify_seconds += time.perf_counter() - verify_start
+
+        selections = self._select_candidates(xag, stats, worklist=worklist)
+        stats.select_seconds = time.perf_counter() - start - stats.verify_seconds
+
+        apply_start = time.perf_counter()
+        pre_round = xag.clone() if snapshot and selections else None
+        seeds = self._apply_in_place(xag, selections, stats)
+        stats.apply_seconds = time.perf_counter() - apply_start
+
+        stats.ands_after = xag.num_ands
+        stats.xors_after = xag.num_xors
+        if self.params.verify:
+            verify_start = time.perf_counter()
+            assert sim is not None and po_before is not None
+            stats.verified = sim.po_words() == po_before
+            stats.nodes_resimulated = sim.incremental_updates - resim_before
+            stats.verify_seconds += time.perf_counter() - verify_start
+            if not stats.verified:
+                raise AssertionError("cut rewriting changed the network function")
+        stats.runtime_seconds = time.perf_counter() - start
+        return stats, seeds, pre_round
+
     # ------------------------------------------------------------------
     # phase 1: candidate selection
     # ------------------------------------------------------------------
-    def _select_candidates(self, xag: Xag, stats: RoundStats) -> Dict[int, Candidate]:
+    def _select_candidates(self, xag: Xag, stats: RoundStats,
+                           worklist: Optional[Set[int]] = None) -> Dict[int, Candidate]:
         params = self.params
-        cuts = enumerate_cuts(xag, cut_size=params.cut_size, cut_limit=params.cut_limit)
-        fanout_counts = xag.fanout_counts()
+        cuts = self.cut_sets.cuts(xag)
         selections: Dict[int, Candidate] = {}
         cache = self.cut_cache
         cache.bind(xag)
@@ -150,6 +257,8 @@ class CutRewriter:
         plan_misses_before = cache.plan_misses
 
         for node in xag.gates():
+            if worklist is not None and node not in worklist:
+                continue
             node_cuts = cuts.get(node, [])
             if not node_cuts:
                 continue
@@ -165,7 +274,7 @@ class CutRewriter:
                 if params.objective == "mc" and not interior_ands:
                     continue
                 if node_mffc is None:
-                    node_mffc = mffc(xag, node, fanout_counts)
+                    node_mffc = mffc(xag, node)
                 saved_ands = sum(1 for n in interior_ands if n in node_mffc)
                 saved_gates = sum(1 for n in interior if n in node_mffc)
                 if params.objective == "mc" and saved_ands == 0 and not params.allow_zero_gain:
@@ -227,7 +336,104 @@ class CutRewriter:
         return plan.recipe.num_gates + correction_xors
 
     # ------------------------------------------------------------------
-    # phase 2: reconstruction
+    # phase 2a: in-place application
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _applied_roots(xag: Xag, selections: Dict[int, Candidate]) -> List[int]:
+        """Selected roots actually reachable, in application order.
+
+        This replicates the out-of-place reconstruction traversal: walking
+        from the primary outputs, the children of a selected node are its cut
+        leaves — so a selected node buried inside another applied cone (and
+        reachable nowhere else) is skipped, exactly as the rebuild would
+        never copy it.  The returned completion order guarantees that every
+        leaf of a root is finalised before the root is applied.
+        """
+        visited: Set[int] = {0}
+        visited.update(xag.pis())
+        applied: List[int] = []
+        po_nodes = [lit_node(lit) for lit in xag.po_literals()]
+        stack: List[Tuple[int, bool]] = [(node, False) for node in reversed(po_nodes)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in visited and not expanded:
+                continue
+            if expanded:
+                if node in visited:
+                    continue
+                visited.add(node)
+                if node in selections:
+                    applied.append(node)
+                continue
+            stack.append((node, True))
+            candidate = selections.get(node)
+            if candidate is not None:
+                children = candidate.cut.leaves
+            elif xag.is_gate(node):
+                f0, f1 = xag.fanins(node)
+                children = (lit_node(f0), lit_node(f1))
+            else:
+                children = ()
+            for child in children:
+                if child not in visited:
+                    stack.append((child, False))
+        return applied
+
+    def _apply_in_place(self, xag: Xag, selections: Dict[int, Candidate],
+                        stats: RoundStats) -> Set[int]:
+        """Substitute every applied root by its candidate implementation.
+
+        Returns the dirty seeds of this round (see :meth:`rewrite_in_place`).
+        """
+        seeds: Set[int] = set()
+        if not selections:
+            return seeds
+        # selected roots that do not get applied this round (buried inside
+        # another applied cone, or folded away by a cascade) stay dirty: the
+        # rebuild strategy would re-discover them next round, so the
+        # worklist must re-examine them too.
+        seeds.update(selections)
+        resolution: Dict[int, int] = {}
+
+        def resolve(lit: int) -> int:
+            node = lit >> 1
+            complement = lit & 1
+            while node in resolution:
+                follow = resolution[node]
+                complement ^= follow & 1
+                node = follow >> 1
+            return (node << 1) | complement
+
+        for root in self._applied_roots(xag, selections):
+            if xag.is_dead(root) or root in resolution:
+                # folded away by an earlier substitution cascade
+                continue
+            candidate = selections[root]
+            leaf_signals = [resolve(literal(leaf)) for leaf in candidate.cut.leaves]
+            nodes_before = xag.num_nodes
+            new_lit = insert_plan(xag, candidate.plan, leaf_signals)
+            if (new_lit >> 1) != root:
+                result = xag.substitute_node(root, new_lit)
+                stats.rewrites_applied += 1
+                stats.substitutions += len(result.pairs)
+                for old, repl in result.pairs:
+                    resolution[old] = repl
+                seeds.update(result.dirty)
+                seeds.update(result.touched_refs)
+                seeds.update(result.revived)
+            seeds.update(range(nodes_before, xag.num_nodes))
+        # insert_plan can leave orphans — rep-input chains for recipe
+        # variables the recipe never consumes.  They are deliberately left
+        # for the flow-end sweep rather than dereferenced per round:
+        # eagerly collecting them changes MFFC pricing in later rounds and
+        # was measured to change final AND counts relative to the rebuild
+        # strategy on the EPFL control set (the A/B parity bar), while the
+        # final sweep compacts them away either way.
+        return {node for node in seeds
+                if node < xag.num_nodes and not xag.is_dead(node)}
+
+    # ------------------------------------------------------------------
+    # phase 2b: out-of-place reconstruction
     # ------------------------------------------------------------------
     def _reconstruct(self, xag: Xag, selections: Dict[int, Candidate],
                      stats: RoundStats) -> Xag:

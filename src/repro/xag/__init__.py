@@ -4,6 +4,7 @@ from repro.xag.graph import (
     FALSE,
     TRUE,
     NodeKind,
+    SubstitutionResult,
     Xag,
     literal,
     lit_node,
@@ -21,7 +22,7 @@ from repro.xag.simulate import (
 )
 from repro.xag.bitsim import BitSimulator, SimulationCache
 from repro.xag.depth import depth, multiplicative_depth, node_levels
-from repro.xag.cleanup import sweep, sweep_with_map
+from repro.xag.cleanup import is_swept, sweep, sweep_owned, sweep_with_map
 from repro.xag.equivalence import equivalence_stimulus, equivalent
 from repro.xag.serialize import to_dict, from_dict, save, load
 from repro.xag.dot import to_dot
@@ -30,6 +31,7 @@ __all__ = [
     "FALSE",
     "TRUE",
     "NodeKind",
+    "SubstitutionResult",
     "Xag",
     "literal",
     "lit_node",
@@ -48,7 +50,9 @@ __all__ = [
     "depth",
     "multiplicative_depth",
     "node_levels",
+    "is_swept",
     "sweep",
+    "sweep_owned",
     "sweep_with_map",
     "equivalent",
     "to_dict",

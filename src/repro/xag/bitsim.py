@@ -12,13 +12,17 @@ optimisation flows build on instead:
   *incremental*:
 
   - appending nodes to the network only simulates the new suffix
-    (:meth:`BitSimulator.sync`), matching the append-only construction
-    discipline of :class:`repro.xag.graph.Xag`;
-  - rolling the network back simply truncates the value array;
+    (:meth:`BitSimulator.sync`);
+  - rolling the network back resets the value array (detected via the
+    network's rollback epoch);
+  - **in-place substitutions** (:meth:`repro.xag.graph.Xag.substitute_node`)
+    are observed through the network's mutation events: only the rewired
+    gates and their transitive fanout are recomputed, with value-change
+    pruning — packed words for untouched cones stay valid across whole
+    convergence flows;
   - changing the stimulus (:meth:`BitSimulator.update_inputs`) or externally
-    dirtying nodes (:meth:`BitSimulator.invalidate`) recomputes **only the
-    transitive fanout** of the changed nodes, with value-change pruning: a
-    node whose recomputed word is unchanged does not dirty its fanout.
+    dirtying nodes (:meth:`BitSimulator.invalidate`) likewise recomputes
+    **only the transitive fanout** of the changed nodes.
 
 * :class:`SimulationCache` — a small LRU of simulators keyed by network
   identity.  The convergence loop in :mod:`repro.rewriting.flow` verifies
@@ -34,9 +38,10 @@ and the speed benchmark in ``benchmarks/bench_engine_speed.py``.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set
 
-from repro.xag.graph import NodeKind, Xag, lit_complemented, lit_node
+from repro.xag.graph import (NodeKind, SubstitutionResult, Xag,
+                             lit_complemented, lit_node)
 
 
 class BitSimulator:
@@ -45,7 +50,9 @@ class BitSimulator:
     ``pi_words`` assigns one packed integer per primary input (in PI creation
     order); ``mask`` is the all-ones word defining the simulation width.
     Values are computed lazily: every query first calls :meth:`sync`, which
-    simulates only the nodes created since the last query.
+    simulates only the nodes created — or invalidated by an in-place
+    substitution — since the last query.  The simulator subscribes to the
+    network's mutation events on construction.
     """
 
     def __init__(self, xag: Xag, pi_words: Sequence[int], mask: int) -> None:
@@ -55,10 +62,35 @@ class BitSimulator:
         self._values: List[int] = []
         self._synced = 0
         self._rollback_epoch = xag._rollback_epoch
+        #: nodes rewired/revived by substitutions since the last sync.
+        self._pending_dirty: Set[int] = set()
         #: nodes simulated by suffix syncs (initial pass + appended nodes).
         self.full_updates = 0
         #: nodes recomputed by transitive-fanout invalidation sweeps.
         self.incremental_updates = 0
+        xag.subscribe(self)
+
+    # ------------------------------------------------------------------
+    # mutation events
+    # ------------------------------------------------------------------
+    def on_substitution(self, xag: Xag, result: SubstitutionResult) -> None:
+        """Record per-node invalidations from an in-place edit (lazy)."""
+        if xag is not self.xag:
+            return
+        synced = self._synced
+        pending = self._pending_dirty
+        for node in result.dirty:
+            if node < synced:
+                pending.add(node)
+        for node in result.revived:
+            if node < synced:
+                pending.add(node)
+        for node in result.killed:
+            pending.discard(node)
+
+    def on_rollback(self, xag: Xag) -> None:
+        """Rollback invalidates everything; :meth:`sync` resets via the epoch."""
+        self._pending_dirty.clear()
 
     # ------------------------------------------------------------------
     # stimulus
@@ -80,39 +112,45 @@ class BitSimulator:
             raise ValueError("one simulation word per primary input is required")
         values = self._values
         mask = self.mask
-        dirty = bytearray(xag.num_nodes)
-        first: Optional[int] = None
+        changed = bytearray(xag.num_nodes)
+        any_changed = False
         for position, node in enumerate(xag.pis()):
             word = pi_words[position] & mask
             if values[node] != word:
                 values[node] = word
-                dirty[node] = 1
-                if first is None:
-                    first = node
+                changed[node] = 1
+                any_changed = True
         self._pi_words = list(pi_words)
-        if first is None:
+        if not any_changed:
             return 0
-        return self._propagate(dirty, first)
+        return self._propagate(bytearray(xag.num_nodes), changed)
 
     def invalidate(self, nodes: Iterable[int]) -> int:
         """Recompute ``nodes`` and their transitive fanout.
 
-        This is the hook for in-place network edits: mark the rewritten nodes
-        and only their forward cone is re-simulated.  Returns the number of
-        gate nodes recomputed.
+        This is the explicit hook for external invalidation; in-place edits
+        performed through :meth:`Xag.substitute_node` are picked up
+        automatically via the network's mutation events.  Returns the number
+        of gate nodes recomputed.
         """
         self.sync()
         xag = self.xag
-        dirty = bytearray(xag.num_nodes)
-        first: Optional[int] = None
+        need = bytearray(xag.num_nodes)
+        changed = bytearray(xag.num_nodes)
+        any_need = False
         for node in nodes:
-            dirty[node] = 1
-            self._recompute_node(node)
-            if first is None or node < first:
-                first = node
-        if first is None:
+            if xag.is_pi(node):
+                # PIs have no fan-ins: refresh immediately, propagate changes
+                word = self._pi_words[xag.pi_index(node)] & self.mask
+                if word != self._values[node]:
+                    self._values[node] = word
+                    changed[node] = 1
+            else:
+                need[node] = 1
+            any_need = True
+        if not any_need:
             return 0
-        return self._propagate(dirty, first)
+        return self._propagate(need, changed)
 
     # ------------------------------------------------------------------
     # queries
@@ -120,12 +158,12 @@ class BitSimulator:
     def sync(self) -> None:
         """Bring the value array up to date with the network.
 
-        Nodes appended since the last call are simulated; nodes removed by a
-        rollback are truncated.  A rollback that happened *between* queries
-        (possibly followed by re-growth past the old size) is detected via
-        the network's rollback epoch, in which case everything is
-        resimulated — without the epoch the node count alone could not tell
-        "rolled back and re-grown" apart from "only appended".
+        Nodes appended since the last call are simulated; gates rewired by an
+        in-place substitution (delivered via mutation events) are recomputed
+        together with their transitive fanout, pruning where the packed word
+        did not change.  A rollback that happened *between* queries (possibly
+        followed by re-growth past the old size) is detected via the
+        network's rollback epoch, in which case everything is resimulated.
         """
         xag = self.xag
         count = xag.num_nodes
@@ -133,22 +171,31 @@ class BitSimulator:
             self._rollback_epoch = xag._rollback_epoch
             del self._values[:]
             self._synced = 0
-        if count == self._synced:
+            self._pending_dirty.clear()
+        pending = self._pending_dirty
+        if count == self._synced and not pending:
             return
         if len(self._pi_words) != xag.num_pis:
             raise ValueError("one simulation word per primary input is required")
         self._values.extend([0] * (count - len(self._values)))
-        self._simulate_range(self._synced, count)
-        self.full_updates += count - self._synced
+        if xag.is_topo_clean() and not pending:
+            self._simulate_range(self._synced, count)
+            self.full_updates += count - self._synced
+        else:
+            self._resync(count)
+            self._pending_dirty.clear()
         self._synced = count
 
     def values(self) -> List[int]:
-        """Packed values of every node (live list — do not mutate)."""
+        """Packed values of every node (live list — do not mutate).
+
+        Entries of dead nodes are stale; only live-node values are meaningful.
+        """
         self.sync()
         return self._values
 
     def value(self, node: int) -> int:
-        """Packed value of one node."""
+        """Packed value of one (live) node."""
         self.sync()
         return self._values[node]
 
@@ -204,34 +251,93 @@ class BitSimulator:
             else:
                 values[node] = 0
 
-    def _recompute_node(self, node: int) -> None:
-        xag = self.xag
-        if xag.is_gate(node):
-            f0, f1 = xag.fanins(node)
-            a = self._values[f0 >> 1] ^ (self.mask if f0 & 1 else 0)
-            b = self._values[f1 >> 1] ^ (self.mask if f1 & 1 else 0)
-            self._values[node] = (a & b) if xag.is_and(node) else (a ^ b)
-        elif xag.is_pi(node):
-            self._values[node] = self._pi_words[xag.pi_index(node)] & self.mask
+    def _resync(self, count: int) -> None:
+        """One topological pass recomputing new and invalidated nodes only.
 
-    def _propagate(self, dirty: bytearray, start: int) -> int:
-        """Forward sweep recomputing gates with a dirty fan-in; prunes on no-change."""
+        Used when the network was edited in place (index order may no longer
+        be topological) or when substitution events queued dirty nodes.  The
+        pass walks the live topological order, recomputing a gate when it is
+        new, was rewired, or has a fan-in whose packed word changed; a
+        recomputation that reproduces the stored word stops the propagation.
+        """
         xag = self.xag
         kinds = xag._kind
         fanin0 = xag._fanin0
         fanin1 = xag._fanin1
         values = self._values
         mask = self.mask
+        pending = self._pending_dirty
+        new_start = self._synced
+        and_kind = NodeKind.AND
+        xor_kind = NodeKind.XOR
+        pi_kind = NodeKind.PI
+        changed = bytearray(count)
+        pi_position = None
+        appended = 0
+        recomputed = 0
+        for node in xag.topological_order():
+            kind = kinds[node]
+            if kind == and_kind or kind == xor_kind:
+                f0 = fanin0[node]
+                f1 = fanin1[node]
+                is_new = node >= new_start
+                if not (is_new or node in pending
+                        or changed[f0 >> 1] or changed[f1 >> 1]):
+                    continue
+                a = values[f0 >> 1]
+                if f0 & 1:
+                    a ^= mask
+                b = values[f1 >> 1]
+                if f1 & 1:
+                    b ^= mask
+                word = (a & b) if kind == and_kind else (a ^ b)
+                if is_new:
+                    appended += 1
+                else:
+                    recomputed += 1
+                if word != values[node]:
+                    values[node] = word
+                    changed[node] = 1
+            elif kind == pi_kind:
+                if node >= new_start:
+                    if pi_position is None:
+                        pi_position = {pi: i for i, pi in enumerate(xag.pis())}
+                    values[node] = self._pi_words[pi_position[node]] & mask
+        self.full_updates += appended
+        self.incremental_updates += recomputed
+
+    def _propagate(self, need: bytearray, changed: bytearray) -> int:
+        """One topological sweep recomputing marked gates and their fanout.
+
+        ``need`` marks gates that must be recomputed regardless (their
+        fan-ins were edited or they were explicitly invalidated); ``changed``
+        marks nodes whose packed word already changed.  Gates are visited in
+        topological order, so a requested gate always reads final fan-in
+        words even when the caller passed dependent nodes in arbitrary
+        order; a recomputation that reproduces the stored word stops the
+        propagation.
+        """
+        xag = self.xag
+        kinds = xag._kind
+        fanin0 = xag._fanin0
+        fanin1 = xag._fanin1
+        values = self._values
+        mask = self.mask
+        dead = xag._dead
         and_kind = NodeKind.AND
         xor_kind = NodeKind.XOR
         updated = 0
-        for node in range(start + 1, xag.num_nodes):
+        if xag.is_topo_clean():
+            order: Iterable[int] = range(xag.num_nodes)
+        else:
+            order = xag.topological_order()
+        for node in order:
             kind = kinds[node]
-            if kind != and_kind and kind != xor_kind:
+            if (kind != and_kind and kind != xor_kind) or dead[node]:
                 continue
             f0 = fanin0[node]
             f1 = fanin1[node]
-            if not (dirty[f0 >> 1] or dirty[f1 >> 1]):
+            if not (need[node] or changed[f0 >> 1] or changed[f1 >> 1]):
                 continue
             a = values[f0 >> 1]
             if f0 & 1:
@@ -243,7 +349,7 @@ class BitSimulator:
             updated += 1
             if word != values[node]:
                 values[node] = word
-                dirty[node] = 1
+                changed[node] = 1
         self.incremental_updates += updated
         return updated
 
@@ -258,7 +364,9 @@ class SimulationCache:
     The cache holds strong references to the networks it has simulated, so an
     ``id()`` key can never be recycled while its entry is alive.  ``max_entries``
     bounds memory: the convergence loop only ever needs the last two networks,
-    the engine's batch runner a handful more.
+    the engine's batch runner a handful more.  Because every simulator
+    subscribes to its network's mutation events, a cached entry stays valid
+    across in-place rewrites of the same network object.
     """
 
     def __init__(self, max_entries: int = 8) -> None:

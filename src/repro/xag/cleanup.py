@@ -1,4 +1,12 @@
-"""Dead-node elimination by rebuilding the reachable cone."""
+"""Dead-node elimination.
+
+With the maintained reference counts of the :class:`~repro.xag.graph.Xag`
+core, :func:`sweep` first checks whether there is anything to remove at all —
+no dereferenced (dead) slots and every gate referenced — and returns the
+input network unchanged (no copy) in that case.  Otherwise the reachable
+cone is rebuilt out-of-place, which also compacts away the dead slots an
+in-place rewriting flow leaves behind.
+"""
 
 from __future__ import annotations
 
@@ -7,36 +15,70 @@ from typing import Dict, Tuple
 from repro.xag.graph import Xag, lit_node
 
 
+def is_swept(xag: Xag) -> bool:
+    """True when a sweep would be a no-op.
+
+    Requires no dead node slots and a reference on every gate.  In an
+    acyclic network every unreachable subgraph has a topmost node with zero
+    references, so these two maintained conditions imply that every gate is
+    reachable from the primary outputs.
+    """
+    if xag.num_dead:
+        return False
+    refs = xag.fanout_counts()
+    return all(refs[node] > 0 for node in xag.gates())
+
+
+def sweep_owned(xag: Xag) -> Xag:
+    """A swept network the caller may freely mutate.
+
+    Like :func:`sweep`, but when there is nothing to remove the input is
+    *cloned* instead of returned, so the result is never aliased with the
+    caller-visible network.  This is the entry point for flows that take
+    ownership of a working copy (the in-place rewriting loops).
+    """
+    swept = sweep(xag)
+    return xag.clone() if swept is xag else swept
+
+
 def sweep(xag: Xag) -> Xag:
-    """Return a copy containing only nodes reachable from the primary outputs.
+    """Network containing only nodes reachable from the primary outputs.
 
     Primary inputs are always preserved (with their names and order) so that
-    the interface of the network never changes; unreachable gates are dropped.
+    the interface of the network never changes; unreachable gates are
+    dropped.  When nothing is dead or unreferenced the input network itself
+    is returned (callers that need an independent copy in that case should
+    :meth:`~repro.xag.graph.Xag.clone` it).
     """
+    if is_swept(xag):
+        return xag
     swept, _ = sweep_with_map(xag)
     return swept
 
 
 def sweep_with_map(xag: Xag) -> Tuple[Xag, Dict[int, int]]:
-    """Like :func:`sweep` but also returns the old-node → new-literal map."""
+    """Like :func:`sweep` but always copies and returns the full node map.
+
+    The returned dictionary maps **every** node of the input that survives —
+    the constant, all primary inputs, and each gate reachable from the
+    primary outputs — to the literal implementing it in the new network
+    (gates folded by structural hashing map onto their surviving twin, with
+    the complement carried on the literal).  Unreachable gates are absent.
+    """
     result = Xag()
     result.name = xag.name
     leaf_map: Dict[int, int] = {}
     for index, node in enumerate(xag.pis()):
         leaf_map[node] = result.create_pi(xag.pi_name(index))
 
+    node_map: Dict[int, int] = {}
     po_lits = xag.po_literals()
     if po_lits:
-        new_lits = xag.copy_cone(result, po_lits, leaf_map)
+        new_lits = xag.copy_cone(result, po_lits, leaf_map, cache_out=node_map)
     else:
         new_lits = []
+        node_map.update(leaf_map)
+        node_map[0] = 0
     for index, lit in enumerate(new_lits):
         result.create_po(lit, xag.po_name(index))
-
-    node_map = dict(leaf_map)
-    # copy_cone caches internally; rebuild an external map by re-walking.
-    # For most callers the PI/PO correspondence is sufficient; gate-level
-    # mapping is reconstructed lazily when needed.
-    for index, lit in enumerate(po_lits):
-        node_map[lit_node(lit)] = new_lits[index] & ~1 if not (lit & 1) else new_lits[index] ^ (lit & 1)
     return result, node_map

@@ -1,4 +1,5 @@
-"""XOR-AND graph (XAG) with complemented edges and structural hashing.
+"""XOR-AND graph (XAG) with complemented edges, structural hashing and
+in-place substitution.
 
 An XAG is the logic representation used throughout the paper: every internal
 node is a 2-input AND or a 2-input XOR, and edges may be complemented.  The
@@ -6,14 +7,39 @@ number of AND nodes is the *multiplicative complexity of the circuit*.
 
 Signals ("literals") are encoded as ``node_index * 2 + complement`` exactly as
 in AIGER/mockturtle, so ``constant false`` is literal ``0`` and ``constant
-true`` is literal ``1``.  Nodes are stored in creation order, and because the
-library only ever builds networks bottom-up (rewriting is performed
-out-of-place), the node index order is always a valid topological order.
+true`` is literal ``1``.  Nodes are stored in creation order.
+
+The network supports two editing disciplines:
+
+* **append-only construction** — gates are only ever added bottom-up (with
+  constant propagation and structural hashing), optionally undone through
+  :meth:`Xag.checkpoint` / :meth:`Xag.rollback`.  In this regime the node
+  index order is a valid topological order and every full-network pass can
+  simply scan indices.
+
+* **in-place substitution** — :meth:`Xag.substitute_node` redirects every
+  reference of a node (fan-out gates and primary outputs, with complement
+  propagation) to a replacement literal, mockturtle-style.  Nodes whose last
+  reference disappears are *dereferenced* (marked dead and excluded from the
+  gate counters/iteration, see :meth:`Xag.is_dead` / :meth:`Xag.take_out_node`),
+  and nodes that become referenced again are revived.  After a substitution
+  the index order is no longer topological; :meth:`Xag.topological_order`
+  (and :meth:`Xag.gates`, which is defined in terms of it) provide the
+  fanin-before-fanout order every consumer should iterate in.
+
+Observers (incremental simulators, cone-function memos) can subscribe to the
+network's mutation events (:meth:`Xag.subscribe`): they receive per-node
+invalidations — which gates were rewired, killed or revived — instead of the
+all-or-nothing rollback epoch, so state for untouched cones stays valid
+across in-place rewrites.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+import weakref
+from collections import deque
+from typing import (Deque, Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Set, Tuple)
 
 
 class NodeKind:
@@ -54,13 +80,68 @@ def lit_not(lit: int) -> int:
 class Checkpoint:
     """Opaque snapshot of an :class:`Xag` used for speculative construction."""
 
-    __slots__ = ("num_nodes", "strash_log_len", "num_ands", "num_xors")
+    __slots__ = ("num_nodes", "strash_log_len", "num_ands", "num_xors",
+                 "mutation_epoch")
 
-    def __init__(self, num_nodes: int, strash_log_len: int, num_ands: int, num_xors: int):
+    def __init__(self, num_nodes: int, strash_log_len: int, num_ands: int,
+                 num_xors: int, mutation_epoch: int = 0):
         self.num_nodes = num_nodes
         self.strash_log_len = strash_log_len
         self.num_ands = num_ands
         self.num_xors = num_xors
+        self.mutation_epoch = mutation_epoch
+
+
+class SubstitutionResult:
+    """Record of everything one :meth:`Xag.substitute_node` call changed.
+
+    This is both the return value of the substitution and the payload handed
+    to subscribed observers, so that incremental state (packed simulation
+    words, memoised cone functions) can be invalidated per node instead of
+    wholesale:
+
+    * ``pairs`` — the ``(old_node, replacement_literal)`` substitutions that
+      were performed, in order.  Cascaded substitutions (a fan-out gate that
+      collapsed to a constant, a wire, or strash-merged with an existing
+      node) appear here too.
+    * ``dirty`` — gate nodes whose stored fan-ins changed (rewired literals
+      or propagated complements).  Their simulation values and any cone
+      function whose cone contains them must be recomputed.
+    * ``killed`` — nodes whose last reference disappeared; they are dead and
+      no longer reachable from the primary outputs.
+    * ``revived`` — previously dead nodes that became referenced again.
+    * ``touched_refs`` — nodes whose reference count changed (used by the
+      rewriter to seed the next convergence round's dirty worklist: a
+      changed fanout count can grow or shrink MFFCs above it).
+    """
+
+    __slots__ = ("pairs", "dirty", "killed", "revived", "touched_refs",
+                 "_affected")
+
+    def __init__(self) -> None:
+        self.pairs: List[Tuple[int, int]] = []
+        self.dirty: Set[int] = set()
+        self.killed: List[int] = []
+        self.revived: List[int] = []
+        self.touched_refs: Set[int] = set()
+        self._affected: Optional[Set[int]] = None
+
+    def affected(self, xag: "Xag") -> Set[int]:
+        """Live nodes whose transitive fan-in changed, plus the killed ones.
+
+        This is the invalidation set every observer needs (memoised cone
+        functions, cut sets).  It is computed once per event and shared —
+        observers receiving the same result object during one notification
+        round must not each pay for their own fanout traversal.
+        """
+        if self._affected is None:
+            seeds = set(self.dirty)
+            seeds.update(self.killed)
+            seeds.update(self.revived)
+            affected = xag.transitive_fanout(seeds) if seeds else set()
+            affected.update(self.killed)
+            self._affected = affected
+        return self._affected
 
 
 class Xag:
@@ -68,9 +149,10 @@ class Xag:
 
     The public surface follows the usual logic-network API: primary inputs and
     outputs, gate constructors with constant propagation and structural
-    hashing, counters, iteration, and speculative construction via
-    :meth:`checkpoint` / :meth:`rollback` (used by the cut rewriter to price
-    candidate replacements before committing to one).
+    hashing, counters, iteration, speculative construction via
+    :meth:`checkpoint` / :meth:`rollback`, and mockturtle-style in-place
+    editing via :meth:`substitute_node` / :meth:`take_out_node` with
+    maintained fan-out lists and reference counts.
     """
 
     def __init__(self) -> None:
@@ -82,12 +164,33 @@ class Xag:
         self._pos: List[int] = []
         self._po_names: List[str] = []
         self._strash: Dict[Tuple[int, int, int], int] = {}
+        #: complement-parity XOR gates (stored fan-in complements XOR to 1):
+        #: key → node computing ``key_function ^ 1``.  Only in-place
+        #: substitution produces such gates; keeping them hashable preserves
+        #: full structural dedup across rewrites.
+        self._strash_xor1: Dict[Tuple[int, int, int], int] = {}
         self._strash_log: List[Tuple[int, int, int]] = []
         self._num_ands = 0
         self._num_xors = 0
+        #: per-node structural reference count (fan-in references of live
+        #: gates plus primary outputs).
+        self._refs: List[int] = [0]
+        #: per-node list of live gate nodes referencing it (POs are counted
+        #: in ``_refs`` only).
+        self._fanouts: List[List[int]] = [[]]
+        #: per-node dead flag (1 = removed by dereferencing).
+        self._dead = bytearray(1)
+        self._num_dead = 0
         #: bumped on every rollback so observers (e.g. incremental simulators)
         #: can tell "rolled back and re-grown" apart from "only appended".
         self._rollback_epoch = 0
+        #: bumped on every substitution / take-out / revive; checkpoints
+        #: record it so a rollback across an in-place edit is rejected.
+        self._mutation_epoch = 0
+        #: False once a substitution may have broken index == topo order.
+        self._topo_clean = True
+        self._topo_cache: Optional[List[int]] = None
+        self._observers: List["weakref.ref"] = []
         self.name: str = ""
 
     # ------------------------------------------------------------------
@@ -103,6 +206,13 @@ class Xag:
         self._kind.append(NodeKind.PI)
         self._fanin0.append(0)
         self._fanin1.append(0)
+        self._refs.append(0)
+        self._fanouts.append([])
+        self._dead.append(0)
+        if self._topo_cache is not None:
+            # appended nodes only reference existing ones: the cached
+            # topological order stays valid with the node at the end.
+            self._topo_cache.append(node)
         self._pis.append(node)
         self._pi_names.append(name if name is not None else f"x{len(self._pis) - 1}")
         return literal(node)
@@ -114,6 +224,10 @@ class Xag:
     def create_po(self, lit: int, name: Optional[str] = None) -> int:
         """Register a primary output driven by ``lit``; returns the PO index."""
         self._check_literal(lit)
+        node = lit >> 1
+        if self._dead[node]:
+            self._revive_for_reference(node)
+        self._refs[node] += 1
         self._pos.append(lit)
         self._po_names.append(name if name is not None else f"y{len(self._pos) - 1}")
         return len(self._pos) - 1
@@ -121,6 +235,11 @@ class Xag:
     def replace_po(self, index: int, lit: int) -> None:
         """Re-drive an existing primary output."""
         self._check_literal(lit)
+        node = lit >> 1
+        if self._dead[node]:
+            self._revive_for_reference(node)
+        self._refs[node] += 1
+        self._refs[self._pos[index] >> 1] -= 1
         self._pos[index] = lit
 
     def _new_node(self, kind: int, fanin0: int, fanin1: int) -> int:
@@ -128,6 +247,16 @@ class Xag:
         self._kind.append(kind)
         self._fanin0.append(fanin0)
         self._fanin1.append(fanin1)
+        self._refs.append(0)
+        self._fanouts.append([])
+        self._dead.append(0)
+        for child in (fanin0 >> 1, fanin1 >> 1):
+            self._refs[child] += 1
+            self._fanouts[child].append(node)
+        if self._topo_cache is not None:
+            # appended nodes only reference existing ones: the cached
+            # topological order stays valid with the node at the end.
+            self._topo_cache.append(node)
         if kind == NodeKind.AND:
             self._num_ands += 1
         else:
@@ -150,6 +279,10 @@ class Xag:
             return FALSE
         if a > b:
             a, b = b, a
+        if self._dead[a >> 1]:
+            self._revive_for_reference(a >> 1)
+        if self._dead[b >> 1]:
+            self._revive_for_reference(b >> 1)
         key = (NodeKind.AND, a, b)
         node = self._strash.get(key)
         if node is None:
@@ -179,9 +312,17 @@ class Xag:
         b &= ~1
         if a > b:
             a, b = b, a
+        if self._dead[a >> 1]:
+            self._revive_for_reference(a >> 1)
+        if self._dead[b >> 1]:
+            self._revive_for_reference(b >> 1)
         key = (NodeKind.XOR, a, b)
         node = self._strash.get(key)
         if node is None:
+            twin = self._strash_xor1.get(key)
+            if twin is not None and not self._dead[twin]:
+                # twin computes the complement of the requested function
+                return literal(twin) | (out_complement ^ 1)
             node = self._new_node(NodeKind.XOR, a, b)
             self._strash[key] = node
             self._strash_log.append(key)
@@ -253,24 +394,408 @@ class Xag:
     # ------------------------------------------------------------------
     def checkpoint(self) -> Checkpoint:
         """Snapshot the network so later additions can be undone."""
-        return Checkpoint(len(self._kind), len(self._strash_log), self._num_ands, self._num_xors)
+        return Checkpoint(len(self._kind), len(self._strash_log), self._num_ands,
+                          self._num_xors, self._mutation_epoch)
 
     def rollback(self, checkpoint: Checkpoint) -> None:
         """Remove every node created after ``checkpoint``.
 
         Only valid when the removed nodes are not referenced by primary
         outputs or by nodes created before the checkpoint (which is always the
-        case for bottom-up construction).
+        case for bottom-up construction), and when no in-place edit
+        (:meth:`substitute_node`, :meth:`take_out_node`) happened since the
+        checkpoint was taken — in-place edits rewire pre-checkpoint state
+        that a rollback cannot restore, so mixing the two raises.
         """
+        if checkpoint.mutation_epoch != self._mutation_epoch:
+            raise ValueError(
+                "cannot roll back across an in-place edit: the checkpoint was "
+                "taken before a substitute_node/take_out_node call")
         for key in self._strash_log[checkpoint.strash_log_len:]:
             del self._strash[key]
         del self._strash_log[checkpoint.strash_log_len:]
+        for node in range(checkpoint.num_nodes, len(self._kind)):
+            if self._dead[node]:
+                self._num_dead -= 1
+                continue
+            if self._kind[node] not in (NodeKind.AND, NodeKind.XOR):
+                continue
+            for child in (self._fanin0[node] >> 1, self._fanin1[node] >> 1):
+                self._refs[child] -= 1
+                self._fanouts[child].remove(node)
         del self._kind[checkpoint.num_nodes:]
         del self._fanin0[checkpoint.num_nodes:]
         del self._fanin1[checkpoint.num_nodes:]
+        del self._refs[checkpoint.num_nodes:]
+        del self._fanouts[checkpoint.num_nodes:]
+        del self._dead[checkpoint.num_nodes:]
         self._num_ands = checkpoint.num_ands
         self._num_xors = checkpoint.num_xors
         self._rollback_epoch += 1
+        self._topo_cache = None
+        for observer in self._live_observers():
+            on_rollback = getattr(observer, "on_rollback", None)
+            if on_rollback is not None:
+                on_rollback(self)
+
+    # ------------------------------------------------------------------
+    # in-place editing
+    # ------------------------------------------------------------------
+    def is_dead(self, node: int) -> bool:
+        """True when the node was removed by dereferencing."""
+        return bool(self._dead[node])
+
+    def fanout(self, node: int) -> List[int]:
+        """Live gate nodes referencing ``node`` (POs are not listed)."""
+        return list(self._fanouts[node])
+
+    def fanout_size(self, node: int) -> int:
+        """Maintained reference count of ``node`` (POs count as fan-outs)."""
+        return self._refs[node]
+
+    def transitive_fanout(self, seeds: Iterable[int]) -> Set[int]:
+        """All live nodes reachable forward from ``seeds`` (seeds included)."""
+        seen: Set[int] = set()
+        stack = [node for node in seeds if not self._dead[node]]
+        seen.update(stack)
+        fanouts = self._fanouts
+        while stack:
+            node = stack.pop()
+            for fo in fanouts[node]:
+                if fo not in seen and not self._dead[fo]:
+                    seen.add(fo)
+                    stack.append(fo)
+        return seen
+
+    def substitute_node(self, old: int, new_lit: int) -> SubstitutionResult:
+        """Redirect every reference of ``old`` to ``new_lit``, in place.
+
+        Fan-out gates have the corresponding fan-in literal replaced (the
+        reference's complement bit is XOR-ed into ``new_lit`` — a complement
+        landing on an XOR fan-in stays stored on the edge, which is valid
+        everywhere literals are read; only freshly *created* XOR gates keep
+        the push-complements-out normal form); primary outputs are re-driven
+        likewise.  A rewired gate that collapses (constant fan-in, equal or
+        complementary fan-ins) or strash-merges with an existing gate is
+        substituted in turn — such cascaded replacements are re-derived from
+        the gate's current fan-ins at the moment they are applied, so
+        earlier steps of the cascade can never leave a stale fold behind.
+        ``old`` and any node losing its last reference are dereferenced
+        (:meth:`is_dead`); a replacement target that was dead is revived.
+        Subscribed observers are notified with the resulting
+        :class:`SubstitutionResult`.
+
+        Caller contract: ``new_lit`` must not lie in the transitive fanout
+        of ``old`` — redirecting the fanout of ``old`` onto such a literal
+        would create a combinational cycle.  (The cut rewriter satisfies
+        this structurally: replacement logic is built on the cut leaves,
+        which live in the root's transitive fan-in.)
+        """
+        if not self.is_gate(old):
+            raise ValueError(f"substitute_node target {old} is not a gate")
+        if self._dead[old]:
+            raise ValueError(f"substitute_node target {old} is dead")
+        self._check_literal(new_lit)
+        result = SubstitutionResult()
+        #: (node, replacement) — replacement ``None`` means "re-derive from
+        #: the node's current fan-ins when the entry is applied".
+        queue: Deque[Tuple[int, Optional[int]]] = deque([(old, new_lit)])
+        #: nodes with a queued replacement — they must not rejoin the strash
+        folding: Set[int] = {old}
+        while queue:
+            node, repl = queue.popleft()
+            folding.discard(node)
+            if self._dead[node]:
+                continue
+            if repl is None:
+                repl = self._resolve_gate(node)
+                if repl is None:
+                    # the gate no longer collapses/merges: it was re-strashed
+                    # by _resolve_gate and simply stays.
+                    continue
+            if (repl >> 1) == node:
+                if repl == literal(node):
+                    continue
+                raise ValueError(
+                    f"cannot substitute node {node} by its own complement")
+            target = repl >> 1
+            if self._dead[target]:
+                self._revive(target, result)
+            result.pairs.append((node, repl))
+            result.touched_refs.add(node)
+            result.touched_refs.add(target)
+            # primary outputs: gate references live in the fan-out list, so
+            # a reference surplus is the only way a PO can point here — skip
+            # the O(num_pos) scan for the (vast majority of) interior nodes.
+            if self._refs[node] != len(self._fanouts[node]):
+                for index, po in enumerate(self._pos):
+                    if (po >> 1) == node:
+                        self._pos[index] = repl ^ (po & 1)
+                        self._refs[node] -= 1
+                        self._refs[target] += 1
+            # fan-out gates
+            for g in list(self._fanouts[node]):
+                if self._dead[g]:
+                    continue
+                self._rewire(g, node, repl, queue, folding, result)
+            # garbage-collect the substituted node
+            if self._refs[node] == 0 and not self._dead[node]:
+                self._take_out(node, result)
+        self._mutation_epoch += 1
+        self._topo_clean = False
+        self._topo_cache = None
+        # every outstanding checkpoint is now invalid (epoch guard), so the
+        # strash log has no consumers: trim it instead of letting it grow by
+        # one entry per gate ever hashed across a whole convergence flow.
+        del self._strash_log[:]
+        self._notify_substitution(result)
+        return result
+
+    def take_out_node(self, node: int) -> List[int]:
+        """Dereference an unreferenced gate (and its cone, recursively).
+
+        The node must be a live gate with no remaining references.  Returns
+        the list of nodes that died.  This is the explicit entry point for
+        callers that dropped their last use of a cone; :meth:`substitute_node`
+        calls the same machinery automatically.
+        """
+        if not self.is_gate(node) or self._dead[node]:
+            raise ValueError(f"take_out_node target {node} is not a live gate")
+        if self._refs[node] != 0:
+            raise ValueError(f"node {node} still has {self._refs[node]} references")
+        result = SubstitutionResult()
+        self._take_out(node, result)
+        self._mutation_epoch += 1
+        self._topo_cache = None
+        self._notify_substitution(result)
+        return list(result.killed)
+
+    # -- observer registry ---------------------------------------------
+    def subscribe(self, observer) -> None:
+        """Register an observer for mutation events (held by weak reference).
+
+        The observer contract: ``on_substitution(xag, result)`` receives a
+        :class:`SubstitutionResult` after every in-place edit (substitution
+        or take-out); ``on_rollback(xag)``, if defined, is called after every
+        :meth:`rollback`.  Both are optional — missing methods are skipped.
+        Observers are compared by identity and never kept alive by the
+        network (dead weak references are pruned on notify).
+        """
+        for ref in self._observers:
+            if ref() is observer:
+                return
+        self._observers.append(weakref.ref(observer))
+
+    def unsubscribe(self, observer) -> None:
+        """Remove a previously subscribed observer (no-op when absent)."""
+        self._observers = [ref for ref in self._observers
+                           if ref() is not None and ref() is not observer]
+
+    def _live_observers(self) -> List[object]:
+        observers = []
+        live_refs = []
+        for ref in self._observers:
+            observer = ref()
+            if observer is not None:
+                observers.append(observer)
+                live_refs.append(ref)
+        self._observers = live_refs
+        return observers
+
+    def _notify_substitution(self, result: SubstitutionResult) -> None:
+        for observer in self._live_observers():
+            on_substitution = getattr(observer, "on_substitution", None)
+            if on_substitution is not None:
+                on_substitution(self, result)
+
+    # -- substitution internals ----------------------------------------
+    def _unregister(self, node: int) -> None:
+        """Drop ``node``'s strash entry, if it is registered under its key."""
+        kind = self._kind[node]
+        f0 = self._fanin0[node]
+        f1 = self._fanin1[node]
+        if kind == NodeKind.XOR:
+            f0 &= ~1
+            f1 &= ~1
+        if f0 > f1:
+            f0, f1 = f1, f0
+        key = (kind, f0, f1)
+        if self._strash.get(key) == node:
+            del self._strash[key]
+        elif kind == NodeKind.XOR and self._strash_xor1.get(key) == node:
+            del self._strash_xor1[key]
+
+    def _rewire(self, g: int, from_node: int, repl: int,
+                queue: Deque[Tuple[int, Optional[int]]], folding: Set[int],
+                result: SubstitutionResult) -> None:
+        """Replace ``g``'s references of ``from_node`` with ``repl``."""
+        self._unregister(g)
+        target = repl >> 1
+        f0 = self._fanin0[g]
+        f1 = self._fanin1[g]
+        if (f0 >> 1) == from_node:
+            self._refs[from_node] -= 1
+            self._fanouts[from_node].remove(g)
+            self._refs[target] += 1
+            self._fanouts[target].append(g)
+            f0 = repl ^ (f0 & 1)
+        if (f1 >> 1) == from_node:
+            self._refs[from_node] -= 1
+            self._fanouts[from_node].remove(g)
+            self._refs[target] += 1
+            self._fanouts[target].append(g)
+            f1 = repl ^ (f1 & 1)
+        self._fanin0[g] = f0
+        self._fanin1[g] = f1
+        result.dirty.add(g)
+        if g in folding:
+            # g already has a queued replacement; its (re-derived) fold will
+            # see the updated fan-ins when it is applied.
+            return
+        if self._resolve_gate(g) is not None:
+            # collapses or merges: defer, re-deriving at apply time (the
+            # fan-ins may be rewired again before the fold is reached).
+            queue.append((g, None))
+            folding.add(g)
+
+    def _resolve_gate(self, g: int) -> Optional[int]:
+        """Re-derive ``g`` from its current fan-ins.
+
+        Returns the literal ``g`` is equivalent to when it collapses
+        (constant / equal / complementary fan-ins) or strash-merges with an
+        existing gate; otherwise canonicalises the stored fan-ins, registers
+        ``g`` in the strash (when its key is free) and returns ``None``.
+        Every fan-in rewire and every deferred fold funnels through here, so
+        a fold is always derived from the fan-ins it is applied against.
+        """
+        a = self._fanin0[g]
+        b = self._fanin1[g]
+        if self._kind[g] == NodeKind.AND:
+            if a == FALSE or b == FALSE or a == lit_not(b):
+                return FALSE
+            if a == TRUE:
+                return b
+            if b == TRUE:
+                return a
+            if a == b:
+                return a
+            if a > b:
+                a, b = b, a
+            self._fanin0[g] = a
+            self._fanin1[g] = b
+            key = (NodeKind.AND, a, b)
+            existing = self._strash.get(key)
+            if existing is not None and existing != g and not self._dead[existing]:
+                return literal(existing)
+            self._strash[key] = g
+            return None
+        parity = (a & 1) ^ (b & 1)
+        base_a = a & ~1
+        base_b = b & ~1
+        if base_a == base_b:
+            return FALSE ^ parity
+        if base_a == FALSE:
+            return base_b ^ parity
+        if base_b == FALSE:
+            return base_a ^ parity
+        if base_a > base_b:
+            base_a, base_b = base_b, base_a
+        key = (NodeKind.XOR, base_a, base_b)
+        existing = self._strash.get(key)
+        if existing is not None and existing != g and not self._dead[existing]:
+            # existing computes base_a ^ base_b; g additionally carries the
+            # fan-in complement parity.
+            return literal(existing) | parity
+        twin = self._strash_xor1.get(key)
+        if twin is not None and twin != g and not self._dead[twin]:
+            # twin computes base_a ^ base_b ^ 1.
+            return literal(twin) | (parity ^ 1)
+        # canonical storage: complements folded into the parity position on
+        # the lower-base fan-in, fan-ins sorted by base literal.
+        self._fanin0[g] = base_a | parity
+        self._fanin1[g] = base_b
+        if parity:
+            self._strash_xor1[key] = g
+        else:
+            self._strash[key] = g
+        return None
+
+    def _take_out(self, node: int, result: SubstitutionResult) -> None:
+        """Mark ``node`` dead and dereference its cone recursively."""
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if self._dead[n] or self._refs[n] != 0 or \
+                    self._kind[n] not in (NodeKind.AND, NodeKind.XOR):
+                continue
+            self._dead[n] = 1
+            self._num_dead += 1
+            if self._kind[n] == NodeKind.AND:
+                self._num_ands -= 1
+            else:
+                self._num_xors -= 1
+            self._unregister(n)
+            result.killed.append(n)
+            for child in (self._fanin0[n] >> 1, self._fanin1[n] >> 1):
+                self._refs[child] -= 1
+                self._fanouts[child].remove(n)
+                result.touched_refs.add(child)
+                if self._refs[child] == 0 and not self._dead[child]:
+                    stack.append(child)
+
+    def _revive_for_reference(self, node: int) -> None:
+        """Revive a dead node referenced from a construction-path call.
+
+        This is a mutation like any other: it bumps the mutation epoch
+        (invalidating outstanding checkpoints) and notifies observers with
+        the revived cone, so incremental state (stale packed words in a
+        :class:`~repro.xag.bitsim.BitSimulator`, memoised cone functions)
+        is invalidated instead of silently surviving.
+        """
+        result = SubstitutionResult()
+        self._revive(node, result)
+        self._mutation_epoch += 1
+        self._notify_substitution(result)
+
+    def _revive(self, node: int, result: Optional[SubstitutionResult]) -> None:
+        """Resurrect a dead node (and, recursively, its dead fan-in cone)."""
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if not self._dead[n]:
+                continue
+            self._dead[n] = 0
+            self._num_dead -= 1
+            if self._kind[n] == NodeKind.AND:
+                self._num_ands += 1
+            else:
+                self._num_xors += 1
+            if result is not None:
+                result.revived.append(n)
+                result.touched_refs.add(n)
+            for child in (self._fanin0[n] >> 1, self._fanin1[n] >> 1):
+                if self._dead[child]:
+                    stack.append(child)
+                self._refs[child] += 1
+                self._fanouts[child].append(n)
+                if result is not None:
+                    result.touched_refs.add(child)
+            kind = self._kind[n]
+            f0 = self._fanin0[n]
+            f1 = self._fanin1[n]
+            if kind == NodeKind.XOR:
+                parity = (f0 & 1) ^ (f1 & 1)
+                f0 &= ~1
+                f1 &= ~1
+                if f0 > f1:
+                    f0, f1 = f1, f0
+                table = self._strash_xor1 if parity else self._strash
+                table.setdefault((NodeKind.XOR, f0, f1), n)
+            else:
+                if f0 > f1:
+                    f0, f1 = f1, f0
+                self._strash.setdefault((kind, f0, f1), n)
+        self._topo_cache = None
 
     # ------------------------------------------------------------------
     # queries
@@ -281,8 +806,13 @@ class Xag:
 
     @property
     def num_nodes(self) -> int:
-        """Total number of nodes including the constant and the PIs."""
+        """Total number of node slots including the constant, PIs and dead nodes."""
         return len(self._kind)
+
+    @property
+    def num_dead(self) -> int:
+        """Number of dead (dereferenced) node slots."""
+        return self._num_dead
 
     @property
     def num_pis(self) -> int:
@@ -296,17 +826,17 @@ class Xag:
 
     @property
     def num_gates(self) -> int:
-        """Number of AND and XOR gates."""
+        """Number of live AND and XOR gates."""
         return self._num_ands + self._num_xors
 
     @property
     def num_ands(self) -> int:
-        """Number of AND gates (the multiplicative complexity of the circuit)."""
+        """Number of live AND gates (the multiplicative complexity of the circuit)."""
         return self._num_ands
 
     @property
     def num_xors(self) -> int:
-        """Number of XOR gates."""
+        """Number of live XOR gates."""
         return self._num_xors
 
     def kind(self, node: int) -> int:
@@ -373,31 +903,90 @@ class Xag:
         """Names of all primary outputs."""
         return list(self._po_names)
 
+    def is_topo_clean(self) -> bool:
+        """True while node index order is still a valid topological order."""
+        return self._topo_clean
+
+    def topological_order(self) -> List[int]:
+        """All live node indices, fan-ins before fan-outs.
+
+        For append-only networks this is simply the (live) index order; after
+        an in-place substitution the order is recomputed (and cached until
+        the next mutation) by a depth-first traversal.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        if self._topo_clean:
+            if self._num_dead == 0:
+                order = list(range(len(self._kind)))
+            else:
+                dead = self._dead
+                order = [node for node in range(len(self._kind)) if not dead[node]]
+            self._topo_cache = order
+            return order
+        kind = self._kind
+        fanin0 = self._fanin0
+        fanin1 = self._fanin1
+        dead = self._dead
+        visited = bytearray(len(kind))
+        order: List[int] = []
+        for seed in range(len(kind)):
+            if dead[seed] or visited[seed]:
+                continue
+            stack: List[Tuple[int, bool]] = [(seed, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    order.append(node)
+                    continue
+                if visited[node]:
+                    continue
+                visited[node] = 1
+                if kind[node] in (NodeKind.AND, NodeKind.XOR):
+                    stack.append((node, True))
+                    for child in (fanin1[node] >> 1, fanin0[node] >> 1):
+                        if not visited[child]:
+                            stack.append((child, False))
+                else:
+                    order.append(node)
+        self._topo_cache = order
+        return order
+
     def gates(self) -> Iterator[int]:
-        """Iterate over gate node indices in topological order."""
-        for node in range(len(self._kind)):
-            if self.is_gate(node):
+        """Iterate over live gate node indices in topological order."""
+        if self._topo_clean and self._num_dead == 0:
+            for node in range(len(self._kind)):
+                if self._kind[node] in (NodeKind.AND, NodeKind.XOR):
+                    yield node
+            return
+        dead = self._dead
+        for node in self.topological_order():
+            if self._kind[node] in (NodeKind.AND, NodeKind.XOR) and not dead[node]:
                 yield node
 
     def nodes(self) -> Iterator[int]:
-        """Iterate over all node indices in topological order."""
+        """Iterate over all node indices in creation order (dead included).
+
+        Full-network passes that need fan-ins before fan-outs must iterate
+        :meth:`topological_order` instead — after an in-place substitution
+        the creation order is no longer topological.
+        """
         return iter(range(len(self._kind)))
 
     def fanout_counts(self) -> List[int]:
-        """Fan-out count per node (primary outputs count as fan-outs)."""
-        counts = [0] * len(self._kind)
-        for node in self.gates():
-            counts[lit_node(self._fanin0[node])] += 1
-            counts[lit_node(self._fanin1[node])] += 1
-        for lit in self._pos:
-            counts[lit_node(lit)] += 1
-        return counts
+        """Fan-out count per node (primary outputs count as fan-outs).
+
+        This is the maintained reference-count array; it equals the
+        recomputation from scratch (sum of live-gate fan-in references plus
+        PO references) at all times.
+        """
+        return list(self._refs)
 
     # ------------------------------------------------------------------
     # utilities
     # ------------------------------------------------------------------
     def clone(self) -> "Xag":
-        """Deep copy of the network."""
+        """Deep copy of the network (observers are not carried over)."""
         other = Xag()
         other._kind = list(self._kind)
         other._fanin0 = list(self._fanin0)
@@ -407,20 +996,30 @@ class Xag:
         other._pos = list(self._pos)
         other._po_names = list(self._po_names)
         other._strash = dict(self._strash)
+        other._strash_xor1 = dict(self._strash_xor1)
         other._strash_log = list(self._strash_log)
         other._num_ands = self._num_ands
         other._num_xors = self._num_xors
+        other._refs = list(self._refs)
+        other._fanouts = [list(fanout) for fanout in self._fanouts]
+        other._dead = bytearray(self._dead)
+        other._num_dead = self._num_dead
+        other._topo_clean = self._topo_clean
+        other._topo_cache = None
         other.name = self.name
         return other
 
-    def copy_cone(self, target: "Xag", roots: Sequence[int], leaf_map: Dict[int, int]) -> List[int]:
+    def copy_cone(self, target: "Xag", roots: Sequence[int], leaf_map: Dict[int, int],
+                  cache_out: Optional[Dict[int, int]] = None) -> List[int]:
         """Copy the cones of ``roots`` into ``target``.
 
         ``leaf_map`` maps node indices of this network to literals of
         ``target``; every node reachable from the roots must either be a gate
         whose fan-ins are (transitively) covered, a constant, or appear in
         ``leaf_map``.  Returns the literals in ``target`` corresponding to the
-        ``roots`` literals of this network.
+        ``roots`` literals of this network.  When ``cache_out`` is given, the
+        full old-node → new-literal cache (leaves and every copied gate) is
+        stored into it.
         """
         cache: Dict[int, int] = dict(leaf_map)
         cache[0] = FALSE
@@ -434,6 +1033,8 @@ class Xag:
                 cache[node] = target.create_and(a, b)
             else:
                 cache[node] = target.create_xor(a, b)
+        if cache_out is not None:
+            cache_out.update(cache)
         return [cache[lit_node(r)] ^ (r & 1) for r in roots]
 
     def _collect_cone_nodes(self, roots: Sequence[int], stop: Iterable[int]) -> List[int]:

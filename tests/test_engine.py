@@ -143,8 +143,10 @@ def test_run_circuit_reports_stages_and_verifies():
     assert report.ands_after <= report.ands_before
     assert report.rounds and report.rounds[0].verified is True
     stages = report.stage_timings()
-    assert set(stages) == {"build", "baseline", "one_round", "convergence", "verify"}
+    assert set(stages) == {"build", "baseline", "one_round", "convergence",
+                           "verify", "select", "apply"}
     assert stages["baseline"] == 0.0          # size_baseline off by default
+    assert stages["select"] > 0               # Phase-1 time is accounted
     assert report.total_seconds > 0
 
 
@@ -217,7 +219,8 @@ def test_cli_runs_and_writes_json(tmp_path, capsys):
     assert circuit["name"] == "decoder"
     assert circuit["verified"] is True
     assert set(circuit["stage_seconds"]) == {"build", "baseline", "one_round",
-                                             "convergence", "verify"}
+                                             "convergence", "verify",
+                                             "select", "apply"}
     assert "decoder" in capsys.readouterr().out
 
 

@@ -1,0 +1,410 @@
+"""In-place substitution core: invariants, events, and rewriter parity."""
+
+import random
+
+import pytest
+
+from helpers import random_xag
+from repro.circuits import arithmetic as A
+from repro.circuits import control as C
+from repro.cuts.cache import CutFunctionCache
+from repro.cuts.enumeration import CutSetCache, enumerate_cuts
+from repro.rewriting import CutRewriter, RewriteParams, optimize, paper_flow
+from repro.xag import BitSimulator, equivalent, is_swept, node_values, sweep
+from repro.xag.equivalence import equivalence_stimulus
+from repro.xag.graph import Xag, lit_node, lit_not, literal
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def recount_fanouts(xag):
+    """Ground-truth fan-out counts recomputed from the live structure."""
+    counts = [0] * xag.num_nodes
+    for node in xag.gates():
+        f0, f1 = xag.fanins(node)
+        counts[lit_node(f0)] += 1
+        counts[lit_node(f1)] += 1
+    for lit in xag.po_literals():
+        counts[lit_node(lit)] += 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# substitute_node semantics
+# ----------------------------------------------------------------------
+def test_substitute_rewires_fanouts_and_pos_with_complements():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    t = xag.create_and(a, b)
+    u = xag.create_xor(t, c)
+    xag.create_po(lit_not(t), "inv")
+    xag.create_po(u, "x")
+    before = node_values(xag, [0b1010, 0b1100, 0b1111], 0b1111)
+    po_before = [before[lit_node(l)] ^ (0b1111 if l & 1 else 0)
+                 for l in xag.po_literals()]
+
+    # replace t with an equivalent, structurally distinct construction:
+    # a & b == a ^ b ^ (a | b) — the OR hashes to a different node.
+    repl = xag.create_xor(xag.create_xor(a, b), xag.create_or(a, b))
+    assert lit_node(repl) != lit_node(t)
+    result = xag.substitute_node(lit_node(t), repl)
+    assert (lit_node(t), repl) in result.pairs
+    assert xag.is_dead(lit_node(t))
+
+    after = node_values(xag, [0b1010, 0b1100, 0b1111], 0b1111)
+    po_after = [after[lit_node(l)] ^ (0b1111 if l & 1 else 0)
+                for l in xag.po_literals()]
+    assert po_before == po_after
+    assert xag.fanout_counts() == recount_fanouts(xag)
+
+
+def test_substitute_by_constant_collapses_cone():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    t = xag.create_and(a, b)
+    u = xag.create_and(t, c)
+    xag.create_po(u)
+    result = xag.substitute_node(lit_node(t), xag.get_constant(False))
+    # u = AND(FALSE, c) collapses to FALSE, driving the PO
+    assert xag.po_literal(0) == 0
+    assert xag.num_ands == 0
+    assert lit_node(u) in result.killed and lit_node(t) in result.killed
+    assert xag.fanout_counts() == recount_fanouts(xag)
+
+
+def test_substitute_strash_merge_folds_duplicates():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    t1 = xag.create_and(a, b)
+    t2 = xag.create_and(a, c)
+    u1 = xag.create_xor(t1, c)
+    u2 = xag.create_xor(t2, c)
+    xag.create_po(u1)
+    xag.create_po(u2)
+    # substituting t2 by t1 makes u2 structurally identical to u1
+    xag.substitute_node(lit_node(t2), t1)
+    assert xag.po_literal(0) == xag.po_literal(1)
+    assert xag.fanout_counts() == recount_fanouts(xag)
+
+
+def test_substitute_rejects_non_gates_and_dead_nodes():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    t = xag.create_and(a, b)
+    xag.create_po(t)
+    with pytest.raises(ValueError):
+        xag.substitute_node(lit_node(a), b)
+    xag.substitute_node(lit_node(t), a)
+    assert xag.is_dead(lit_node(t))
+    with pytest.raises(ValueError):
+        xag.substitute_node(lit_node(t), b)
+
+
+def test_take_out_node_and_revive_through_reference():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    t = xag.create_and(a, b)  # never referenced
+    xag.create_po(a)
+    killed = xag.take_out_node(lit_node(t))
+    assert killed == [lit_node(t)]
+    assert xag.num_ands == 0 and xag.is_dead(lit_node(t))
+    # referencing the dead literal revives the node
+    u = xag.create_xor(t, b)
+    xag.create_po(u)
+    assert not xag.is_dead(lit_node(t))
+    assert xag.num_ands == 1
+    assert xag.fanout_counts() == recount_fanouts(xag)
+
+
+def test_rollback_across_substitution_is_rejected():
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    t = xag.create_and(a, b)
+    xag.create_po(xag.create_xor(t, c))
+    checkpoint = xag.checkpoint()
+    xag.substitute_node(lit_node(t), a)
+    with pytest.raises(ValueError):
+        xag.rollback(checkpoint)
+    # a checkpoint taken after the edit still works (speculative growth
+    # only — rolled-back nodes must not be referenced by POs, as always)
+    checkpoint2 = xag.checkpoint()
+    xag.create_and(xag.create_xor(a, c), b)
+    xag.rollback(checkpoint2)
+    assert xag.fanout_counts() == recount_fanouts(xag)
+
+
+# ----------------------------------------------------------------------
+# property test: random substitute/rollback sequences (satellite)
+# ----------------------------------------------------------------------
+def test_fanout_refcount_and_simulation_invariants_under_random_edits():
+    """After random substitute_node/rollback sequences the maintained
+    fan-out counts must equal a from-scratch recount and the incremental
+    simulator must agree with a fresh full simulation."""
+    for seed in range(8):
+        rng = random.Random(seed)
+        xag = random_xag(rng, num_pis=5, num_gates=30, and_bias=0.6)
+        words, mask, _ = equivalence_stimulus(xag.num_pis)
+        sim = BitSimulator(xag, words, mask)
+        sim.sync()
+
+        for step in range(12):
+            action = rng.random()
+            live_gates = [n for n in xag.gates()]
+            if action < 0.55 and live_gates:
+                # redirect a random gate to a random non-cycle literal
+                # (exercises rewires, complement handling, cascades, GC)
+                node = rng.choice(live_gates)
+                # a replacement inside the node's transitive fanout would
+                # create a combinational cycle (caller contract)
+                forbidden = xag.transitive_fanout([node])
+                candidates = [n for n in xag.topological_order()
+                              if n != node and not xag.is_constant(n)
+                              and n not in forbidden]
+                if not candidates:
+                    continue
+                repl = literal(rng.choice(candidates), rng.random() < 0.5)
+                xag.substitute_node(node, repl)
+            elif action < 0.8 and live_gates:
+                # substitute by a constant: collapses the fan-out cone
+                node = rng.choice(live_gates)
+                xag.substitute_node(node, rng.randint(0, 1))
+            else:
+                # speculative growth undone by rollback
+                checkpoint = xag.checkpoint()
+                pis = xag.pi_literals()
+                extra = xag.create_and(xag.create_xor(rng.choice(pis), rng.choice(pis)),
+                                       rng.choice(pis))
+                sim.sync()
+                xag.rollback(checkpoint)
+
+            # invariant 1: maintained refcounts == recomputed
+            assert xag.fanout_counts() == recount_fanouts(xag), f"seed {seed} step {step}"
+            # invariant 2: event-driven simulator == fresh simulation
+            fresh = node_values(xag, words, mask)
+            incremental = sim.values()
+            for n in xag.topological_order():
+                assert incremental[n] == fresh[n], f"seed {seed} step {step} node {n}"
+            # invariant 3: topological order is valid (fan-ins first)
+            seen = set()
+            for n in xag.topological_order():
+                if xag.is_gate(n):
+                    f0, f1 = xag.fanins(n)
+                    assert lit_node(f0) in seen and lit_node(f1) in seen
+                seen.add(n)
+
+
+def test_construction_path_revive_notifies_observers():
+    """Reviving a dead node via create_* must invalidate stale sim words."""
+    xag = Xag()
+    a, b, c, d = xag.create_pis(4)
+    t = xag.create_and(a, b)
+    u = xag.create_xor(t, c)
+    xag.create_po(u)
+    words, mask, _ = equivalence_stimulus(xag.num_pis)
+    sim = BitSimulator(xag, words, mask)
+    sim.sync()
+    xag.substitute_node(lit_node(t), d)      # rewires u
+    xag.substitute_node(lit_node(u), a)      # kills u
+    assert xag.is_dead(lit_node(u))
+    # referencing the dead literal revives it — the simulator must see it
+    xag.create_po(xag.create_and(u, c))
+    fresh = node_values(xag, words, mask)
+    incremental = sim.values()
+    for n in xag.topological_order():
+        assert incremental[n] == fresh[n], f"node {n}"
+    # and a checkpoint taken before the revive is no longer rollback-able
+    xag2 = Xag()
+    p, q = xag2.create_pis(2)
+    t2 = xag2.create_and(p, q)
+    xag2.create_po(xag2.create_xor(t2, p))
+    xag2.substitute_node(lit_node(t2), q)
+    checkpoint = xag2.checkpoint()
+    xag2.create_po(xag2.create_and(t2, p))   # revives t2
+    with pytest.raises(ValueError):
+        xag2.rollback(checkpoint)
+
+
+def test_invalidate_handles_dependent_nodes_in_any_order():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    g1 = xag.create_and(a, b)
+    g2 = xag.create_xor(g1, a)
+    xag.create_po(g2)
+    sim = BitSimulator(xag, [0b1010, 0b1100], 0b1111)
+    sim.sync()
+    # corrupt stored words, then invalidate with the dependent node first
+    sim._values[lit_node(g1)] ^= 0b1111
+    sim._values[lit_node(g2)] ^= 0b0101
+    sim.invalidate([lit_node(g2), lit_node(g1)])
+    fresh = node_values(xag, [0b1010, 0b1100], 0b1111)
+    assert sim.values() == fresh
+
+
+def test_in_place_flow_result_is_swept():
+    """Plan-insertion orphans and dead slots are compacted by the flow."""
+    for builder in (C.int_to_float, lambda: C.priority_encoder(16)):
+        xag = builder()
+        result = optimize(xag, params=RewriteParams(in_place=True))
+        assert is_swept(result.final)
+        assert result.final.num_dead == 0
+
+
+# ----------------------------------------------------------------------
+# observer invalidation
+# ----------------------------------------------------------------------
+def test_cut_function_cache_survives_unrelated_substitution():
+    xag = Xag()
+    a, b, c, d = xag.create_pis(4)
+    left = xag.create_and(xag.create_xor(a, b), b)
+    right = xag.create_and(xag.create_xor(c, d), d)
+    xag.create_po(left)
+    xag.create_po(right)
+    cache = CutFunctionCache()
+    t_left = cache.cone_function(xag, lit_node(left), (lit_node(a), lit_node(b)))
+    t_right = cache.cone_function(xag, lit_node(right), (lit_node(c), lit_node(d)))
+    misses = cache.function_misses
+
+    # substituting in the right cone must not evict the left memo entry;
+    # c ^ d == (c | d) & ~(c & d) is a structurally distinct equivalent.
+    right_xor = next(lit_node(f) for f in xag.fanins(lit_node(right))
+                     if xag.is_gate(lit_node(f)))
+    repl = xag.create_and(xag.create_or(c, d), lit_not(xag.create_and(c, d)))
+    assert lit_node(repl) != right_xor
+    xag.substitute_node(right_xor, repl)
+    assert cache.cone_function(xag, lit_node(left), (lit_node(a), lit_node(b))) == t_left
+    assert cache.function_misses == misses  # served from the memo
+
+
+def test_simulation_cache_entry_stays_valid_across_rewrites():
+    xag = C.int_to_float()
+    words, mask, _ = equivalence_stimulus(xag.num_pis)
+    rewriter = CutRewriter(params=RewriteParams(verify=True))
+    working = sweep(xag)
+    if working is xag:
+        working = xag.clone()
+    sim = rewriter.sim_cache.simulator(working, words, mask)
+    po_initial = list(sim.po_words())
+    full_before = sim.full_updates
+    rewriter.rewrite_in_place(working)
+    # the same simulator object served the round and stayed consistent
+    assert rewriter.sim_cache.simulator(working, words, mask) is sim
+    assert sim.po_words() == po_initial
+    # suffix syncs only cover the inserted plans, not the whole network
+    assert sim.full_updates - full_before < working.num_nodes
+
+
+def test_cut_set_cache_recomputes_only_dirty_fanout():
+    xag = C.priority_encoder(16)
+    cache = CutSetCache(cut_size=4, cut_limit=8)
+    first = cache.cuts(xag)
+    assert first == enumerate_cuts(xag, cut_size=4, cut_limit=8)
+    full_cost = cache.nodes_recomputed
+
+    rewriter = CutRewriter(params=RewriteParams(cut_size=4, cut_limit=8,
+                                                verify=False))
+    working = xag.clone()
+    cache2 = CutSetCache(cut_size=4, cut_limit=8)
+    cache2.cuts(working)
+    baseline = cache2.nodes_recomputed
+    rewriter.rewrite_in_place(working)
+    cache2.cuts(working)
+    # identical algorithm, incremental recomputation
+    assert cache2.cuts(working) == enumerate_cuts(working, cut_size=4, cut_limit=8)
+    assert cache2.nodes_recomputed - baseline <= baseline
+
+
+# ----------------------------------------------------------------------
+# rewriter parity and flow behaviour
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("builder", [
+    lambda: C.int_to_float(),
+    lambda: C.priority_encoder(16),
+    lambda: A.adder(8),
+])
+def test_in_place_and_rebuild_reach_identical_and_counts(builder):
+    xag = builder()
+    res_in = optimize(xag, params=RewriteParams(in_place=True))
+    res_out = optimize(xag, params=RewriteParams(in_place=False))
+    assert equivalent(xag, res_in.final)
+    assert res_in.final.num_ands == res_out.final.num_ands
+    assert all(s.mode == "in_place" for s in res_in.rounds)
+    assert all(s.mode == "rebuild" for s in res_out.rounds)
+
+
+def test_in_place_flow_reports_worklist_rounds():
+    xag = C.int_to_float()
+    result = optimize(xag, params=RewriteParams(in_place=True))
+    assert result.rounds[0].worklist_size == 0          # first round: all gates
+    assert all(s.worklist_size > 0 for s in result.rounds[1:])
+    assert sum(s.substitutions for s in result.rounds) > 0
+    assert all(s.verified for s in result.rounds)
+    assert result.converged
+
+
+def test_paper_flow_in_place_matches_rebuild():
+    xag = C.priority_encoder(16)
+    flow_in = paper_flow(xag, params=RewriteParams(in_place=True))
+    flow_out = paper_flow(xag, params=RewriteParams(in_place=False))
+    assert flow_in.after_one_round.num_ands == flow_out.after_one_round.num_ands
+    assert flow_in.after_convergence.num_ands == flow_out.after_convergence.num_ands
+    assert equivalent(xag, flow_in.after_convergence)
+
+
+def test_rewrite_does_not_mutate_input():
+    xag = C.int_to_float()
+    snapshot = xag.clone()
+    rewriter = CutRewriter(params=RewriteParams(in_place=True))
+    improved, stats = rewriter.rewrite(xag)
+    assert xag.num_ands == snapshot.num_ands
+    assert xag.num_nodes == snapshot.num_nodes
+    assert improved.num_ands <= xag.num_ands
+    assert stats.mode == "in_place"
+
+
+# ----------------------------------------------------------------------
+# sweep fast path and full map (satellite)
+# ----------------------------------------------------------------------
+def test_sweep_returns_input_when_nothing_to_remove():
+    xag = A.adder(4)
+    assert is_swept(xag)
+    assert sweep(xag) is xag
+
+
+def test_sweep_copies_when_dead_or_unreferenced():
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    xag.create_and(a, b)               # unreferenced gate
+    xag.create_po(xag.create_xor(a, b))
+    assert not is_swept(xag)
+    swept = sweep(xag)
+    assert swept is not xag
+    assert swept.num_ands == 0 and swept.num_xors == 1
+
+
+def test_sweep_with_map_covers_every_surviving_gate():
+    from repro.xag import sweep_with_map
+
+    xag = Xag()
+    a, b, c = xag.create_pis(3)
+    t = xag.create_and(a, b)
+    u = xag.create_xor(t, c)            # XOR chains may carry complements
+    v = xag.create_xnor(u, a)           # complemented PO driver
+    dead = xag.create_and(a, c)         # unreachable
+    xag.create_po(v, "out")
+    xag.create_po(lit_not(t), "neg")
+
+    swept, node_map = sweep_with_map(xag)
+    assert equivalent(xag, swept)
+    # every reachable node is mapped: constant, PIs and both gates
+    for node in (0, lit_node(a), lit_node(b), lit_node(c),
+                 lit_node(t), lit_node(u)):
+        assert node in node_map
+    assert lit_node(dead) not in node_map
+    # the mapped literals implement the same functions (complement-correct)
+    old_values = node_values(xag, [0b10101010, 0b11001100, 0b11110000], 0xFF)
+    new_values = node_values(swept, [0b10101010, 0b11001100, 0b11110000], 0xFF)
+    for old_node, new_lit in node_map.items():
+        expected = old_values[old_node]
+        got = new_values[lit_node(new_lit)] ^ (0xFF if new_lit & 1 else 0)
+        assert got == expected, f"node {old_node} mapped to {new_lit}"

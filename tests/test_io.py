@@ -172,3 +172,38 @@ def test_verilog_sanitises_names():
     text = write_verilog(xag, module_name="top")
     assert "1bad-name" not in text
     assert "s_1bad_name" in text
+
+
+def test_verilog_deduplicates_colliding_port_names():
+    xag = Xag()
+    a = xag.create_pi("a-b")
+    b = xag.create_pi("a_b")       # sanitises to the same identifier
+    c = xag.create_pi("a.b")       # and so does this one
+    xag.create_po(xag.create_and(a, xag.create_xor(b, c)), "a b")
+    text = write_verilog(xag, module_name="top")
+    header = text.splitlines()[0]
+    ports = header[header.index("(") + 1:header.index(")")].split(", ")
+    assert len(ports) == len(set(ports)) == 4
+    assert "a_b" in ports and "a_b_2" in ports and "a_b_3" in ports
+
+
+def test_verilog_ports_never_collide_with_wire_names():
+    xag = Xag()
+    a = xag.create_pi("x")
+    b = xag.create_pi("y")
+    and_node = xag.create_and(a, b) >> 1
+    xag.create_pi(f"n{and_node}")   # would alias the generated wire name
+    xag.create_po(xag.create_and(a, b), "out")
+    text = write_verilog(xag)
+    assert text.count(f"wire n{and_node};") == 1
+    assert f"input n{and_node}_2;" in text
+
+
+def test_verilog_rejects_empty_port_names():
+    import pytest
+
+    xag = Xag()
+    a = xag.create_pi("")
+    xag.create_po(a, "out")
+    with pytest.raises(ValueError):
+        write_verilog(xag)
