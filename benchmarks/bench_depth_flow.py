@@ -1,0 +1,207 @@
+"""Depth-aware flow vs the pure-MC flow on the EPFL control set + crypto.
+
+MPC/FHE cost models (the paper's Table 2 domain) price a circuit by both its
+AND count and its multiplicative depth — homomorphic noise growth is
+exponential in the number of AND levels.  This benchmark races the plain
+``"mc"`` convergence flow against the depth-aware flow
+(:func:`repro.rewriting.flow.depth_flow`: balance → depth-guarded mc rounds →
+``"mc-depth"`` rewriting, iterated to a fixpoint) and pins its contract:
+
+* the multiplicative depth never exceeds the initial network's;
+* the AND count stays within 1 % of the pure-MC flow per circuit;
+* on at least half of the EPFL control set the depth is *strictly lower*
+  than what the MC flow produces;
+* the in-place and ``--rebuild`` modes reach identical (ANDs, depth) pairs
+  (the rebuild mode replays the in-place trajectory and cross-checks every
+  round's application out-of-place).
+
+The measured table is persisted to ``benchmarks/results/depth_flow.md``.
+``--smoke`` runs the A/B contract on two control circuits for CI.
+"""
+
+import math
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import rounds_cap
+from repro.cuts.cache import CutFunctionCache
+from repro.engine import EngineConfig
+from repro.engine.core import select_cases
+from repro.mc import McDatabase
+from repro.rewriting import RewriteParams, depth_flow, optimize
+from repro.xag import equivalent, multiplicative_depth
+from repro.xag.bitsim import SimulationCache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+CONTROL = ["arbiter", "alu_ctrl", "cavlc", "decoder", "i2c", "int2float",
+           "mem_ctrl", "priority", "router", "voter"]
+#: crypto registry rows small enough for the pure-Python flow.
+CRYPTO = ["adder_32", "comparator_ult_32", "multiplier_32", "md5", "sha1"]
+
+_DB = McDatabase()
+_CUT_CACHE = CutFunctionCache(_DB)
+_SIM_CACHE = SimulationCache()
+_ROWS = []
+
+
+def _case(name, suite):
+    config = EngineConfig(suites=(suite,), circuits=[name])
+    return select_cases(config)[0]
+
+
+def _run_row(name, suite, ab_check):
+    case = _case(name, suite)
+    xag = case.build()
+    cap = rounds_cap(xag.num_ands)
+    verify = (xag.num_ands + xag.num_xors) <= 20000
+    mc_params = RewriteParams(verify=verify)
+    depth_params = RewriteParams(objective="mc-depth", verify=verify)
+
+    start = time.perf_counter()
+    mc = optimize(xag, params=mc_params, max_rounds=cap,
+                  cut_cache=_CUT_CACHE, sim_cache=_SIM_CACHE)
+    mc_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    df = depth_flow(xag, params=depth_params, max_rounds=cap,
+                    max_iterations=4, cut_cache=_CUT_CACHE,
+                    sim_cache=_SIM_CACHE)
+    df_seconds = time.perf_counter() - start
+
+    pair = (df.final.num_ands, df.final_depth)
+    if ab_check:
+        rebuilt = depth_flow(xag, params=RewriteParams(
+            objective="mc-depth", verify=verify, in_place=False),
+            max_rounds=cap, max_iterations=4, cut_cache=_CUT_CACHE,
+            sim_cache=_SIM_CACHE)
+        assert (rebuilt.final.num_ands, rebuilt.final_depth) == pair, \
+            f"{name}: --rebuild diverged from the in-place depth flow"
+
+    if verify:
+        assert equivalent(xag, df.final)
+    row = {
+        "name": name,
+        "group": case.group,
+        "initial": (xag.num_ands, multiplicative_depth(xag)),
+        "mc": (mc.final.num_ands, multiplicative_depth(mc.final)),
+        "depth": pair,
+        "mc_seconds": mc_seconds,
+        "df_seconds": df_seconds,
+        "ab_checked": ab_check,
+    }
+    _ROWS.append(row)
+    return row
+
+
+@pytest.mark.parametrize("name", CONTROL)
+def test_depth_flow_control_row(name):
+    row = _run_row(name, "epfl", ab_check=True)
+    ands_mc, _ = row["mc"]
+    ands_df, depth_df = row["depth"]
+    # the depth never exceeds the initial network's
+    assert depth_df <= row["initial"][1], row
+    # ≤ 1 % AND regression vs the pure-MC flow
+    assert ands_df <= math.ceil(1.01 * ands_mc), row
+
+
+@pytest.mark.parametrize("name", CRYPTO)
+def test_depth_flow_crypto_row(name):
+    row = _run_row(name, "crypto", ab_check=False)
+    assert row["depth"][1] <= row["initial"][1], row
+    assert row["depth"][0] <= row["initial"][0], row
+
+
+def test_depth_flow_report():
+    control = [row for row in _ROWS if row["group"] != "mpc"]
+    if control:
+        wins = sum(1 for row in control if row["depth"][1] < row["mc"][1])
+        assert wins * 2 >= len(control), \
+            f"depth reduced on only {wins}/{len(control)} control circuits"
+    lines = [
+        "# Depth-aware flow vs pure-MC flow",
+        "",
+        "`depth_flow` (balance → depth-guarded mc rounds → mc-depth",
+        "rewriting, iterated to a fixpoint) against `optimize` with the",
+        "paper's `mc` objective.  Both from the same initial network, shared",
+        "database/caches; `(ANDs, depth)` pairs, depth = multiplicative",
+        "depth.  Control rows are additionally A/B-checked: the `--rebuild`",
+        "mode (same trajectory, every round's selections re-applied",
+        "out-of-place and verified) must reach the identical pair.",
+        "",
+        "| circuit | group | initial | mc flow | depth flow | Δdepth vs mc "
+        "| AND regression | A/B |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for row in _ROWS:
+        ands_mc, depth_mc = row["mc"]
+        ands_df, depth_df = row["depth"]
+        regression = (ands_df / ands_mc - 1.0) if ands_mc else 0.0
+        lines.append(
+            f"| {row['name']} | {row['group']} "
+            f"| {row['initial'][0]}/{row['initial'][1]} "
+            f"| {ands_mc}/{depth_mc} ({row['mc_seconds']:.1f}s) "
+            f"| {ands_df}/{depth_df} ({row['df_seconds']:.1f}s) "
+            f"| {depth_df - depth_mc:+d} | {100 * regression:+.1f}% "
+            f"| {'ok' if row['ab_checked'] else '-'} |")
+    if control:
+        lines += ["",
+                  f"Depth strictly reduced vs the mc flow on {wins} of "
+                  f"{len(control)} control circuits; depth never exceeds the "
+                  "initial network's, AND regression ≤ 1% per circuit."]
+    body = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "depth_flow.md").write_text(body)
+    print("\n" + body)
+
+
+# ----------------------------------------------------------------------
+# CI smoke entry point
+# ----------------------------------------------------------------------
+def smoke(circuits=("int2float", "router")) -> int:
+    """Quick depth-flow contract check for CI.
+
+    For each circuit: the multiplicative depth must never increase, the
+    result must stay equivalent, and the in-place and rebuild modes must
+    reach identical (ANDs, depth) pairs — the rebuild run additionally
+    cross-applies every round out-of-place (``RewriteParams.ab_check``).
+    """
+    ok = True
+    for name in circuits:
+        case = _case(name, "epfl")
+        xag = case.build()
+        start = time.perf_counter()
+        flow_in = depth_flow(xag)
+        flow_out = depth_flow(xag, params=RewriteParams(
+            objective="mc-depth", in_place=False))
+        seconds = time.perf_counter() - start
+        pair_in = (flow_in.final.num_ands, flow_in.final_depth)
+        pair_out = (flow_out.final.num_ands, flow_out.final_depth)
+        good = (pair_in == pair_out
+                and flow_in.final_depth <= flow_in.initial_depth
+                and equivalent(xag, flow_in.final))
+        ok = ok and good
+        print(f"smoke {name}: initial {xag.num_ands}/{flow_in.initial_depth} "
+              f"in-place {pair_in} rebuild {pair_out} in {seconds:.1f}s -> "
+              f"{'OK' if good else 'DIVERGED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Depth-flow benchmark (run under pytest for the full "
+                    "table; --smoke runs the A/B contract check)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="check depth never increases and both modes "
+                             "reach identical (ANDs, depth) pairs")
+    parser.add_argument("--circuits", default="int2float,router",
+                        help="comma-separated EPFL circuits for --smoke")
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("run this module under pytest, or pass --smoke")
+    sys.exit(smoke(tuple(args.circuits.split(","))))

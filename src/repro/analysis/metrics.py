@@ -71,11 +71,24 @@ def geometric_mean(values: Iterable[float]) -> Optional[float]:
     return math.exp(sum(logs) / len(logs))
 
 
-def normalized_geometric_mean(befores: Sequence[int], afters: Sequence[int]) -> Optional[float]:
+def normalized_geometric_mean(befores: Sequence[int], afters: Sequence[int],
+                              zero_epsilon: float = 0.5) -> Optional[float]:
     """Geometric mean of per-benchmark ``after / before`` ratios.
 
     This is the "Normalized geometric mean" row of the paper's Table 1 (the
     initial networks normalise to 1.0, the optimised columns to < 1.0).
+
+    A benchmark optimised all the way to ``after == 0`` has ratio 0, which
+    the plain geometric mean cannot absorb (``log 0``) — and silently
+    *skipping* it would report a mean as if the best row of the table did
+    not exist, inflating the result.  Such rows instead contribute the ratio
+    ``zero_epsilon / before``: half a gate by default, strictly below every
+    achievable non-zero count, so a full optimisation always improves the
+    mean.
     """
-    ratios = [after / before for before, after in zip(befores, afters) if before > 0]
+    ratios = []
+    for before, after in zip(befores, afters):
+        if before <= 0:
+            continue
+        ratios.append((after if after > 0 else zero_epsilon) / before)
     return geometric_mean(ratios)

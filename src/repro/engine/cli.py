@@ -65,10 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--groups", default=None,
                         help="comma-separated registry groups "
                              "(arithmetic, control, mpc)")
-    parser.add_argument("--cut-size", type=int, default=6,
+    parser.add_argument("--cut-size", type=positive_int, default=6,
                         help="maximum cut leaves (default: 6)")
-    parser.add_argument("--cut-limit", type=int, default=12,
+    parser.add_argument("--cut-limit", type=positive_int, default=12,
                         help="cuts kept per node (default: 12)")
+    parser.add_argument("--objective", default="mc",
+                        choices=["mc", "size", "mc-depth"],
+                        help="cost model: mc = AND count (the paper's), "
+                             "size = total gates, mc-depth = AND count then "
+                             "multiplicative depth via the balance+rewrite "
+                             "depth flow (default: mc)")
     parser.add_argument("--rounds", type=non_negative_int, default=2,
                         help="cap on rewriting rounds, 0 = run to convergence "
                              "(default: 2)")
@@ -85,7 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the generic size optimiser before MC rewriting")
     parser.add_argument("--full-scale", action="store_true",
                         help="build paper-scale netlists (slow in pure Python)")
-    parser.add_argument("--verify-limit", type=int, default=20000,
+    parser.add_argument("--verify-limit", type=non_negative_int, default=20000,
                         help="verify equivalence up to this many gates, 0 disables "
                              "(default: 20000)")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -103,6 +109,7 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
         groups=args.groups.split(",") if args.groups else None,
         cut_size=args.cut_size,
         cut_limit=args.cut_limit,
+        objective=args.objective,
         max_rounds=None if args.rounds == 0 else args.rounds,
         in_place=not args.rebuild,
         size_baseline=args.size_baseline,
@@ -139,6 +146,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "suites": list(batch.config.suites),
                 "circuits": batch.config.circuits,
                 "groups": batch.config.groups,
+                "objective": batch.config.objective,
                 "rounds": args.rounds,
                 "jobs": batch.jobs,
                 "in_place": batch.config.in_place,
@@ -163,6 +171,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "ands_after": report.ands_after,
                     "xors_after": report.xors_after,
                     "and_improvement": report.and_improvement,
+                    "mult_depth_before": report.depth_before,
+                    "mult_depth_after": report.depth_after,
+                    "depth_improvement": report.depth_improvement,
                     "rounds": len(report.rounds),
                     "verified": report.verified,
                     "stage_seconds": report.stage_timings(),

@@ -42,9 +42,11 @@ from repro.circuits.crypto.registry import mpc_benchmarks
 from repro.circuits.epfl import epfl_benchmarks
 from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
-from repro.rewriting.flow import PaperFlowResult, paper_flow
-from repro.rewriting.rewrite import RewriteParams, RoundStats
+from repro.rewriting.flow import (PaperFlowResult, depth_flow, paper_flow,
+                                  size_optimize)
+from repro.rewriting.rewrite import OBJECTIVES, RewriteParams, RoundStats
 from repro.xag.bitsim import SimulationCache
+from repro.xag.depth import multiplicative_depth
 
 #: suite name → registry loader.
 SUITES = {
@@ -65,6 +67,10 @@ class EngineConfig:
     groups: Optional[Sequence[str]] = None
     cut_size: int = 6
     cut_limit: int = 12
+    #: rewriting cost model: "mc" (the paper's objective), "size" (total
+    #: gates) or "mc-depth" (AND count, then multiplicative depth; runs the
+    #: balance → rewrite → balance depth flow).
+    objective: str = "mc"
     #: cap on rewriting rounds per circuit (``None`` = run to convergence).
     max_rounds: Optional[int] = 2
     #: run the generic size-optimisation baseline before MC rewriting.
@@ -97,11 +103,16 @@ class CircuitReport:
     xors_before: int = 0
     ands_after: int = 0
     xors_after: int = 0
+    #: multiplicative depth of the initial / final network.
+    depth_before: int = 0
+    depth_after: int = 0
     rounds: List[RoundStats] = field(default_factory=list)
     build_seconds: float = 0.0
     baseline_seconds: float = 0.0
     one_round_seconds: float = 0.0
     convergence_seconds: float = 0.0
+    #: wall clock of the tree-balancing stages (mc-depth objective only).
+    balance_seconds: float = 0.0
     verified: Optional[bool] = None
     error: Optional[str] = None
 
@@ -122,6 +133,13 @@ class CircuitReport:
             return 0.0
         return 1.0 - self.ands_after / self.ands_before
 
+    @property
+    def depth_improvement(self) -> float:
+        """Fractional multiplicative-depth reduction over the whole run."""
+        if self.depth_before == 0:
+            return 0.0
+        return 1.0 - self.depth_after / self.depth_before
+
     def stage_timings(self) -> Dict[str, float]:
         """Per-stage wall-clock seconds (verification overlaps the rounds).
 
@@ -138,6 +156,7 @@ class CircuitReport:
             "verify": self.verify_seconds,
             "select": sum(stats.select_seconds for stats in self.rounds),
             "apply": sum(stats.apply_seconds for stats in self.rounds),
+            "balance": self.balance_seconds,
         }
 
 
@@ -172,7 +191,8 @@ class BatchReport:
     def render(self) -> str:
         """Human-readable batch table plus cache summary."""
         header = (f"{'Name':<20} {'Grp':<6} {'In':>5} {'Out':>5} | "
-                  f"{'AND0':>7} {'AND':>7} {'impr':>6} {'rnds':>5} | "
+                  f"{'AND0':>7} {'AND':>7} {'impr':>6} "
+                  f"{'D0':>4} {'D':>4} {'rnds':>5} | "
                   f"{'build':>7} {'1rnd':>7} {'conv':>7} {'verify':>7} {'ok':>3}")
         lines = [header, "-" * len(header)]
         for report in self.reports:
@@ -184,7 +204,9 @@ class BatchReport:
             lines.append(
                 f"{report.name:<20} {report.group:<6} {report.num_pis:>5} {report.num_pos:>5} | "
                 f"{report.ands_before:>7} {report.ands_after:>7} "
-                f"{round(100 * report.and_improvement):>5}% {len(report.rounds):>5} | "
+                f"{round(100 * report.and_improvement):>5}% "
+                f"{report.depth_before:>4} {report.depth_after:>4} "
+                f"{len(report.rounds):>5} | "
                 f"{report.build_seconds:>7.2f} {stages['one_round']:>7.2f} "
                 f"{stages['convergence']:>7.2f} {stages['verify']:>7.2f} {verified:>3}")
         lines.append("-" * len(header))
@@ -199,6 +221,8 @@ class BatchReport:
         jobs_note = f" [{self.jobs} jobs]" if self.jobs > 1 else ""
         warm_note = " [warm start]" if self.warm_start_loaded else ""
         mode_note = "" if self.config.in_place else " [rebuild]"
+        if self.config.objective != "mc":
+            mode_note += f" [{self.config.objective}]"
         lines.append(
             f"{len(self.succeeded)}/{len(self.reports)} circuits in "
             f"{self.total_seconds:.2f}s{jobs_note}{warm_note}{mode_note} | plan cache "
@@ -256,7 +280,13 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
         report.num_pos = xag.num_pos
         verify = 0 < (xag.num_ands + xag.num_xors) <= config.verify_limit
         params = RewriteParams(cut_size=config.cut_size, cut_limit=config.cut_limit,
-                               verify=verify, in_place=config.in_place)
+                               objective=config.objective, verify=verify,
+                               in_place=config.in_place)
+        if config.objective == "mc-depth":
+            _run_depth_flow(xag, config, params, report, database=database,
+                            cut_cache=cut_cache, sim_cache=sim_cache)
+            return report
+
         result: PaperFlowResult = paper_flow(
             xag, name=case.name, params=params, size_baseline=config.size_baseline,
             max_rounds=config.max_rounds, cut_cache=cut_cache, sim_cache=sim_cache)
@@ -265,6 +295,8 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
         report.xors_before = result.initial.num_xors
         report.ands_after = result.after_convergence.num_ands
         report.xors_after = result.after_convergence.num_xors
+        report.depth_before = multiplicative_depth(result.initial)
+        report.depth_after = multiplicative_depth(result.after_convergence)
         report.rounds = result.rounds
         report.baseline_seconds = result.baseline_seconds
         report.one_round_seconds = result.one_round_seconds
@@ -275,6 +307,43 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
     except Exception as exc:  # noqa: BLE001 - batch runs must survive one bad case
         report.error = f"{type(exc).__name__}: {exc}"
     return report
+
+
+def _run_depth_flow(xag, config: EngineConfig,
+                    params: RewriteParams, report: CircuitReport,
+                    database: Optional[McDatabase],
+                    cut_cache: CutFunctionCache,
+                    sim_cache: SimulationCache) -> None:
+    """Fill ``report`` by running the depth-aware flow on one case.
+
+    Mirrors the paper-flow path: the optional generic size baseline runs
+    first, then :func:`repro.rewriting.flow.depth_flow` (balance → rewrite →
+    balance) replaces the one-round/convergence pipeline.
+    """
+    initial = xag
+    if config.size_baseline:
+        baseline = size_optimize(xag, verify=params.verify,
+                                 cut_cache=cut_cache, sim_cache=sim_cache)
+        initial = baseline.final
+        report.baseline_seconds = baseline.runtime_seconds
+    result = depth_flow(initial, database=database, params=params,
+                        max_rounds=config.max_rounds, cut_cache=cut_cache,
+                        sim_cache=sim_cache)
+    report.ands_before = result.initial.num_ands
+    report.xors_before = result.initial.num_xors
+    report.ands_after = result.final.num_ands
+    report.xors_after = result.final.num_xors
+    report.depth_before = result.initial_depth
+    report.depth_after = result.final_depth
+    report.rounds = result.rounds
+    report.one_round_seconds = result.one_round_seconds
+    report.convergence_seconds = result.runtime_seconds
+    report.balance_seconds = result.balance_seconds
+    if params.verify:
+        report.verified = (
+            all(stats.verified in (True, None) for stats in result.rounds)
+            and all(stats.verified in (True, None)
+                    for stats in result.balance_stats))
 
 
 # ----------------------------------------------------------------------
@@ -438,6 +507,9 @@ def run_batch(config: Optional[EngineConfig] = None,
     config = config if config is not None else EngineConfig()
     if config.jobs < 1:
         raise ValueError(f"jobs must be a positive integer (got {config.jobs})")
+    if config.objective not in OBJECTIVES:
+        raise ValueError(f"unknown objective {config.objective!r} "
+                         f"(available: {', '.join(OBJECTIVES)})")
     database = database if database is not None else McDatabase()
     cut_cache = CutFunctionCache(database)
     sim_cache = SimulationCache()

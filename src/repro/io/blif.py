@@ -22,7 +22,12 @@ def write_blif(xag: Xag, model_name: Optional[str] = None) -> str:
     lines.append(".outputs " + " ".join(xag.po_name(i) for i in range(xag.num_pos)))
 
     signal_names: Dict[int, str] = {0: "const0"}
-    uses_constant = any(lit_node(lit) == 0 for lit in xag.po_literals())
+    # the const0 driver must be declared whenever *anything* — a primary
+    # output or a gate fan-in — reads node 0, else the emitted BLIF
+    # references an undeclared signal.
+    uses_constant = any(lit_node(lit) == 0 for lit in xag.po_literals()) or any(
+        lit_node(fanin) == 0
+        for node in xag.gates() for fanin in xag.fanins(node))
     if uses_constant:
         lines.append(".names const0")  # empty cover = constant 0
     for index, node in enumerate(xag.pis()):
@@ -87,10 +92,44 @@ def read_blif(text: str) -> Xag:
         elif line.startswith(".end"):
             break
 
-    for target, sources, cover in pending_output_covers:
+    # resolve covers in dependency order (Kahn-style): legal BLIF may define
+    # a .names cover before the covers of its source signals, so each cover
+    # waits on its missing sources and is built once the last one appears.
+    missing_count: Dict[int, int] = {}
+    waiters: Dict[str, List[int]] = {}
+    ready: List[int] = []
+    for index, (target, sources, _) in enumerate(pending_output_covers):
+        missing = [s for s in sources if s not in signals]
+        missing_count[index] = len(missing)
+        for source in missing:
+            waiters.setdefault(source, []).append(index)
+        if not missing:
+            ready.append(index)
+    resolved = 0
+    while ready:
+        index = ready.pop()
+        target, sources, cover = pending_output_covers[index]
         signals[target] = _build_cover(xag, signals, sources, cover)
+        resolved += 1
+        for waiter in waiters.pop(target, ()):
+            missing_count[waiter] -= 1
+            if missing_count[waiter] == 0:
+                ready.append(waiter)
+    if resolved != len(pending_output_covers):
+        unresolved = [pending_output_covers[index]
+                      for index, count in missing_count.items() if count > 0]
+        defined = set(signals) | {target for target, _, _ in unresolved}
+        for target, sources, _ in unresolved:
+            undefined = [s for s in sources if s not in defined]
+            if undefined:
+                raise ValueError(f"BLIF cover for {target!r} reads undefined "
+                                 f"signal(s) {undefined}")
+        cycle = sorted(target for target, _, _ in unresolved)
+        raise ValueError(f"BLIF covers form a combinational cycle: {cycle}")
 
     for name in outputs:
+        if name not in signals:
+            raise ValueError(f"BLIF output {name!r} is never defined")
         xag.create_po(signals[name], name)
     return xag
 

@@ -1,10 +1,12 @@
 """Cut rewriting (paper Algorithm 1) and optimisation flows."""
 
 from repro.rewriting.insert import insert_plan
-from repro.rewriting.rewrite import CutRewriter, RewriteParams, RoundStats
+from repro.rewriting.rewrite import OBJECTIVES, CutRewriter, RewriteParams, RoundStats
 from repro.rewriting.flow import (
+    DepthFlowResult,
     FlowResult,
     PaperFlowResult,
+    depth_flow,
     one_round,
     optimize,
     size_optimize,
@@ -13,11 +15,14 @@ from repro.rewriting.flow import (
 
 __all__ = [
     "insert_plan",
+    "OBJECTIVES",
     "CutRewriter",
     "RewriteParams",
     "RoundStats",
+    "DepthFlowResult",
     "FlowResult",
     "PaperFlowResult",
+    "depth_flow",
     "one_round",
     "optimize",
     "size_optimize",

@@ -16,14 +16,16 @@ numbers the table renderers in :mod:`repro.analysis.tables` consume.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Set
 
 from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
 from repro.rewriting.rewrite import CutRewriter, RewriteParams, RoundStats
+from repro.xag.balance import BalanceStats, balance
 from repro.xag.bitsim import SimulationCache
 from repro.xag.cleanup import sweep, sweep_owned
+from repro.xag.depth import multiplicative_depth
 from repro.xag.graph import Xag
 
 
@@ -50,8 +52,10 @@ class FlowResult:
 
     @property
     def converged(self) -> bool:
-        """True when the last executed round brought no further AND reduction."""
-        return bool(self.rounds) and self.rounds[-1].ands_after >= self.rounds[-1].ands_before
+        """True when the last executed round brought no further improvement
+        of its objective (AND count for "mc", total gates for "size", AND
+        count or multiplicative depth for "mc-depth")."""
+        return bool(self.rounds) and not self.rounds[-1].made_progress
 
 
 def _drain_in_place(rewriter: CutRewriter, working: Xag,
@@ -62,11 +66,12 @@ def _drain_in_place(rewriter: CutRewriter, working: Xag,
     ``seeds`` carries the dirty nodes of a previous drain (``None`` means
     "examine every gate" — the first round).  Appends one
     :class:`RoundStats` per executed round and stops after ``max_rounds``
-    rounds or when a round brings no AND reduction — in which case that
+    rounds or when a round brings no improvement of the rewriter's
+    objective (:attr:`RoundStats.made_progress`) — in which case that
     round's mutations are discarded by returning the pre-round snapshot,
     exactly like the rebuild loop discards the freshly built copy.  Returns
     ``(final_network, seeds, progressed)`` where ``progressed`` reports
-    whether any executed round reduced the AND count.
+    whether any executed round improved the objective.
     """
     final = working
     executed = 0
@@ -81,7 +86,7 @@ def _drain_in_place(rewriter: CutRewriter, working: Xag,
             working, worklist, snapshot=True)
         rounds.append(stats)
         executed += 1
-        if stats.ands_after < stats.ands_before:
+        if stats.made_progress:
             final = working
             progressed = True
             continue
@@ -142,11 +147,9 @@ def optimize(xag: Xag, database: Optional[McDatabase] = None,
     while max_rounds is None or len(rounds) < max_rounds:
         improved, stats = rewriter.rewrite(current)
         rounds.append(stats)
-        made_progress = stats.ands_after < stats.ands_before
-        if made_progress:
-            current = improved
-        if not made_progress:
+        if not stats.made_progress:
             break
+        current = improved
     return FlowResult(initial=xag, final=current, rounds=rounds,
                       runtime_seconds=time.perf_counter() - start)
 
@@ -175,12 +178,9 @@ def size_optimize(xag: Xag, database: Optional[McDatabase] = None,
     for _ in range(max_rounds):
         improved, stats = rewriter.rewrite(current)
         rounds.append(stats)
-        gates_before = stats.ands_before + stats.xors_before
-        gates_after = stats.ands_after + stats.xors_after
-        if gates_after < gates_before:
-            current = improved
-        else:
+        if not stats.made_progress:
             break
+        current = improved
     return FlowResult(initial=xag, final=current, rounds=rounds,
                       runtime_seconds=time.perf_counter() - start)
 
@@ -324,3 +324,141 @@ def paper_flow(xag: Xag, name: Optional[str] = None,
         baseline_seconds=baseline.runtime_seconds if baseline is not None else 0.0,
         rounds=(baseline.rounds if baseline is not None else []) + one.rounds + conv.rounds,
     )
+
+
+@dataclass
+class DepthFlowResult:
+    """Result of the depth-aware flow (balance → rewrite → balance)."""
+
+    initial: Xag
+    final: Xag
+    #: balance → rewrite iterations executed (each runs both stages).
+    iterations: int = 0
+    rounds: List[RoundStats] = field(default_factory=list)
+    balance_stats: List["BalanceStats"] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+    #: wall clock spent inside the balancing stages (included in runtime).
+    balance_seconds: float = 0.0
+    #: wall clock of the first rewriting round (mirrors the paper flow's
+    #: "one round" column so the engine can report per-stage timings).
+    one_round_seconds: float = 0.0
+    #: multiplicative depth of the initial / final network.
+    initial_depth: int = 0
+    final_depth: int = 0
+
+    @property
+    def and_improvement(self) -> float:
+        """Overall fractional AND reduction achieved by the flow."""
+        if self.initial.num_ands == 0:
+            return 0.0
+        return 1.0 - self.final.num_ands / self.initial.num_ands
+
+    @property
+    def depth_improvement(self) -> float:
+        """Overall fractional multiplicative-depth reduction."""
+        if self.initial_depth == 0:
+            return 0.0
+        return 1.0 - self.final_depth / self.initial_depth
+
+
+def depth_flow(xag: Xag, database: Optional[McDatabase] = None,
+               params: Optional[RewriteParams] = None,
+               max_rounds: Optional[int] = None,
+               max_iterations: int = 8,
+               cut_cache: Optional[CutFunctionCache] = None,
+               sim_cache: Optional[SimulationCache] = None) -> DepthFlowResult:
+    """Multiplicative-depth-aware optimisation: balance → rewrite → balance.
+
+    Each iteration runs three stages:
+
+    1. **balance** — AND/XOR tree rebalancing
+       (:func:`repro.xag.balance.balance`), reducing the multiplicative
+       depth without touching the AND count;
+    2. **guarded mc rounds** — plain-``"mc"`` rewriting rounds applied one
+       at a time, each *discarded* when it raises the critical AND-level.
+       This chases the pure-MC AND count (the per-node level veto of stage 3
+       refuses savings whose local level increase would be absorbed by path
+       slack, and can steer into worse local optima when run first) while
+       the depth still never increases;
+    3. **rewrite** — MC cut rewriting until convergence under the
+       ``"mc-depth"`` objective, collecting the remaining AND gains that
+       respect per-node levels plus depth-only rewrites, without ever
+       deepening a node's AND-level.
+
+    Every stage is monotone in the ``(AND count, multiplicative depth)``
+    pair, so the loop runs until the pair reaches a fixpoint and no tree is
+    rebuilt (``max_iterations`` caps it).  ``max_rounds`` bounds the
+    rewriting rounds *per iteration and stage*.
+
+    **A/B checking.**  Depth-aware decisions depend on per-node levels, so
+    two *independent* in-place and rebuild trajectories drift apart (the two
+    application strategies produce count-equal but structurally different
+    rounds, and the depth veto reacts to structure) — unlike the plain
+    ``"mc"`` objective, where independent trajectories empirically converge
+    to identical AND counts.  ``params.in_place=False`` therefore does not
+    fork a second trajectory: the flow always *decides and applies* rounds
+    with the in-place machinery, and the rebuild mode additionally
+    cross-applies every round's selections out-of-place from the same
+    pre-round network, asserting functional equivalence and the objective's
+    monotonicity guarantees (:attr:`RewriteParams.ab_check`).  Both modes
+    thus reach identical ``(AND count, depth)`` results by construction
+    while the rebuild path still exercises and verifies the out-of-place
+    application of every round.
+    """
+    params = params if params is not None else RewriteParams(objective="mc-depth")
+    cut_cache = CutFunctionCache.ensure(cut_cache, database)
+    sim_cache = sim_cache if sim_cache is not None else SimulationCache()
+    params = replace(params, in_place=True,
+                     ab_check=params.ab_check or not params.in_place)
+    mc_params = replace(params, objective="mc")
+    start = time.perf_counter()
+
+    current = sweep(xag)
+    result = DepthFlowResult(initial=xag, final=current,
+                             initial_depth=multiplicative_depth(current))
+    while result.iterations < max_iterations:
+        result.iterations += 1
+        score_before = (current.num_ands, multiplicative_depth(current))
+        balance_start = time.perf_counter()
+        balanced, balance_result = balance(current, verify=params.verify,
+                                           sim_cache=sim_cache)
+        result.balance_seconds += time.perf_counter() - balance_start
+        result.balance_stats.append(balance_result)
+
+        # depth-guarded mc rounds (stage 2): chase the pure-MC AND count
+        # before the veto-priced pass can steer into a worse local optimum
+        current = balanced
+        guard_depth = multiplicative_depth(current)
+        polish_rounds = 0
+        while max_rounds is None or polish_rounds < max_rounds:
+            polished = optimize(current, database=database, params=mc_params,
+                                max_rounds=1, cut_cache=cut_cache,
+                                sim_cache=sim_cache)
+            polish_rounds += 1
+            if polished.final.num_ands >= current.num_ands:
+                break
+            if multiplicative_depth(polished.final) > guard_depth:
+                break  # the round's savings would deepen the critical path
+            if result.one_round_seconds == 0.0:
+                result.one_round_seconds = polished.rounds[0].runtime_seconds
+            result.rounds.extend(polished.rounds)
+            current = polished.final
+
+        # veto-priced mc-depth rewriting (stage 3): remaining AND gains that
+        # respect per-node levels, plus depth-only rewrites
+        rewritten = optimize(current, database=database, params=params,
+                             max_rounds=max_rounds, cut_cache=cut_cache,
+                             sim_cache=sim_cache)
+        if result.one_round_seconds == 0.0 and rewritten.rounds:
+            result.one_round_seconds = rewritten.rounds[0].runtime_seconds
+        result.rounds.extend(rewritten.rounds)
+        current = rewritten.final
+
+        score_after = (current.num_ands, multiplicative_depth(current))
+        if score_after == score_before and balance_result.trees_rebalanced == 0:
+            break
+
+    result.final = current
+    result.final_depth = multiplicative_depth(current)
+    result.runtime_seconds = time.perf_counter() - start
+    return result

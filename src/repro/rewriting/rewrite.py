@@ -29,8 +29,14 @@ best positive-gain candidate of each node is recorded.
   leaves; all other gates are copied; the result is swept.
 
 The ``objective`` parameter switches the cost model between the paper's
-AND-count objective and a unit-cost total-gate objective used as the generic
-size-optimisation baseline.
+AND-count objective (``"mc"``), a unit-cost total-gate objective used as the
+generic size-optimisation baseline (``"size"``), and the depth-aware
+``"mc-depth"`` objective: candidates are priced lexicographically by AND
+gain, then by the AND-level gain at the cut root (computed against the
+maintained levels of :class:`repro.xag.levels.LevelTracker`), and any
+replacement that would *raise* the root's AND-level is refused — so no node
+level, and in particular the critical AND-level (multiplicative depth), can
+ever increase.
 """
 
 from __future__ import annotations
@@ -47,8 +53,13 @@ from repro.mc.database import ImplementationPlan, McDatabase
 from repro.rewriting.insert import insert_plan
 from repro.xag.bitsim import SimulationCache
 from repro.xag.cleanup import sweep, sweep_owned
+from repro.xag.depth import multiplicative_depth
 from repro.xag.equivalence import equivalence_stimulus, equivalent
 from repro.xag.graph import Xag, lit_node, literal
+from repro.xag.levels import LevelTracker
+
+#: cost models understood by :class:`CutRewriter` (see the module docstring).
+OBJECTIVES = ("mc", "size", "mc-depth")
 
 
 @dataclass
@@ -61,7 +72,9 @@ class RewriteParams:
     #: maximum number of cuts stored per node (paper value: 12).
     cut_limit: int = 12
     #: "mc" minimises AND gates first (the paper's objective); "size"
-    #: minimises total gates (the generic baseline objective).
+    #: minimises total gates (the generic baseline objective); "mc-depth"
+    #: minimises AND gates, then the root AND-level, and refuses any
+    #: replacement that would deepen a node's AND-level.
     objective: str = "mc"
     #: also accept replacements with zero AND gain but a positive total-gate
     #: gain (reduces XOR overhead without ever increasing the AND count).
@@ -72,6 +85,17 @@ class RewriteParams:
     #: or by rebuilding the network out-of-place (False — the seed
     #: behaviour, kept for A/B checking; see the module docstring).
     in_place: bool = True
+    #: cross-check every in-place round: the round's selections are *also*
+    #: applied by out-of-place reconstruction from the same pre-round
+    #: network, and the rebuilt result must be functionally equivalent and
+    #: respect the objective's monotonicity guarantees (AND count never up;
+    #: under "mc-depth" multiplicative depth never up).  The in-place and
+    #: rebuilt applications may differ transiently in exact counts (cascade
+    #: folds defer some savings by one round; reconstruction re-strashes
+    #: globally), so the check validates invariants, not structural
+    #: equality.  The depth flow enables this when the engine runs
+    #: ``--rebuild`` — see :func:`repro.rewriting.flow.depth_flow`.
+    ab_check: bool = False
 
 
 @dataclass
@@ -82,6 +106,9 @@ class Candidate:
     plan: ImplementationPlan
     gain_ands: int
     gain_gates: int
+    #: reduction of the root's AND-level (only priced under "mc-depth";
+    #: negative values mean the replacement would deepen the root).
+    gain_depth: int = 0
 
 
 @dataclass
@@ -106,6 +133,11 @@ class RoundStats:
     verified: Optional[bool] = None
     #: application strategy of this round ("in_place" or "rebuild").
     mode: str = "rebuild"
+    #: cost model the round was priced under (see :data:`OBJECTIVES`).
+    objective: str = "mc"
+    #: multiplicative depth before/after (tracked for "mc-depth" rounds).
+    depth_before: int = 0
+    depth_after: int = 0
     #: Phase-1 / Phase-2 wall clock (both included in runtime_seconds).
     select_seconds: float = 0.0
     apply_seconds: float = 0.0
@@ -115,6 +147,9 @@ class RoundStats:
     substitutions: int = 0
     nodes_resimulated: int = 0
     worklist_size: int = 0
+    #: True when the round's selections were cross-applied out-of-place and
+    #: the rebuilt result passed the equivalence/monotonicity checks.
+    ab_checked: bool = False
 
     @property
     def and_improvement(self) -> float:
@@ -122,6 +157,24 @@ class RoundStats:
         if self.ands_before == 0:
             return 0.0
         return 1.0 - self.ands_after / self.ands_before
+
+    @property
+    def made_progress(self) -> bool:
+        """True when the round improved its objective's cost.
+
+        ``"mc"`` counts AND gates, ``"size"`` counts all gates, and
+        ``"mc-depth"`` counts a round as progress when it reduced the AND
+        count *or* the multiplicative depth — convergence loops use this
+        instead of comparing AND counts directly, so depth-only rounds are
+        not discarded.
+        """
+        if self.objective == "size":
+            return (self.ands_after + self.xors_after
+                    < self.ands_before + self.xors_before)
+        if self.objective == "mc-depth":
+            return (self.ands_after < self.ands_before
+                    or self.depth_after < self.depth_before)
+        return self.ands_after < self.ands_before
 
 
 class CutRewriter:
@@ -140,6 +193,22 @@ class CutRewriter:
         #: incrementally maintained cut sets (invalidated per mutation event).
         self.cut_sets = CutSetCache(cut_size=self.params.cut_size,
                                     cut_limit=self.params.cut_limit)
+        #: maintained AND-levels of the network currently being rewritten
+        #: (created lazily, only under the "mc-depth" objective).
+        self._level_tracker: Optional[LevelTracker] = None
+
+    def _levels(self, xag: Xag) -> LevelTracker:
+        """Level tracker bound to ``xag`` (rebound when the network changes)."""
+        tracker = self._level_tracker
+        if tracker is None or tracker.xag is not xag:
+            tracker = LevelTracker(xag, and_only=True)
+            self._level_tracker = tracker
+        return tracker
+
+    def _check_objective(self) -> None:
+        if self.params.objective not in OBJECTIVES:
+            raise ValueError(f"unknown objective {self.params.objective!r} "
+                             f"(available: {', '.join(OBJECTIVES)})")
 
     # ------------------------------------------------------------------
     def rewrite(self, xag: Xag) -> Tuple[Xag, RoundStats]:
@@ -150,8 +219,7 @@ class CutRewriter:
         :meth:`rewrite_in_place` directly to keep one network identity — and
         its observer-maintained caches — alive across rounds).
         """
-        if self.params.objective not in ("mc", "size"):
-            raise ValueError(f"unknown objective {self.params.objective!r}")
+        self._check_objective()
         if not self.params.in_place:
             return self._rewrite_rebuild(xag)
         working = sweep_owned(xag)
@@ -162,8 +230,10 @@ class CutRewriter:
     def _rewrite_rebuild(self, xag: Xag) -> Tuple[Xag, RoundStats]:
         """Out-of-place round: select, reconstruct, sweep, verify."""
         stats = RoundStats(ands_before=xag.num_ands, xors_before=xag.num_xors,
-                           mode="rebuild")
+                           mode="rebuild", objective=self.params.objective)
         start = time.perf_counter()
+        if self.params.objective == "mc-depth":
+            stats.depth_before = multiplicative_depth(xag)
 
         selections = self._select_candidates(xag, stats)
         stats.select_seconds = time.perf_counter() - start
@@ -173,6 +243,8 @@ class CutRewriter:
 
         stats.ands_after = result.num_ands
         stats.xors_after = result.num_xors
+        if self.params.objective == "mc-depth":
+            stats.depth_after = multiplicative_depth(result)
         if self.params.verify:
             verify_start = time.perf_counter()
             stats.verified = equivalent(xag, result, sim_cache=self.sim_cache)
@@ -203,12 +275,13 @@ class CutRewriter:
         for empty rounds); the convergence loop uses it to discard a final
         round that brought no AND reduction, mirroring the rebuild loop.
         """
-        if self.params.objective not in ("mc", "size"):
-            raise ValueError(f"unknown objective {self.params.objective!r}")
+        self._check_objective()
         stats = RoundStats(ands_before=xag.num_ands, xors_before=xag.num_xors,
-                           mode="in_place",
+                           mode="in_place", objective=self.params.objective,
                            worklist_size=len(worklist) if worklist is not None else 0)
         start = time.perf_counter()
+        if self.params.objective == "mc-depth":
+            stats.depth_before = self._levels(xag).critical_level()
 
         sim = None
         po_before: Optional[List[int]] = None
@@ -224,6 +297,9 @@ class CutRewriter:
         selections = self._select_candidates(xag, stats, worklist=worklist)
         stats.select_seconds = time.perf_counter() - start - stats.verify_seconds
 
+        if self.params.ab_check and selections:
+            self._ab_check_round(xag, selections, stats)
+
         apply_start = time.perf_counter()
         pre_round = xag.clone() if snapshot and selections else None
         seeds = self._apply_in_place(xag, selections, stats)
@@ -231,6 +307,8 @@ class CutRewriter:
 
         stats.ands_after = xag.num_ands
         stats.xors_after = xag.num_xors
+        if self.params.objective == "mc-depth":
+            stats.depth_after = self._levels(xag).critical_level()
         if self.params.verify:
             verify_start = time.perf_counter()
             assert sim is not None and po_before is not None
@@ -241,6 +319,36 @@ class CutRewriter:
                 raise AssertionError("cut rewriting changed the network function")
         stats.runtime_seconds = time.perf_counter() - start
         return stats, seeds, pre_round
+
+    def _ab_check_round(self, xag: Xag, selections: Dict[int, "Candidate"],
+                        stats: RoundStats) -> None:
+        """Cross-apply the round's selections out-of-place and verify them.
+
+        ``xag`` is the *pre-round* network.  The rebuilt application must be
+        functionally equivalent and obey the objective's guarantees; exact
+        counts legitimately differ transiently (see
+        :attr:`RewriteParams.ab_check`), so they are not compared.
+        """
+        rebuilt = self._reconstruct(xag, selections, RoundStats())
+        if not equivalent(xag, rebuilt, sim_cache=self.sim_cache):
+            raise AssertionError(
+                "A/B check: out-of-place application of the round's "
+                "selections changed the network function")
+        # compare against the *reachable* AND count: mid-flow the in-place
+        # network still carries orphan chains awaiting the flow-end sweep.
+        live_ands = sweep(xag).num_ands
+        if rebuilt.num_ands > live_ands:
+            raise AssertionError(
+                "A/B check: out-of-place application increased the AND count "
+                f"({live_ands} -> {rebuilt.num_ands})")
+        if self.params.objective == "mc-depth":
+            critical = self._levels(xag).critical_level()
+            rebuilt_depth = multiplicative_depth(rebuilt)
+            if rebuilt_depth > critical:
+                raise AssertionError(
+                    "A/B check: out-of-place application increased the "
+                    f"multiplicative depth ({critical} -> {rebuilt_depth})")
+        stats.ab_checked = True
 
     # ------------------------------------------------------------------
     # phase 1: candidate selection
@@ -255,6 +363,8 @@ class CutRewriter:
         function_hits_before = cache.function_hits
         plan_hits_before = cache.plan_hits
         plan_misses_before = cache.plan_misses
+        depth_aware = params.objective == "mc-depth"
+        node_levels = self._levels(xag).levels() if depth_aware else None
 
         for node in xag.gates():
             if worklist is not None and node not in worklist:
@@ -271,13 +381,17 @@ class CutRewriter:
                     continue
                 interior = cut_cone(xag, node, cut.leaves)
                 interior_ands = [n for n in interior if xag.is_and(n)]
-                if params.objective == "mc" and not interior_ands:
+                if not interior_ands and params.objective != "size":
+                    # AND-free cones have nothing to offer either AND-count
+                    # objective (XOR gates are depth-transparent too).
                     continue
                 if node_mffc is None:
                     node_mffc = mffc(xag, node)
                 saved_ands = sum(1 for n in interior_ands if n in node_mffc)
                 saved_gates = sum(1 for n in interior if n in node_mffc)
                 if params.objective == "mc" and saved_ands == 0 and not params.allow_zero_gain:
+                    # "mc-depth" keeps zero-AND-gain candidates: they may
+                    # still lower the root's AND-level.
                     continue
 
                 table = cache.cone_function(xag, node, cut.leaves, interior)
@@ -288,7 +402,14 @@ class CutRewriter:
                 cost_gates = self._estimated_gates(plan)
                 gain_ands = saved_ands - cost_ands
                 gain_gates = saved_gates - cost_gates
-                candidate = Candidate(cut, plan, gain_ands, gain_gates)
+                gain_depth = 0
+                if depth_aware:
+                    assert node_levels is not None
+                    leaf_levels = [node_levels[leaf] for leaf in cut.leaves]
+                    gain_depth = node_levels[node] - \
+                        self._plan_and_level(plan, leaf_levels)
+                candidate = Candidate(cut, plan, gain_ands, gain_gates,
+                                      gain_depth)
 
                 if not self._acceptable(candidate):
                     continue
@@ -309,6 +430,20 @@ class CutRewriter:
                 return True
             return (self.params.allow_zero_gain and candidate.gain_ands == 0
                     and candidate.gain_gates > 0)
+        if self.params.objective == "mc-depth":
+            # a replacement whose estimated root level exceeds the current
+            # one is refused outright: since the estimate upper-bounds the
+            # built level and leaf levels only ever decrease during a round,
+            # no node level — hence no critical AND-level — can increase.
+            if candidate.gain_depth < 0:
+                return False
+            if candidate.gain_ands > 0:
+                return True
+            if candidate.gain_ands < 0:
+                return False
+            if candidate.gain_depth > 0:
+                return True
+            return self.params.allow_zero_gain and candidate.gain_gates > 0
         # size objective: unit cost over all gates, never allow AND regressions
         # beyond what the gate gain justifies.
         return candidate.gain_gates > 0
@@ -317,10 +452,45 @@ class CutRewriter:
         if self.params.objective == "mc":
             key = (candidate.gain_ands, candidate.gain_gates)
             incumbent_key = (incumbent.gain_ands, incumbent.gain_gates)
+        elif self.params.objective == "mc-depth":
+            key = (candidate.gain_ands, candidate.gain_depth,
+                   candidate.gain_gates)
+            incumbent_key = (incumbent.gain_ands, incumbent.gain_depth,
+                             incumbent.gain_gates)
         else:
             key = (candidate.gain_gates, candidate.gain_ands)
             incumbent_key = (incumbent.gain_gates, incumbent.gain_ands)
         return key > incumbent_key
+
+    @staticmethod
+    def _plan_and_level(plan: ImplementationPlan,
+                        leaf_levels: List[int]) -> int:
+        """Upper bound on the AND-level of the plan's output.
+
+        Rep-input and output-correction XOR trees are depth-transparent
+        (level = max over the selected leaves); each recipe AND adds one.
+        Structural hashing and constant folding during :func:`insert_plan`
+        can only produce shallower nodes, so the built root never exceeds
+        this estimate.
+        """
+        transform = plan.transform
+        levels: Dict[int, int] = {0: 0}
+        recipe = plan.recipe
+        for var, node in enumerate(recipe.pis()):
+            row = transform.matrix[var]
+            levels[node] = max(
+                [leaf_levels[j] for j in range(plan.num_vars) if (row >> j) & 1],
+                default=0)
+        for node in recipe.gates():
+            f0, f1 = recipe.fanins(node)
+            levels[node] = max(levels[f0 >> 1], levels[f1 >> 1]) + \
+                (1 if recipe.is_and(node) else 0)
+        output = levels[recipe.po_literal(0) >> 1]
+        correction = max(
+            [leaf_levels[j] for j in range(plan.num_vars)
+             if (transform.output_linear >> j) & 1],
+            default=0)
+        return max(output, correction)
 
     @staticmethod
     def _estimated_gates(plan: ImplementationPlan) -> int:

@@ -22,6 +22,8 @@ from repro.xag.simulate import (
 )
 from repro.xag.bitsim import BitSimulator, SimulationCache
 from repro.xag.depth import depth, multiplicative_depth, node_levels
+from repro.xag.levels import LevelTracker
+from repro.xag.balance import BalanceStats, balance, balance_in_place
 from repro.xag.cleanup import is_swept, sweep, sweep_owned, sweep_with_map
 from repro.xag.equivalence import equivalence_stimulus, equivalent
 from repro.xag.serialize import to_dict, from_dict, save, load
@@ -50,6 +52,10 @@ __all__ = [
     "depth",
     "multiplicative_depth",
     "node_levels",
+    "LevelTracker",
+    "BalanceStats",
+    "balance",
+    "balance_in_place",
     "is_swept",
     "sweep",
     "sweep_owned",

@@ -47,6 +47,27 @@ def test_normalized_geometric_mean_matches_paper_style():
     assert normalized_geometric_mean(befores, afters) == pytest.approx(0.5)
 
 
+def test_normalized_geometric_mean_counts_fully_optimised_circuits():
+    """Regression: a circuit optimised to 0 ANDs must *improve* the mean.
+
+    The old implementation skipped the zero ratio (``geometric_mean`` drops
+    non-positive entries), reporting the same mean as if the best row did
+    not exist — i.e. full optimisation inflated the paper's "Normalized
+    geometric mean" row instead of lowering it.
+    """
+    with_zero = normalized_geometric_mean([10, 10], [5, 0])
+    without_entry = normalized_geometric_mean([10], [5])
+    almost_zero = normalized_geometric_mean([10, 10], [5, 1])
+    assert with_zero is not None
+    assert with_zero < without_entry          # the old bug made these equal
+    assert with_zero < almost_zero            # 0 ANDs beats 1 AND
+    # documented epsilon: the zero row contributes 0.5 / before
+    assert with_zero == pytest.approx((0.5 * 0.05) ** 0.5)
+    # epsilon is tunable
+    assert normalized_geometric_mean([10], [0], zero_epsilon=0.1) == \
+        pytest.approx(0.01)
+
+
 # ----------------------------------------------------------------------
 # registries
 # ----------------------------------------------------------------------

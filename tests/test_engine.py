@@ -144,7 +144,7 @@ def test_run_circuit_reports_stages_and_verifies():
     assert report.rounds and report.rounds[0].verified is True
     stages = report.stage_timings()
     assert set(stages) == {"build", "baseline", "one_round", "convergence",
-                           "verify", "select", "apply"}
+                           "verify", "select", "apply", "balance"}
     assert stages["baseline"] == 0.0          # size_baseline off by default
     assert stages["select"] > 0               # Phase-1 time is accounted
     assert report.total_seconds > 0
@@ -220,7 +220,11 @@ def test_cli_runs_and_writes_json(tmp_path, capsys):
     assert circuit["verified"] is True
     assert set(circuit["stage_seconds"]) == {"build", "baseline", "one_round",
                                              "convergence", "verify",
-                                             "select", "apply"}
+                                             "select", "apply", "balance"}
+    # depth is reported for every objective (monotonicity is only an
+    # "mc-depth" guarantee, so only presence is asserted here)
+    assert circuit["mult_depth_before"] >= 0
+    assert circuit["mult_depth_after"] >= 0
     assert "decoder" in capsys.readouterr().out
 
 
@@ -236,6 +240,60 @@ def test_cli_rejects_bad_jobs(capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--jobs", bad])
         assert excinfo.value.code == 2
+
+
+def test_cli_rejects_non_positive_cut_parameters(capsys):
+    """Regression: --cut-size/--cut-limit silently accepted <= 0 (plain int);
+    they must fail argparse validation with exit code 2 like --rounds."""
+    for flag in ("--cut-size", "--cut-limit"):
+        for bad in ("0", "-4", "six"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([flag, bad])
+            assert excinfo.value.code == 2, (flag, bad)
+    err = capsys.readouterr().err
+    assert "positive" in err
+
+
+def test_cli_rejects_negative_verify_limit(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--verify-limit", "-1"])
+    assert excinfo.value.code == 2
+    assert "non-negative" in capsys.readouterr().err
+    # 0 stays legal: it disables verification
+    args = build_parser().parse_args(["--verify-limit", "0"])
+    assert args.verify_limit == 0
+
+
+def test_cli_rejects_unknown_objective(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--objective", "fast"])
+    assert excinfo.value.code == 2
+
+
+def test_cli_objective_plumbs_into_config():
+    args = build_parser().parse_args(["--objective", "mc-depth"])
+    assert config_from_args(args).objective == "mc-depth"
+    assert config_from_args(build_parser().parse_args([])).objective == "mc"
+
+
+def test_run_batch_rejects_unknown_objective():
+    with pytest.raises(ValueError, match="unknown objective"):
+        run_batch(EngineConfig(circuits=["decoder"], objective="fast"))
+
+
+def test_engine_mc_depth_objective_reports_depth(tmp_path, capsys):
+    json_path = tmp_path / "depth.json"
+    exit_code = main(["--circuits", "int2float", "--rounds", "2",
+                      "--objective", "mc-depth", "--json", str(json_path)])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "[mc-depth]" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["config"]["objective"] == "mc-depth"
+    circuit = payload["circuits"][0]
+    assert circuit["mult_depth_after"] <= circuit["mult_depth_before"]
+    assert circuit["verified"] is True
+    assert circuit["stage_seconds"]["balance"] >= 0.0
 
 
 def test_cli_db_flag_sets_warm_start_and_persist(tmp_path):

@@ -10,7 +10,8 @@ from repro.circuits import control as C
 from repro.cuts.cache import CutFunctionCache
 from repro.cuts.enumeration import CutSetCache, enumerate_cuts
 from repro.rewriting import CutRewriter, RewriteParams, optimize, paper_flow
-from repro.xag import BitSimulator, equivalent, is_swept, node_values, sweep
+from repro.xag import (BitSimulator, LevelTracker, balance_in_place,
+                       equivalent, is_swept, node_levels, node_values, sweep)
 from repro.xag.equivalence import equivalence_stimulus
 from repro.xag.graph import Xag, lit_node, lit_not, literal
 
@@ -192,6 +193,51 @@ def test_fanout_refcount_and_simulation_invariants_under_random_edits():
                     f0, f1 = xag.fanins(n)
                     assert lit_node(f0) in seen and lit_node(f1) in seen
                 seen.add(n)
+
+
+def test_maintained_levels_under_random_edit_and_balance_sequences():
+    """Maintained AND-levels must equal a fresh ``node_levels`` recompute
+    after random substitute/rollback/balance sequences (satellite)."""
+    for seed in range(6):
+        rng = random.Random(1000 + seed)
+        xag = random_xag(rng, num_pis=5, num_gates=30, and_bias=0.7)
+        and_tracker = LevelTracker(xag, and_only=True)
+        gate_tracker = LevelTracker(xag, and_only=False)
+        and_tracker.sync()
+        gate_tracker.sync()
+
+        for step in range(10):
+            action = rng.random()
+            live_gates = list(xag.gates())
+            if action < 0.4 and live_gates:
+                node = rng.choice(live_gates)
+                forbidden = xag.transitive_fanout([node])
+                candidates = [n for n in xag.topological_order()
+                              if n != node and not xag.is_constant(n)
+                              and n not in forbidden]
+                if not candidates:
+                    continue
+                xag.substitute_node(node, literal(rng.choice(candidates),
+                                                  rng.random() < 0.5))
+            elif action < 0.55 and live_gates:
+                xag.substitute_node(rng.choice(live_gates), rng.randint(0, 1))
+            elif action < 0.75:
+                checkpoint = xag.checkpoint()
+                pis = xag.pi_literals()
+                xag.create_and(xag.create_xor(rng.choice(pis), rng.choice(pis)),
+                               rng.choice(pis))
+                and_tracker.sync()
+                xag.rollback(checkpoint)
+            else:
+                balance_in_place(xag, verify=True)
+
+            for and_only, tracker in ((True, and_tracker),
+                                      (False, gate_tracker)):
+                fresh = node_levels(xag, and_only=and_only)
+                maintained = tracker.levels()
+                for node in xag.topological_order():
+                    assert maintained[node] == fresh[node], \
+                        f"seed {seed} step {step} node {node} and_only {and_only}"
 
 
 def test_construction_path_revive_notifies_observers():

@@ -149,6 +149,86 @@ def test_blif_model_name():
     assert write_blif(fa, model_name=None).startswith(f".model {fa.name}")
 
 
+def _gate_with_constant_fanin():
+    """Network with a live gate reading node 0 (bypasses constant folding).
+
+    The public constructors fold constant fan-ins away, but external
+    frontends (and the low-level node array) can legitimately describe such
+    gates; the BLIF writer must still emit valid text for them.
+    """
+    from repro.xag.graph import NodeKind, literal
+
+    xag = Xag()
+    a, b = xag.create_pis(2)
+    gate = xag._new_node(NodeKind.XOR, xag.get_constant(True), a)
+    xag.create_po(literal(gate), "inv")
+    xag.create_po(xag.create_and(literal(gate), b), "gated")
+    return xag
+
+
+def test_blif_declares_const0_for_gate_fanins():
+    """Regression: a gate (not just a PO) reading node 0 must pull in the
+    ``.names const0`` driver, otherwise the emitted BLIF references an
+    undeclared signal."""
+    xag = _gate_with_constant_fanin()
+    text = write_blif(xag)
+    assert ".names const0" in text
+    rebuilt = read_blif(text)
+    assert equivalent(xag, rebuilt)
+
+
+def test_blif_reader_resolves_out_of_order_definitions():
+    """Legal BLIF may define a cover before its sources; the reader must
+    resolve covers in dependency order instead of raising KeyError."""
+    text = "\n".join([
+        ".model ooo",
+        ".inputs a b",
+        ".outputs y",
+        ".names mid a y",   # reads `mid` before it is defined
+        "11 1",
+        ".names a b mid",
+        "01 1",
+        "10 1",
+        ".end",
+    ])
+    xag = read_blif(text)
+    assert xag.num_pis == 2 and xag.num_pos == 1
+    reference = Xag()
+    a, b = reference.create_pis(2)
+    reference.create_po(reference.create_and(reference.create_xor(a, b), a), "y")
+    assert equivalent(reference, xag)
+
+
+def test_blif_reader_rejects_undefined_signals():
+    text = "\n".join([
+        ".model broken",
+        ".inputs a",
+        ".outputs y",
+        ".names a ghost y",
+        "11 1",
+        ".end",
+    ])
+    with pytest.raises(ValueError, match="undefined signal.*ghost"):
+        read_blif(text)
+    with pytest.raises(ValueError, match="output 'y' is never defined"):
+        read_blif(".model m\n.inputs a\n.outputs y\n.end\n")
+
+
+def test_blif_reader_rejects_cyclic_covers():
+    text = "\n".join([
+        ".model loop",
+        ".inputs a",
+        ".outputs y",
+        ".names y a u",
+        "11 1",
+        ".names u a y",
+        "11 1",
+        ".end",
+    ])
+    with pytest.raises(ValueError, match="combinational cycle"):
+        read_blif(text)
+
+
 # ----------------------------------------------------------------------
 # Verilog
 # ----------------------------------------------------------------------
