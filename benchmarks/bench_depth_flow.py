@@ -5,7 +5,10 @@ AND count and its multiplicative depth — homomorphic noise growth is
 exponential in the number of AND levels.  This benchmark races the plain
 ``"mc"`` convergence flow against the depth-aware flow
 (:func:`repro.rewriting.flow.depth_flow`: balance → depth-guarded mc rounds →
-``"mc-depth"`` rewriting, iterated to a fixpoint) and pins its contract:
+``"mc-depth"`` rewriting, iterated to a fixpoint; since the pipeline
+refactor the guarded stage drains one persistent dirty-node worklist over a
+shared optimisation context instead of restarting a full cut re-enumeration
+per round) and pins its contract:
 
 * the multiplicative depth never exceeds the initial network's;
 * the AND count stays within 1 % of the pure-MC flow per circuit;

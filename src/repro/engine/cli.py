@@ -75,9 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "size = total gates, mc-depth = AND count then "
                              "multiplicative depth via the balance+rewrite "
                              "depth flow (default: mc)")
+    parser.add_argument("--flow", metavar="SCRIPT", default=None,
+                        help="custom pass pipeline instead of the objective's "
+                             "canonical flow, e.g. 'balance,mc*,mc-depth*' or "
+                             "'repeat:8(balance,guard(mc*),mc-depth*)'; atoms "
+                             "run one round, '*' repeats to a fixpoint, '*N' "
+                             "caps at N rounds; --size-baseline prepends a "
+                             "baseline step unless the script has one")
     parser.add_argument("--rounds", type=non_negative_int, default=2,
                         help="cap on rewriting rounds, 0 = run to convergence "
-                             "(default: 2)")
+                             "(default: 2); under mc-depth the cap applies "
+                             "per stage and iteration of the depth flow")
     parser.add_argument("--jobs", type=positive_int, default=1, metavar="N",
                         help="shard the selected circuits over N worker "
                              "processes (default: 1)")
@@ -110,6 +118,7 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
         cut_size=args.cut_size,
         cut_limit=args.cut_limit,
         objective=args.objective,
+        flow=args.flow,
         max_rounds=None if args.rounds == 0 else args.rounds,
         in_place=not args.rebuild,
         size_baseline=args.size_baseline,
@@ -147,6 +156,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "circuits": batch.config.circuits,
                 "groups": batch.config.groups,
                 "objective": batch.config.objective,
+                "flow": batch.config.flow,
                 "rounds": args.rounds,
                 "jobs": batch.jobs,
                 "in_place": batch.config.in_place,

@@ -1,4 +1,4 @@
-"""Batch runner: suites → circuits → paper flow, with shared caches.
+"""Batch runner: suites → circuits → pass pipeline, with shared caches.
 
 The engine exists so that running the paper's experiment over *many*
 workloads amortises every piece of reusable state:
@@ -42,11 +42,12 @@ from repro.circuits.crypto.registry import mpc_benchmarks
 from repro.circuits.epfl import epfl_benchmarks
 from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
-from repro.rewriting.flow import (PaperFlowResult, depth_flow, paper_flow,
-                                  size_optimize)
+from repro.rewriting.pipeline import (FlowSummary, Pass, PipelineResult,
+                                      SizeBaselinePass, contains_depth_guard,
+                                      contains_pass, parse_flow, run_pipeline,
+                                      standard_flow)
 from repro.rewriting.rewrite import OBJECTIVES, RewriteParams, RoundStats
 from repro.xag.bitsim import SimulationCache
-from repro.xag.depth import multiplicative_depth
 
 #: suite name → registry loader.
 SUITES = {
@@ -71,7 +72,15 @@ class EngineConfig:
     #: gates) or "mc-depth" (AND count, then multiplicative depth; runs the
     #: balance → rewrite → balance depth flow).
     objective: str = "mc"
-    #: cap on rewriting rounds per circuit (``None`` = run to convergence).
+    #: custom flow script (see :func:`repro.rewriting.pipeline.parse_flow`);
+    #: overrides the canonical pipeline that ``objective`` /
+    #: ``size_baseline`` / ``max_rounds`` would select — round caps then
+    #: come from the script's own ``*N`` suffixes.
+    flow: Optional[str] = None
+    #: cap on rewriting rounds (``None`` = run to convergence).  For the
+    #: "mc"/"size" pipelines this bounds the total rounds per circuit; for
+    #: "mc-depth" it bounds the rounds *per stage and iteration* of the
+    #: depth flow (see :func:`repro.rewriting.flow.depth_flow`).
     max_rounds: Optional[int] = 2
     #: run the generic size-optimisation baseline before MC rewriting.
     size_baseline: bool = False
@@ -92,7 +101,7 @@ class EngineConfig:
 
 
 @dataclass
-class CircuitReport:
+class CircuitReport(FlowSummary):
     """Everything measured for one circuit of the batch."""
 
     name: str
@@ -125,20 +134,6 @@ class CircuitReport:
     def total_seconds(self) -> float:
         """Build plus baseline plus optimisation time."""
         return self.build_seconds + self.baseline_seconds + self.convergence_seconds
-
-    @property
-    def and_improvement(self) -> float:
-        """Fractional AND reduction over the whole run."""
-        if self.ands_before == 0:
-            return 0.0
-        return 1.0 - self.ands_after / self.ands_before
-
-    @property
-    def depth_improvement(self) -> float:
-        """Fractional multiplicative-depth reduction over the whole run."""
-        if self.depth_before == 0:
-            return 0.0
-        return 1.0 - self.depth_after / self.depth_before
 
     def stage_timings(self) -> Dict[str, float]:
         """Per-stage wall-clock seconds (verification overlaps the rounds).
@@ -223,6 +218,8 @@ class BatchReport:
         mode_note = "" if self.config.in_place else " [rebuild]"
         if self.config.objective != "mc":
             mode_note += f" [{self.config.objective}]"
+        if self.config.flow is not None:
+            mode_note += f" [flow: {self.config.flow}]"
         lines.append(
             f"{len(self.succeeded)}/{len(self.reports)} circuits in "
             f"{self.total_seconds:.2f}s{jobs_note}{warm_note}{mode_note} | plan cache "
@@ -263,15 +260,42 @@ def select_cases(config: EngineConfig) -> List[BenchmarkCase]:
     return cases
 
 
+def build_pipeline(config: EngineConfig) -> List[Pass]:
+    """Resolve the configuration to a pass pipeline.
+
+    A ``config.flow`` script wins; otherwise the canonical pipeline of the
+    objective is built (one round → convergence for "mc"/"size", the
+    balance → guarded-mc → mc-depth repeat for "mc-depth").
+    ``size_baseline`` is honoured either way: a custom flow without an
+    explicit ``baseline`` step gets one prepended.
+    """
+    if config.flow is not None:
+        passes = parse_flow(config.flow)
+        if config.size_baseline and \
+                not contains_pass(passes, SizeBaselinePass):
+            passes.insert(0, SizeBaselinePass())
+        return passes
+    return standard_flow(config.objective, size_baseline=config.size_baseline,
+                         max_rounds=config.max_rounds)
+
+
 def run_circuit(case: BenchmarkCase, config: EngineConfig,
                 database: Optional[McDatabase] = None,
                 cut_cache: Optional[CutFunctionCache] = None,
                 sim_cache: Optional[SimulationCache] = None) -> CircuitReport:
-    """Run the paper flow on one benchmark case and time every stage."""
+    """Run the configured pipeline on one benchmark case, timing every stage.
+
+    One generic path for every flow: the pipeline (canonical per objective,
+    or a custom ``config.flow`` script) executes over one shared
+    optimisation context and the report is filled from the uniform
+    :class:`~repro.rewriting.pipeline.PassResult` tree — the depth flow is
+    no longer a fork re-plumbing every field.
+    """
     report = CircuitReport(name=case.name, group=case.group)
     cut_cache = CutFunctionCache.ensure(cut_cache, database)
     sim_cache = sim_cache if sim_cache is not None else SimulationCache()
     try:
+        passes = build_pipeline(config)
         build_start = time.perf_counter()
         xag = case.build(full_scale=config.full_scale)
         report.build_seconds = time.perf_counter() - build_start
@@ -282,68 +306,54 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
         params = RewriteParams(cut_size=config.cut_size, cut_limit=config.cut_limit,
                                objective=config.objective, verify=verify,
                                in_place=config.in_place)
-        if config.objective == "mc-depth":
-            _run_depth_flow(xag, config, params, report, database=database,
-                            cut_cache=cut_cache, sim_cache=sim_cache)
-            return report
+        if contains_depth_guard(passes):
+            # guarded rounds decide in place; --rebuild replays the in-place
+            # trajectory with per-round out-of-place cross-checks instead of
+            # forking a second trajectory (see RewriteParams.ab_check).
+            params = replace(params, in_place=True,
+                             ab_check=params.ab_check or not config.in_place)
 
-        result: PaperFlowResult = paper_flow(
-            xag, name=case.name, params=params, size_baseline=config.size_baseline,
-            max_rounds=config.max_rounds, cut_cache=cut_cache, sim_cache=sim_cache)
+        result: PipelineResult = run_pipeline(
+            xag, passes, database=database, params=params,
+            cut_cache=cut_cache, sim_cache=sim_cache)
 
         report.ands_before = result.initial.num_ands
         report.xors_before = result.initial.num_xors
-        report.ands_after = result.after_convergence.num_ands
-        report.xors_after = result.after_convergence.num_xors
-        report.depth_before = multiplicative_depth(result.initial)
-        report.depth_after = multiplicative_depth(result.after_convergence)
+        report.ands_after = result.final.num_ands
+        report.xors_after = result.final.num_xors
+        report.depth_before = result.depth_before
+        report.depth_after = result.depth_after
         report.rounds = result.rounds
-        report.baseline_seconds = result.baseline_seconds
-        report.one_round_seconds = result.one_round_seconds
-        report.convergence_seconds = result.convergence_seconds
+        report.baseline_seconds = result.stage_seconds("baseline")
+        report.balance_seconds = result.stage_seconds("balance")
+        report.one_round_seconds = _one_round_seconds(result)
+        report.convergence_seconds = result.runtime_seconds - report.baseline_seconds
         if verify:
-            report.verified = all(stats.verified in (True, None)
-                                  for stats in result.rounds)
+            # None (not True) when the flow produced zero verified rounds —
+            # an unchecked run must not read as a passed check.
+            report.verified = result.verified
     except Exception as exc:  # noqa: BLE001 - batch runs must survive one bad case
         report.error = f"{type(exc).__name__}: {exc}"
     return report
 
 
-def _run_depth_flow(xag, config: EngineConfig,
-                    params: RewriteParams, report: CircuitReport,
-                    database: Optional[McDatabase],
-                    cut_cache: CutFunctionCache,
-                    sim_cache: SimulationCache) -> None:
-    """Fill ``report`` by running the depth-aware flow on one case.
+def _one_round_seconds(result: PipelineResult) -> float:
+    """Wall clock of the "one round" stage of a pipeline.
 
-    Mirrors the paper-flow path: the optional generic size baseline runs
-    first, then :func:`repro.rewriting.flow.depth_flow` (balance → rewrite →
-    balance) replaces the one-round/convergence pipeline.
+    The canonical paper pipeline has an explicitly named one-round pass;
+    other flows report their first executed *rewriting* round, mirroring
+    what the depth flow always did — size-baseline rounds are excluded
+    (the baseline stage is timed separately).
     """
-    initial = xag
-    if config.size_baseline:
-        baseline = size_optimize(xag, verify=params.verify,
-                                 cut_cache=cut_cache, sim_cache=sim_cache)
-        initial = baseline.final
-        report.baseline_seconds = baseline.runtime_seconds
-    result = depth_flow(initial, database=database, params=params,
-                        max_rounds=config.max_rounds, cut_cache=cut_cache,
-                        sim_cache=sim_cache)
-    report.ands_before = result.initial.num_ands
-    report.xors_before = result.initial.num_xors
-    report.ands_after = result.final.num_ands
-    report.xors_after = result.final.num_xors
-    report.depth_before = result.initial_depth
-    report.depth_after = result.final_depth
-    report.rounds = result.rounds
-    report.one_round_seconds = result.one_round_seconds
-    report.convergence_seconds = result.runtime_seconds
-    report.balance_seconds = result.balance_seconds
-    if params.verify:
-        report.verified = (
-            all(stats.verified in (True, None) for stats in result.rounds)
-            and all(stats.verified in (True, None)
-                    for stats in result.balance_stats))
+    for pass_result in result.walk():
+        if pass_result.name == "one-round":
+            return pass_result.runtime_seconds
+    for pass_result in result.passes:
+        if pass_result.kind == "baseline":
+            continue
+        if pass_result.rounds:
+            return pass_result.rounds[0].runtime_seconds
+    return 0.0
 
 
 # ----------------------------------------------------------------------
@@ -510,6 +520,9 @@ def run_batch(config: Optional[EngineConfig] = None,
     if config.objective not in OBJECTIVES:
         raise ValueError(f"unknown objective {config.objective!r} "
                          f"(available: {', '.join(OBJECTIVES)})")
+    if config.flow is not None:
+        # fail fast on a bad script (per-circuit errors would repeat it)
+        parse_flow(config.flow)
     database = database if database is not None else McDatabase()
     cut_cache = CutFunctionCache(database)
     sim_cache = SimulationCache()

@@ -1,4 +1,4 @@
-"""Optimisation flows: one round, repeat-until-convergence, and the paper flow.
+"""Optimisation flows: thin aliases over the pass-pipeline layer.
 
 The experiment structure of the paper is:
 
@@ -9,28 +9,39 @@ The experiment structure of the paper is:
   the AND count ("Repeat until convergence" columns; the paper reports 15
   rounds on average, at most 58).
 
-:func:`paper_flow` runs exactly this pipeline and returns the per-stage
-numbers the table renderers in :mod:`repro.analysis.tables` consume.
+Since the pipeline refactor the recipes themselves live in
+:mod:`repro.rewriting.pipeline` as composable passes over one shared
+:class:`~repro.rewriting.pipeline.OptimizationContext`; the functions here
+keep the historical signatures and result types — :func:`optimize` is a
+single :class:`~repro.rewriting.pipeline.RewritePass`, :func:`paper_flow`
+is ``one-round`` → ``convergence`` (optionally preceded by a
+:class:`~repro.rewriting.pipeline.SizeBaselinePass`), and
+:func:`depth_flow` is ``repeat(balance, guard(mc*), mc-depth*)`` draining
+one persistent dirty-node worklist.  The result dataclasses share their
+improvement/convergence arithmetic through
+:class:`~repro.rewriting.pipeline.FlowSummary`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Set
+from typing import List, Optional
 
 from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
-from repro.rewriting.rewrite import CutRewriter, RewriteParams, RoundStats
-from repro.xag.balance import BalanceStats, balance
+from repro.rewriting.pipeline import (BalancePass, DepthGuard, FlowSummary,
+                                      OptimizationContext, RewritePass,
+                                      Repeat, SizeBaselinePass)
+from repro.rewriting.rewrite import RewriteParams, RoundStats
+from repro.xag.balance import BalanceStats
 from repro.xag.bitsim import SimulationCache
-from repro.xag.cleanup import sweep, sweep_owned
 from repro.xag.depth import multiplicative_depth
 from repro.xag.graph import Xag
 
 
 @dataclass
-class FlowResult:
+class FlowResult(FlowSummary):
     """Result of running rewriting rounds until convergence (or a round cap)."""
 
     initial: Xag
@@ -44,56 +55,20 @@ class FlowResult:
         return len(self.rounds)
 
     @property
-    def and_improvement(self) -> float:
-        """Overall fractional AND reduction achieved by the flow."""
-        if self.initial.num_ands == 0:
-            return 0.0
-        return 1.0 - self.final.num_ands / self.initial.num_ands
+    def ands_before(self) -> int:
+        return self.initial.num_ands
 
     @property
-    def converged(self) -> bool:
-        """True when the last executed round brought no further improvement
-        of its objective (AND count for "mc", total gates for "size", AND
-        count or multiplicative depth for "mc-depth")."""
-        return bool(self.rounds) and not self.rounds[-1].made_progress
+    def ands_after(self) -> int:
+        return self.final.num_ands
 
+    @property
+    def depth_before(self) -> int:
+        return multiplicative_depth(self.initial)
 
-def _drain_in_place(rewriter: CutRewriter, working: Xag,
-                    max_rounds: Optional[int], rounds: List[RoundStats],
-                    seeds: Optional[Set[int]]):
-    """Drain dirty-worklist rounds on ``working`` (mutating it).
-
-    ``seeds`` carries the dirty nodes of a previous drain (``None`` means
-    "examine every gate" — the first round).  Appends one
-    :class:`RoundStats` per executed round and stops after ``max_rounds``
-    rounds or when a round brings no improvement of the rewriter's
-    objective (:attr:`RoundStats.made_progress`) — in which case that
-    round's mutations are discarded by returning the pre-round snapshot,
-    exactly like the rebuild loop discards the freshly built copy.  Returns
-    ``(final_network, seeds, progressed)`` where ``progressed`` reports
-    whether any executed round improved the objective.
-    """
-    final = working
-    executed = 0
-    progressed = False
-    while max_rounds is None or executed < max_rounds:
-        if seeds is None:
-            worklist: Optional[Set[int]] = None
-        else:
-            worklist = {node for node in working.transitive_fanout(seeds)
-                        if working.is_gate(node)}
-        stats, seeds, snapshot = rewriter.rewrite_in_place(
-            working, worklist, snapshot=True)
-        rounds.append(stats)
-        executed += 1
-        if stats.made_progress:
-            final = working
-            progressed = True
-            continue
-        if snapshot is not None:
-            final = snapshot
-        break
-    return final, seeds, progressed
+    @property
+    def depth_after(self) -> int:
+        return multiplicative_depth(self.final)
 
 
 def one_round(xag: Xag, database: Optional[McDatabase] = None,
@@ -112,45 +87,24 @@ def optimize(xag: Xag, database: Optional[McDatabase] = None,
              sim_cache: Optional[SimulationCache] = None) -> FlowResult:
     """Repeat MC cut rewriting until no AND improvement (or ``max_rounds``).
 
-    ``cut_cache`` / ``sim_cache`` may pass caches shared with other flows
-    (the engine shares them across a whole batch of circuits); fresh ones are
-    created otherwise, so plans and simulation values are still reused
-    between the rounds of this call.
+    Alias for a pipeline of one :class:`~repro.rewriting.pipeline.RewritePass`
+    over a fresh context.  ``cut_cache`` / ``sim_cache`` may pass caches
+    shared with other flows (the engine shares them across a whole batch of
+    circuits); fresh ones are created otherwise, so plans and simulation
+    values are still reused between the rounds of this call.
 
-    With ``params.in_place`` (the default) the loop clones the input once
+    With ``params.in_place`` (the default) the pass clones the input once
     and then *drains a dirty-node worklist*: each round substitutes the
     winning candidates into the same network object and seeds the next
-    round's worklist with the transitive fanout of everything that changed,
-    so late rounds — which typically touch a few cones — examine only those
-    cones instead of re-enumerating, re-simulating and rebuilding the whole
-    network.  With ``in_place=False`` every round rebuilds the network
-    out-of-place (the seed behaviour, kept for A/B checking).
+    round's worklist with the transitive fanout of everything that changed.
+    With ``in_place=False`` every round rebuilds the network out-of-place
+    (the seed behaviour, kept for A/B checking).
     """
-    params = params or RewriteParams()
-    rewriter = CutRewriter(database=database, params=params,
-                           cut_cache=cut_cache, sim_cache=sim_cache)
     start = time.perf_counter()
-    rounds: List[RoundStats] = []
-    if params.in_place:
-        # start from a swept working copy so pre-existing dead logic is
-        # dropped exactly as the rebuild rounds would.
-        working = sweep_owned(xag)
-        final, _seeds, _progressed = _drain_in_place(
-            rewriter, working, max_rounds, rounds, None)
-        return FlowResult(initial=xag, final=sweep(final), rounds=rounds,
-                          runtime_seconds=time.perf_counter() - start)
-    # the rebuild path starts from the swept network too: references from
-    # unreachable logic must not inflate fanout counts (and thereby shrink
-    # MFFCs) during candidate selection — and both strategies must price
-    # gains identically for the A/B comparison to be meaningful.
-    current = sweep(xag)
-    while max_rounds is None or len(rounds) < max_rounds:
-        improved, stats = rewriter.rewrite(current)
-        rounds.append(stats)
-        if not stats.made_progress:
-            break
-        current = improved
-    return FlowResult(initial=xag, final=current, rounds=rounds,
+    ctx = OptimizationContext(xag, database=database, params=params,
+                              cut_cache=cut_cache, sim_cache=sim_cache)
+    result = RewritePass(max_rounds=max_rounds).run(ctx)
+    return FlowResult(initial=xag, final=ctx.finish(), rounds=result.rounds,
                       runtime_seconds=time.perf_counter() - start)
 
 
@@ -162,31 +116,21 @@ def size_optimize(xag: Xag, database: Optional[McDatabase] = None,
     """Generic size optimisation baseline (unit cost for AND and XOR).
 
     This plays the role of the ABC script the paper uses to produce its
-    "Initial" networks: a cut-rewriting pass whose objective is the total gate
-    count and which therefore does not distinguish AND from XOR gates.
+    "Initial" networks — an alias for one
+    :class:`~repro.rewriting.pipeline.SizeBaselinePass`.
     """
-    # a fixed-round loop over fresh network objects gains nothing from the
-    # in-place machinery (every round would rebind the caches to a new
-    # object anyway): keep the rebuild strategy for the baseline.
-    params = RewriteParams(cut_size=cut_size, cut_limit=cut_limit, objective="size",
-                           verify=verify, in_place=False)
-    rewriter = CutRewriter(database=database, params=params,
-                           cut_cache=cut_cache, sim_cache=sim_cache)
     start = time.perf_counter()
-    current = xag
-    rounds: List[RoundStats] = []
-    for _ in range(max_rounds):
-        improved, stats = rewriter.rewrite(current)
-        rounds.append(stats)
-        if not stats.made_progress:
-            break
-        current = improved
-    return FlowResult(initial=xag, final=current, rounds=rounds,
+    ctx = OptimizationContext(xag, database=database,
+                              params=RewriteParams(verify=verify),
+                              cut_cache=cut_cache, sim_cache=sim_cache)
+    result = SizeBaselinePass(max_rounds=max_rounds, cut_size=cut_size,
+                              cut_limit=cut_limit).run(ctx)
+    return FlowResult(initial=xag, final=ctx.initial, rounds=result.rounds,
                       runtime_seconds=time.perf_counter() - start)
 
 
 @dataclass
-class PaperFlowResult:
+class PaperFlowResult(FlowSummary):
     """All numbers needed for one row of Table 1 / Table 2."""
 
     name: str
@@ -215,6 +159,22 @@ class PaperFlowResult:
         return self.initial.num_xors
 
     @property
+    def ands_before(self) -> int:
+        return self.initial.num_ands
+
+    @property
+    def ands_after(self) -> int:
+        return self.after_convergence.num_ands
+
+    @property
+    def depth_before(self) -> int:
+        return multiplicative_depth(self.initial)
+
+    @property
+    def depth_after(self) -> int:
+        return multiplicative_depth(self.after_convergence)
+
+    @property
     def one_round_improvement(self) -> float:
         """Fractional AND reduction after a single rewriting round."""
         if self.initial.num_ands == 0:
@@ -224,9 +184,7 @@ class PaperFlowResult:
     @property
     def convergence_improvement(self) -> float:
         """Fractional AND reduction after repeating until convergence."""
-        if self.initial.num_ands == 0:
-            return 0.0
-        return 1.0 - self.after_convergence.num_ands / self.initial.num_ands
+        return self.and_improvement
 
 
 def paper_flow(xag: Xag, name: Optional[str] = None,
@@ -238,76 +196,41 @@ def paper_flow(xag: Xag, name: Optional[str] = None,
                sim_cache: Optional[SimulationCache] = None) -> PaperFlowResult:
     """Run the full experimental pipeline of the paper on one benchmark.
 
-    With ``size_baseline`` the input network is first run through the generic
+    Alias for the ``[baseline?] one-round convergence`` pipeline over one
+    shared context: the "one round" stage and the convergence stage operate
+    on the same working network, so packed simulation words, cut sets, cone
+    functions and the dirty-node worklist survive across the stage boundary.
+    With ``size_baseline`` the input is first rebased through the generic
     size optimiser (mirroring the ABC pre-optimisation of the EPFL
-    benchmarks); the (possibly optimised) starting point is reported as the
-    "Initial" network.  ``max_rounds`` caps the convergence loop, which is
-    useful for the large cryptographic benchmarks in pure Python.  One
-    cut-function cache and one simulation cache are shared by all stages
-    (callers batching several circuits can pass their own).
+    benchmarks) and the baseline's output is reported as the "Initial"
+    network.  ``max_rounds`` caps the total number of rewriting rounds.
     """
     params = params if params is not None else RewriteParams()
-    cut_cache = CutFunctionCache.ensure(cut_cache, database)
-    sim_cache = sim_cache if sim_cache is not None else SimulationCache()
-    initial = xag
-    baseline: Optional[FlowResult] = None
+    ctx = OptimizationContext(xag, database=database, params=params,
+                              cut_cache=cut_cache, sim_cache=sim_cache)
+    baseline_rounds: List[RoundStats] = []
+    baseline_seconds = 0.0
     if size_baseline:
-        baseline = size_optimize(xag, verify=params.verify, cut_cache=cut_cache,
-                                 sim_cache=sim_cache)
-        initial = baseline.final
-
-    if params.in_place:
-        # one continuous in-place drain: the "one round" stage and the
-        # convergence stage operate on the same working network, so packed
-        # simulation words, cut sets and cone functions survive across the
-        # stage boundary instead of being rebuilt for a swept copy.
-        rewriter = CutRewriter(database=database, params=params,
-                               cut_cache=cut_cache, sim_cache=sim_cache)
-        start_one = time.perf_counter()
-        working = sweep_owned(initial)
-        flow_rounds: List[RoundStats] = []
-        final, seeds, progressed = _drain_in_place(
-            rewriter, working, 1, flow_rounds, None)
-        after_one = sweep(final)
-        if after_one is final:
-            after_one = final.clone()
-        one_round_seconds = time.perf_counter() - start_one
-
-        start_conv = time.perf_counter()
-        conv_cap = None if max_rounds is None else max(0, max_rounds - 1)
-        if conv_cap != 0:
-            if final is not working:
-                # round 1 was discarded: continue from the restored network
-                # with a full re-examination, as the rebuild path would.
-                working, seeds = final, None
-            final, _seeds, _prog = _drain_in_place(
-                rewriter, working, conv_cap, flow_rounds, seeds)
-        convergence_seconds = one_round_seconds + (time.perf_counter() - start_conv)
-
-        return PaperFlowResult(
-            name=name or xag.name or "benchmark",
-            num_inputs=xag.num_pis,
-            num_outputs=xag.num_pos,
-            initial=initial,
-            after_one_round=after_one,
-            after_convergence=sweep(final),
-            one_round_stats=flow_rounds[0],
-            convergence_rounds=len(flow_rounds),
-            one_round_seconds=one_round_seconds,
-            convergence_seconds=convergence_seconds,
-            baseline_seconds=baseline.runtime_seconds if baseline is not None else 0.0,
-            rounds=(baseline.rounds if baseline is not None else []) + flow_rounds,
-        )
+        baseline = SizeBaselinePass().run(ctx)
+        baseline_rounds = baseline.rounds
+        baseline_seconds = baseline.runtime_seconds
+    initial = ctx.initial
 
     start_one = time.perf_counter()
-    one = optimize(initial, params=params, max_rounds=1,
-                   cut_cache=cut_cache, sim_cache=sim_cache)
+    one = RewritePass(max_rounds=1, name="one-round").run(ctx)
+    after_one = ctx.finish()
+    if params.in_place and after_one is ctx.network:
+        # the convergence stage keeps mutating the working network: hand the
+        # caller an independent snapshot of the one-round result.
+        after_one = after_one.clone()
     one_round_seconds = time.perf_counter() - start_one
 
     start_conv = time.perf_counter()
-    conv = optimize(one.final, params=params,
-                    max_rounds=None if max_rounds is None else max(0, max_rounds - 1),
-                    cut_cache=cut_cache, sim_cache=sim_cache)
+    conv_rounds: List[RoundStats] = []
+    conv_cap = None if max_rounds is None else max(0, max_rounds - 1)
+    if conv_cap != 0:
+        conv = RewritePass(max_rounds=conv_cap, name="convergence").run(ctx)
+        conv_rounds = conv.rounds
     convergence_seconds = one_round_seconds + (time.perf_counter() - start_conv)
 
     return PaperFlowResult(
@@ -315,24 +238,24 @@ def paper_flow(xag: Xag, name: Optional[str] = None,
         num_inputs=xag.num_pis,
         num_outputs=xag.num_pos,
         initial=initial,
-        after_one_round=one.final,
-        after_convergence=conv.final,
+        after_one_round=after_one,
+        after_convergence=ctx.finish(),
         one_round_stats=one.rounds[0],
-        convergence_rounds=1 + conv.num_rounds,
+        convergence_rounds=len(one.rounds) + len(conv_rounds),
         one_round_seconds=one_round_seconds,
         convergence_seconds=convergence_seconds,
-        baseline_seconds=baseline.runtime_seconds if baseline is not None else 0.0,
-        rounds=(baseline.rounds if baseline is not None else []) + one.rounds + conv.rounds,
+        baseline_seconds=baseline_seconds,
+        rounds=baseline_rounds + one.rounds + conv_rounds,
     )
 
 
 @dataclass
-class DepthFlowResult:
-    """Result of the depth-aware flow (balance → rewrite → balance)."""
+class DepthFlowResult(FlowSummary):
+    """Result of the depth-aware flow (balance → guarded mc → mc-depth)."""
 
     initial: Xag
     final: Xag
-    #: balance → rewrite iterations executed (each runs both stages).
+    #: balance → rewrite iterations executed (each runs all three stages).
     iterations: int = 0
     rounds: List[RoundStats] = field(default_factory=list)
     balance_stats: List["BalanceStats"] = field(default_factory=list)
@@ -345,20 +268,25 @@ class DepthFlowResult:
     #: multiplicative depth of the initial / final network.
     initial_depth: int = 0
     final_depth: int = 0
+    #: guarded rounds rolled back for raising the critical AND-level (plus
+    #: final no-improvement rounds restored from their snapshot).
+    discarded_rounds: int = 0
 
     @property
-    def and_improvement(self) -> float:
-        """Overall fractional AND reduction achieved by the flow."""
-        if self.initial.num_ands == 0:
-            return 0.0
-        return 1.0 - self.final.num_ands / self.initial.num_ands
+    def ands_before(self) -> int:
+        return self.initial.num_ands
 
     @property
-    def depth_improvement(self) -> float:
-        """Overall fractional multiplicative-depth reduction."""
-        if self.initial_depth == 0:
-            return 0.0
-        return 1.0 - self.final_depth / self.initial_depth
+    def ands_after(self) -> int:
+        return self.final.num_ands
+
+    @property
+    def depth_before(self) -> int:
+        return self.initial_depth
+
+    @property
+    def depth_after(self) -> int:
+        return self.final_depth
 
 
 def depth_flow(xag: Xag, database: Optional[McDatabase] = None,
@@ -369,17 +297,20 @@ def depth_flow(xag: Xag, database: Optional[McDatabase] = None,
                sim_cache: Optional[SimulationCache] = None) -> DepthFlowResult:
     """Multiplicative-depth-aware optimisation: balance → rewrite → balance.
 
-    Each iteration runs three stages:
+    Alias for the ``repeat(balance, guard(mc*), mc-depth*)`` pipeline.  Each
+    iteration runs three stages:
 
     1. **balance** — AND/XOR tree rebalancing
-       (:func:`repro.xag.balance.balance`), reducing the multiplicative
-       depth without touching the AND count;
+       (:func:`repro.xag.balance.balance_in_place`), reducing the
+       multiplicative depth without touching the AND count;
     2. **guarded mc rounds** — plain-``"mc"`` rewriting rounds applied one
-       at a time, each *discarded* when it raises the critical AND-level.
-       This chases the pure-MC AND count (the per-node level veto of stage 3
-       refuses savings whose local level increase would be absorbed by path
-       slack, and can steer into worse local optima when run first) while
-       the depth still never increases;
+       at a time, each *discarded* when it raises the critical AND-level
+       (:class:`~repro.rewriting.pipeline.DepthGuard`).  This chases the
+       pure-MC AND count while the depth still never increases.  The rounds
+       drain the context's **persistent dirty-node worklist**: after the
+       first round only the transitive fanout of what changed is
+       re-examined, instead of restarting a full cut re-enumeration per
+       round;
     3. **rewrite** — MC cut rewriting until convergence under the
        ``"mc-depth"`` objective, collecting the remaining AND gains that
        respect per-node levels plus depth-only rewrites, without ever
@@ -391,74 +322,37 @@ def depth_flow(xag: Xag, database: Optional[McDatabase] = None,
     rewriting rounds *per iteration and stage*.
 
     **A/B checking.**  Depth-aware decisions depend on per-node levels, so
-    two *independent* in-place and rebuild trajectories drift apart (the two
-    application strategies produce count-equal but structurally different
-    rounds, and the depth veto reacts to structure) — unlike the plain
-    ``"mc"`` objective, where independent trajectories empirically converge
-    to identical AND counts.  ``params.in_place=False`` therefore does not
-    fork a second trajectory: the flow always *decides and applies* rounds
-    with the in-place machinery, and the rebuild mode additionally
+    two *independent* in-place and rebuild trajectories drift apart — unlike
+    the plain ``"mc"`` objective, where independent trajectories empirically
+    converge to identical AND counts.  ``params.in_place=False`` therefore
+    does not fork a second trajectory: the flow always *decides and applies*
+    rounds with the in-place machinery, and the rebuild mode additionally
     cross-applies every round's selections out-of-place from the same
     pre-round network, asserting functional equivalence and the objective's
     monotonicity guarantees (:attr:`RewriteParams.ab_check`).  Both modes
-    thus reach identical ``(AND count, depth)`` results by construction
-    while the rebuild path still exercises and verifies the out-of-place
-    application of every round.
+    thus reach identical ``(AND count, depth)`` results by construction.
     """
     params = params if params is not None else RewriteParams(objective="mc-depth")
-    cut_cache = CutFunctionCache.ensure(cut_cache, database)
-    sim_cache = sim_cache if sim_cache is not None else SimulationCache()
     params = replace(params, in_place=True,
                      ab_check=params.ab_check or not params.in_place)
-    mc_params = replace(params, objective="mc")
     start = time.perf_counter()
-
-    current = sweep(xag)
-    result = DepthFlowResult(initial=xag, final=current,
-                             initial_depth=multiplicative_depth(current))
-    while result.iterations < max_iterations:
-        result.iterations += 1
-        score_before = (current.num_ands, multiplicative_depth(current))
-        balance_start = time.perf_counter()
-        balanced, balance_result = balance(current, verify=params.verify,
-                                           sim_cache=sim_cache)
-        result.balance_seconds += time.perf_counter() - balance_start
-        result.balance_stats.append(balance_result)
-
-        # depth-guarded mc rounds (stage 2): chase the pure-MC AND count
-        # before the veto-priced pass can steer into a worse local optimum
-        current = balanced
-        guard_depth = multiplicative_depth(current)
-        polish_rounds = 0
-        while max_rounds is None or polish_rounds < max_rounds:
-            polished = optimize(current, database=database, params=mc_params,
-                                max_rounds=1, cut_cache=cut_cache,
-                                sim_cache=sim_cache)
-            polish_rounds += 1
-            if polished.final.num_ands >= current.num_ands:
-                break
-            if multiplicative_depth(polished.final) > guard_depth:
-                break  # the round's savings would deepen the critical path
-            if result.one_round_seconds == 0.0:
-                result.one_round_seconds = polished.rounds[0].runtime_seconds
-            result.rounds.extend(polished.rounds)
-            current = polished.final
-
-        # veto-priced mc-depth rewriting (stage 3): remaining AND gains that
-        # respect per-node levels, plus depth-only rewrites
-        rewritten = optimize(current, database=database, params=params,
-                             max_rounds=max_rounds, cut_cache=cut_cache,
-                             sim_cache=sim_cache)
-        if result.one_round_seconds == 0.0 and rewritten.rounds:
-            result.one_round_seconds = rewritten.rounds[0].runtime_seconds
-        result.rounds.extend(rewritten.rounds)
-        current = rewritten.final
-
-        score_after = (current.num_ands, multiplicative_depth(current))
-        if score_after == score_before and balance_result.trees_rebalanced == 0:
-            break
-
-    result.final = current
-    result.final_depth = multiplicative_depth(current)
-    result.runtime_seconds = time.perf_counter() - start
-    return result
+    ctx = OptimizationContext(xag, database=database, params=params,
+                              cut_cache=cut_cache, sim_cache=sim_cache)
+    initial_depth = multiplicative_depth(ctx.network)
+    outcome = Repeat(
+        [BalancePass(),
+         DepthGuard(RewritePass("mc", max_rounds=max_rounds)),
+         RewritePass(params.objective, max_rounds=max_rounds, name="mc-depth")],
+        max_iterations=max_iterations, name="depth-flow").run(ctx)
+    final = ctx.finish()
+    return DepthFlowResult(
+        initial=xag, final=final, iterations=outcome.iterations,
+        rounds=outcome.rounds, balance_stats=outcome.balance,
+        runtime_seconds=time.perf_counter() - start,
+        balance_seconds=sum(child.runtime_seconds for child in outcome.walk()
+                            if child.kind == "balance"),
+        one_round_seconds=(outcome.rounds[0].runtime_seconds
+                           if outcome.rounds else 0.0),
+        initial_depth=initial_depth,
+        final_depth=multiplicative_depth(final),
+        discarded_rounds=outcome.discarded_rounds)

@@ -56,7 +56,7 @@ from repro.xag.cleanup import sweep, sweep_owned
 from repro.xag.depth import multiplicative_depth
 from repro.xag.equivalence import equivalence_stimulus, equivalent
 from repro.xag.graph import Xag, lit_node, literal
-from repro.xag.levels import LevelTracker
+from repro.xag.levels import LevelCache, LevelTracker
 
 #: cost models understood by :class:`CutRewriter` (see the module docstring).
 OBJECTIVES = ("mc", "size", "mc-depth")
@@ -183,7 +183,9 @@ class CutRewriter:
     def __init__(self, database: Optional[McDatabase] = None,
                  params: Optional[RewriteParams] = None,
                  cut_cache: Optional[CutFunctionCache] = None,
-                 sim_cache: Optional[SimulationCache] = None) -> None:
+                 sim_cache: Optional[SimulationCache] = None,
+                 cut_sets: Optional[CutSetCache] = None,
+                 levels: Optional[LevelCache] = None) -> None:
         # note: explicit `is None` checks — an empty McDatabase / cache is
         # falsy because it defines __len__, but it must still be honoured.
         self.cut_cache = CutFunctionCache.ensure(cut_cache, database)
@@ -191,19 +193,27 @@ class CutRewriter:
         self.sim_cache = sim_cache if sim_cache is not None else SimulationCache()
         self.params = params if params is not None else RewriteParams()
         #: incrementally maintained cut sets (invalidated per mutation event).
-        self.cut_sets = CutSetCache(cut_size=self.params.cut_size,
-                                    cut_limit=self.params.cut_limit)
+        #: A shared instance may be injected — the pipeline layer keeps one
+        #: alive across every pass of a flow — as long as its cut parameters
+        #: match the rewriting parameters.
+        if cut_sets is not None:
+            if (cut_sets.cut_size, cut_sets.cut_limit) != \
+                    (self.params.cut_size, self.params.cut_limit):
+                raise ValueError("shared cut_sets cache was built for "
+                                 "different cut_size/cut_limit parameters")
+            self.cut_sets = cut_sets
+        else:
+            self.cut_sets = CutSetCache(cut_size=self.params.cut_size,
+                                        cut_limit=self.params.cut_limit)
         #: maintained AND-levels of the network currently being rewritten
-        #: (created lazily, only under the "mc-depth" objective).
-        self._level_tracker: Optional[LevelTracker] = None
+        #: (bound lazily, only under the "mc-depth" objective; a shared
+        #: :class:`LevelCache` lets several rewriters and a depth guard
+        #: observe the same tracker).
+        self._level_cache = levels if levels is not None else LevelCache()
 
     def _levels(self, xag: Xag) -> LevelTracker:
         """Level tracker bound to ``xag`` (rebound when the network changes)."""
-        tracker = self._level_tracker
-        if tracker is None or tracker.xag is not xag:
-            tracker = LevelTracker(xag, and_only=True)
-            self._level_tracker = tracker
-        return tracker
+        return self._level_cache.tracker(xag)
 
     def _check_objective(self) -> None:
         if self.params.objective not in OBJECTIVES:

@@ -22,7 +22,7 @@ from repro.xag.simulate import (
 )
 from repro.xag.bitsim import BitSimulator, SimulationCache
 from repro.xag.depth import depth, multiplicative_depth, node_levels
-from repro.xag.levels import LevelTracker
+from repro.xag.levels import LevelCache, LevelTracker
 from repro.xag.balance import BalanceStats, balance, balance_in_place
 from repro.xag.cleanup import is_swept, sweep, sweep_owned, sweep_with_map
 from repro.xag.equivalence import equivalence_stimulus, equivalent
@@ -52,6 +52,7 @@ __all__ = [
     "depth",
     "multiplicative_depth",
     "node_levels",
+    "LevelCache",
     "LevelTracker",
     "BalanceStats",
     "balance",

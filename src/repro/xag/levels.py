@@ -30,9 +30,33 @@ mirroring the :class:`BitSimulator` value-array contract.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Optional, Set
 
 from repro.xag.graph import NodeKind, SubstitutionResult, Xag, lit_node
+
+
+class LevelCache:
+    """Shares one :class:`LevelTracker` across consumers of one flow.
+
+    A tracker is bound to a single network object; flows that replace their
+    working network (a discarded round restores a pre-round snapshot) need
+    the tracker rebound.  This holder owns that rebinding in one place so
+    several consumers — the rewriters of different objectives, the depth
+    guard of a pipeline — observe the *same* maintained levels instead of
+    each paying for a private tracker.
+    """
+
+    def __init__(self, and_only: bool = True) -> None:
+        self.and_only = and_only
+        self._tracker: Optional["LevelTracker"] = None
+
+    def tracker(self, xag: Xag) -> "LevelTracker":
+        """Tracker bound to ``xag`` (rebound when the network changes)."""
+        tracker = self._tracker
+        if tracker is None or tracker.xag is not xag:
+            tracker = LevelTracker(xag, and_only=self.and_only)
+            self._tracker = tracker
+        return tracker
 
 
 class LevelTracker:

@@ -1,0 +1,397 @@
+"""Pass-pipeline architecture: context, passes, flow scripts, parity.
+
+The parity golden numbers were captured from the pre-refactor
+``optimize`` / ``paper_flow`` implementations (hand-rolled drains, PR 4) on
+the EPFL control group with ``RewriteParams()`` defaults and
+``max_rounds=3``; the pipeline-built aliases must reproduce them exactly.
+The depth flow switched its guarded-mc stage from restart-per-round to one
+persistent dirty-node worklist, so its bar is *no regression* of the
+``(ANDs, depth)`` pair instead of exact equality (see
+``benchmarks/results/depth_flow.md`` for the re-measured table).
+"""
+
+import random
+
+import pytest
+
+from helpers import random_xag
+from repro.circuits import control as C
+from repro.cuts.cache import CutFunctionCache
+from repro.cuts.enumeration import enumerate_cuts
+from repro.engine import EngineConfig
+from repro.engine.core import run_circuit, select_cases
+from repro.mc import McDatabase
+from repro.rewriting import (BalancePass, DepthGuard, FlowSummary,
+                             OptimizationContext, PassResult, Repeat,
+                             RewriteParams, RewritePass, SizeBaselinePass,
+                             SweepPass, depth_flow, optimize, paper_flow,
+                             parse_flow, run_pipeline, size_optimize,
+                             standard_flow)
+from repro.rewriting.flow import (DepthFlowResult, FlowResult,
+                                  PaperFlowResult)
+from repro.xag import (BitSimulator, Xag, equivalent, multiplicative_depth,
+                       node_levels)
+from repro.xag.bitsim import SimulationCache
+from repro.xag.equivalence import equivalence_stimulus
+
+#: pre-refactor (ANDs after one round, ANDs at convergence, depth, rounds)
+#: of paper_flow, plus (ANDs, rounds) of optimize, with RewriteParams()
+#: defaults and max_rounds=3 — captured before the pipeline refactor.
+PAPER_GOLDEN = {
+    "arbiter":   (133, 133, 21, 2, 133, 1),
+    "alu_ctrl":  (30, 30, 5, 2, 30, 2),
+    "cavlc":     (94, 82, 12, 3, 82, 3),
+    "decoder":   (92, 92, 3, 2, 92, 1),
+    "i2c":       (224, 224, 10, 2, 224, 2),
+    "int2float": (75, 71, 15, 3, 71, 3),
+    "mem_ctrl":  (249, 249, 10, 2, 249, 2),
+    "priority":  (201, 196, 32, 3, 196, 3),
+    "router":    (61, 61, 6, 2, 61, 2),
+    "voter":     (57, 57, 5, 2, 57, 1),
+}
+
+#: pre-refactor depth_flow (ANDs, depth) pairs on the fast control circuits
+#: (same parameters, max_iterations=4) — the persistent-worklist stage may
+#: only match or improve these.
+DEPTH_GOLDEN = {
+    "arbiter": (120, 18),
+    "alu_ctrl": (28, 5),
+    "int2float": (70, 15),
+    "router": (61, 5),
+    "voter": (57, 5),
+}
+
+_DB = McDatabase()
+_CUT_CACHE = CutFunctionCache(_DB)
+_SIM_CACHE = SimulationCache()
+
+
+def _control_case(name):
+    return select_cases(EngineConfig(suites=("epfl",), circuits=[name]))[0]
+
+
+# ----------------------------------------------------------------------
+# pipeline/legacy parity (EPFL control group)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(PAPER_GOLDEN))
+def test_pipeline_aliases_match_prerefactor_golden(name):
+    one_ands, conv_ands, conv_depth, rounds, opt_ands, opt_rounds = \
+        PAPER_GOLDEN[name]
+    xag = _control_case(name).build()
+    flow = paper_flow(xag, name=name, params=RewriteParams(), max_rounds=3,
+                      cut_cache=_CUT_CACHE, sim_cache=_SIM_CACHE)
+    assert flow.after_one_round.num_ands == one_ands
+    assert flow.after_convergence.num_ands == conv_ands
+    assert multiplicative_depth(flow.after_convergence) == conv_depth
+    assert flow.convergence_rounds == rounds
+
+    opt = optimize(xag, params=RewriteParams(), max_rounds=3,
+                   cut_cache=_CUT_CACHE, sim_cache=_SIM_CACHE)
+    assert opt.final.num_ands == opt_ands
+    assert opt.num_rounds == opt_rounds
+
+
+@pytest.mark.parametrize("name", sorted(DEPTH_GOLDEN))
+def test_depth_flow_never_regresses_prerefactor_pairs(name):
+    """Persistent-worklist depth flow: (ANDs, depth) no worse than before."""
+    golden_ands, golden_depth = DEPTH_GOLDEN[name]
+    xag = _control_case(name).build()
+    flow = depth_flow(xag, params=RewriteParams(objective="mc-depth"),
+                      max_rounds=3, max_iterations=4,
+                      cut_cache=_CUT_CACHE, sim_cache=_SIM_CACHE)
+    assert flow.final.num_ands <= golden_ands
+    assert flow.final_depth <= golden_depth
+    assert equivalent(xag, flow.final)
+
+
+def test_standard_flow_matches_paper_flow_alias():
+    """The engine's canonical mc pipeline is the paper flow."""
+    xag = C.int_to_float()
+    flow = paper_flow(xag, max_rounds=3, cut_cache=_CUT_CACHE,
+                      sim_cache=_SIM_CACHE)
+    result = run_pipeline(xag, standard_flow("mc", max_rounds=3),
+                          params=RewriteParams(), cut_cache=_CUT_CACHE,
+                          sim_cache=_SIM_CACHE)
+    assert result.final.num_ands == flow.after_convergence.num_ands
+    assert len(result.rounds) == flow.convergence_rounds
+    assert result.verified is True
+
+
+def test_standard_flow_depth_matches_depth_flow_alias():
+    xag = C.int_to_float()
+    flow = depth_flow(xag, max_rounds=2, max_iterations=3,
+                      cut_cache=_CUT_CACHE, sim_cache=_SIM_CACHE)
+    result = run_pipeline(
+        xag, standard_flow("mc-depth", max_rounds=2, max_iterations=3),
+        params=RewriteParams(objective="mc-depth"),
+        cut_cache=_CUT_CACHE, sim_cache=_SIM_CACHE)
+    assert (result.final.num_ands, result.depth_after) == \
+        (flow.final.num_ands, flow.final_depth)
+
+
+# ----------------------------------------------------------------------
+# shared-context cache coherence (property test)
+# ----------------------------------------------------------------------
+def _random_passes(rng):
+    pool = [
+        lambda: BalancePass(),
+        lambda: SweepPass(),
+        lambda: RewritePass("mc", max_rounds=1),
+        lambda: RewritePass("mc-depth", max_rounds=1),
+        lambda: RewritePass("size", max_rounds=1),
+        lambda: DepthGuard(RewritePass("mc", max_rounds=2)),
+        lambda: Repeat([BalancePass(), RewritePass("mc-depth", max_rounds=1)],
+                       max_iterations=2),
+    ]
+    return [rng.choice(pool)() for _ in range(rng.randint(2, 5))]
+
+
+@pytest.mark.parametrize("seed", [1, 5, 9, 23])
+def test_shared_context_caches_match_fresh_after_pass_sequences(seed):
+    """After an arbitrary pass sequence over one shared context, every
+    maintained structure must agree with a from-scratch recomputation on
+    the final working network."""
+    rng = random.Random(seed)
+    xag = random_xag(rng, num_pis=6, num_gates=45, and_bias=0.6)
+    ctx = OptimizationContext(xag, params=RewriteParams(cut_size=4,
+                                                        cut_limit=6))
+    for pass_ in _random_passes(rng):
+        pass_.run(ctx)
+    network = ctx.network
+
+    # the flow never changed the function
+    assert equivalent(xag, ctx.finish())
+
+    # maintained AND-levels == fresh recomputation (live nodes)
+    tracker = ctx.levels.tracker(network)
+    fresh_levels = node_levels(network, and_only=True)
+    for node in network.topological_order():
+        assert tracker.levels()[node] == fresh_levels[node]
+
+    # maintained packed simulation words == fresh simulator
+    words, mask, _ = equivalence_stimulus(network.num_pis)
+    cached_sim = ctx.sim_cache.simulator(network, words, mask)
+    fresh_sim = BitSimulator(network.clone(), words, mask)
+    assert cached_sim.po_words() == fresh_sim.po_words()
+
+    # incrementally maintained cut sets == one-shot enumeration
+    cached_cuts = ctx.cut_sets.cuts(network)
+    fresh_cuts = enumerate_cuts(network, cut_size=4, cut_limit=6)
+    live_gates = [node for node in network.topological_order()
+                  if network.is_gate(node)]
+    for node in live_gates:
+        cached = {cut.leaves for cut in cached_cuts.get(node, [])}
+        fresh = {cut.leaves for cut in fresh_cuts.get(node, [])}
+        assert cached == fresh, f"cut sets diverged at node {node}"
+
+    # memoised cone functions == fresh simulation of the same cones
+    fresh_cache = CutFunctionCache()
+    checked = 0
+    for node in live_gates[-10:]:
+        for cut in cached_cuts.get(node, [])[:2]:
+            if cut.size < 2 or node in cut.leaves:
+                continue
+            assert ctx.cut_cache.cone_function(network, node, cut.leaves) == \
+                fresh_cache.cone_function(network, node, cut.leaves)
+            checked += 1
+    assert checked > 0
+
+
+def test_rebuild_mode_pipeline_never_mutates_the_input():
+    """Regression: a rebuild-mode rewrite round that makes no progress hands
+    the context back the very network it was given — which may still alias
+    the caller's input — and a later mutating pass (balance) must clone it
+    instead of editing the caller's network in place."""
+    xag = Xag()
+    pis = xag.create_pis(8)
+    acc = pis[0]
+    for pi in pis[1:]:
+        acc = xag.create_and(acc, pi)
+    xag.create_po(acc, "all")
+    depth_before = multiplicative_depth(xag)
+    result = run_pipeline(xag, parse_flow("mc,balance"),
+                          params=RewriteParams(in_place=False))
+    assert multiplicative_depth(xag) == depth_before, \
+        "run_pipeline mutated the caller's input network"
+    assert result.final is not xag
+    assert equivalent(xag, result.final)
+    assert result.depth_after < depth_before  # balance still did its job
+
+
+# ----------------------------------------------------------------------
+# flow scripts
+# ----------------------------------------------------------------------
+def test_parse_flow_paper_pipeline():
+    passes = parse_flow("mc,mc*")
+    assert [type(p) for p in passes] == [RewritePass, RewritePass]
+    assert passes[0].max_rounds == 1
+    assert passes[1].max_rounds is None
+    assert passes[1].objective == "mc"
+
+
+def test_parse_flow_depth_pipeline():
+    passes = parse_flow("repeat:4(balance, guard(mc*), mc-depth*2)")
+    assert len(passes) == 1
+    repeat = passes[0]
+    assert isinstance(repeat, Repeat)
+    assert repeat.max_iterations == 4
+    balance, guard, rewrite = repeat.passes
+    assert isinstance(balance, BalancePass)
+    assert isinstance(guard, DepthGuard)
+    assert guard.inner.objective == "mc"
+    assert guard.inner.max_rounds is None
+    assert isinstance(rewrite, RewritePass)
+    assert rewrite.objective == "mc-depth"
+    assert rewrite.max_rounds == 2
+
+
+def test_parse_flow_structural_steps():
+    passes = parse_flow("baseline,sweep,balance,size*3")
+    assert [type(p) for p in passes] == \
+        [SizeBaselinePass, SweepPass, BalancePass, RewritePass]
+    assert passes[3].objective == "size"
+    assert passes[3].max_rounds == 3
+
+
+@pytest.mark.parametrize("script", [
+    "", "bogus", "mc,,mc", "guard(balance)", "balance*", "repeat(mc",
+    "repeat:0(mc)", "mc)", "mc*0", "guard(mc", "repeat:x(mc)",
+])
+def test_parse_flow_rejects_bad_scripts(script):
+    with pytest.raises(ValueError, match="flow script"):
+        parse_flow(script)
+
+
+def test_custom_flow_end_to_end_stays_equivalent():
+    xag = C.priority_encoder(16)
+    result = run_pipeline(xag, parse_flow("balance,mc*2,mc-depth*"),
+                          params=RewriteParams(objective="mc-depth"),
+                          cut_cache=_CUT_CACHE, sim_cache=_SIM_CACHE)
+    assert equivalent(xag, result.final)
+    assert result.depth_after <= result.depth_before
+    assert result.final.num_ands <= xag.num_ands
+    assert result.verified is True
+
+
+# ----------------------------------------------------------------------
+# result-type deduplication (FlowSummary base)
+# ----------------------------------------------------------------------
+def test_result_types_share_flow_summary_base():
+    from repro.engine.core import CircuitReport
+
+    for result_type in (FlowResult, PaperFlowResult, DepthFlowResult,
+                        PassResult, CircuitReport):
+        assert issubclass(result_type, FlowSummary)
+        for prop in ("and_improvement", "depth_improvement", "converged"):
+            assert getattr(result_type, prop) is getattr(FlowSummary, prop)
+
+
+def test_flow_summary_arithmetic_on_each_result_type():
+    xag = C.int_to_float()
+    flow = optimize(xag, max_rounds=2, cut_cache=_CUT_CACHE,
+                    sim_cache=_SIM_CACHE)
+    assert 0.0 < flow.and_improvement < 1.0
+    paper = paper_flow(xag, max_rounds=2, cut_cache=_CUT_CACHE,
+                       sim_cache=_SIM_CACHE)
+    assert paper.and_improvement == paper.convergence_improvement
+    depth = depth_flow(xag, max_rounds=1, max_iterations=2,
+                       cut_cache=_CUT_CACHE, sim_cache=_SIM_CACHE)
+    assert depth.depth_improvement >= 0.0
+    assert depth.ands_before == xag.num_ands
+
+
+def test_size_optimize_alias_keeps_behaviour():
+    xag = C.priority_encoder(8)
+    result = size_optimize(xag, max_rounds=2, cut_cache=_CUT_CACHE,
+                           sim_cache=_SIM_CACHE)
+    before = xag.num_ands + xag.num_xors
+    after = result.final.num_ands + result.final.num_xors
+    assert after <= before
+    assert equivalent(xag, result.final)
+
+
+# ----------------------------------------------------------------------
+# engine integration
+# ----------------------------------------------------------------------
+def test_run_circuit_zero_round_flow_reports_verified_none():
+    """Regression: ``verified`` was ``all([])`` — vacuously True — when a
+    flow produced zero rounds.  A run that never checked equivalence must
+    report None (not attempted), not a passed check."""
+    case = _control_case("int2float")
+    report = run_circuit(case, EngineConfig(circuits=["int2float"],
+                                            flow="sweep"))
+    assert report.error is None
+    assert report.rounds == []
+    assert report.verified is None
+
+
+def test_run_circuit_custom_flow_matches_objective_flow():
+    case = _control_case("int2float")
+    legacy = run_circuit(case, EngineConfig(circuits=["int2float"],
+                                            max_rounds=2))
+    custom = run_circuit(case, EngineConfig(circuits=["int2float"],
+                                            flow="mc,mc*1", max_rounds=2))
+    assert custom.error is None and legacy.error is None
+    assert (custom.ands_after, custom.xors_after, custom.depth_after) == \
+        (legacy.ands_after, legacy.xors_after, legacy.depth_after)
+    assert len(custom.rounds) == len(legacy.rounds)
+    assert custom.verified is True
+
+
+def test_run_circuit_custom_flow_honours_size_baseline():
+    """--size-baseline combined with --flow prepends a baseline step."""
+    case = _control_case("router")
+    report = run_circuit(case, EngineConfig(circuits=["router"],
+                                            flow="mc*1", size_baseline=True))
+    assert report.error is None
+    assert report.baseline_seconds > 0.0
+    assert report.rounds[0].objective == "size"
+    plain = run_circuit(case, EngineConfig(circuits=["router"], flow="mc*1"))
+    assert plain.baseline_seconds == 0.0
+    assert all(stats.objective == "mc" for stats in plain.rounds)
+
+
+def test_mid_flow_baseline_keeps_initial_reference_intact():
+    """Regression: a baseline step after other passes rebased ``initial``
+    onto the mutable working network, so later in-place passes rewrote the
+    "Initial" reference and before-statistics collapsed onto the final
+    counts."""
+    xag = C.int_to_float()
+    result = run_pipeline(xag, parse_flow("mc,baseline,mc*"),
+                          params=RewriteParams(), cut_cache=_CUT_CACHE,
+                          sim_cache=_SIM_CACHE)
+    assert result.final is not result.initial
+    assert result.initial.num_ands > result.final.num_ands
+    assert result.and_improvement > 0.0
+    assert equivalent(xag, result.final)
+
+
+def test_size_baseline_not_duplicated_for_nested_baseline_step():
+    from repro.engine.core import build_pipeline
+    from repro.rewriting import SizeBaselinePass
+
+    passes = build_pipeline(EngineConfig(flow="repeat:2(baseline,mc*1)",
+                                         size_baseline=True))
+    assert len(passes) == 1 and isinstance(passes[0], Repeat)
+    prepended = build_pipeline(EngineConfig(flow="mc*1", size_baseline=True))
+    assert isinstance(prepended[0], SizeBaselinePass)
+
+
+def test_run_batch_rejects_bad_flow_script():
+    from repro.engine.core import run_batch
+
+    with pytest.raises(ValueError, match="flow script"):
+        run_batch(EngineConfig(circuits=["int2float"], flow="warp-speed"))
+
+
+def test_run_circuit_guarded_flow_forces_inplace_replay():
+    """A custom guarded flow under --rebuild replays in place with per-round
+    A/B cross-checks, like the canonical depth flow."""
+    case = _control_case("router")
+    report = run_circuit(case, EngineConfig(
+        circuits=["router"], in_place=False, max_rounds=2,
+        flow="balance,guard(mc*2),mc-depth*2"))
+    assert report.error is None
+    assert report.depth_after <= report.depth_before
+    assert all(stats.mode == "in_place" for stats in report.rounds)
+    assert any(stats.ab_checked for stats in report.rounds)
