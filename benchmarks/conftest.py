@@ -36,6 +36,18 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
 
 
+def maybe_skip_slow_case(case: BenchmarkCase) -> None:
+    """Skip cases whose *default* build is already full-scale crypto.
+
+    Such cases (``BenchmarkCase.slow``) take minutes to optimise in pure
+    Python; they only run when the paper-scale environment is requested via
+    ``REPRO_FULL_SCALE=1``.
+    """
+    if case.slow and not full_scale():
+        pytest.skip(f"{case.name} is a full-scale case "
+                    f"(set REPRO_FULL_SCALE=1 to run it)")
+
+
 def rounds_cap(initial_ands: int) -> Optional[int]:
     """Convergence-round cap used to keep the pure-Python harness tractable."""
     override = os.environ.get("REPRO_BENCH_ROUNDS")
@@ -58,6 +70,7 @@ def run_case(case: BenchmarkCase, database: McDatabase,
              cut_size: int = 6, cut_limit: int = 12,
              verify_limit: int = 20000) -> TableRow:
     """Run the paper's experimental pipeline on one benchmark case."""
+    maybe_skip_slow_case(case)
     xag = case.build(full_scale=full_scale())
     verify = (xag.num_ands + xag.num_xors) <= verify_limit
     params = RewriteParams(cut_size=cut_size, cut_limit=cut_limit, verify=verify)

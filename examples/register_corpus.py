@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Register a directory of Bristol/BLIF/JSON netlists and optimise it.
+
+Any directory of circuit files becomes a block of benchmark cases through
+the io layer — no code needed.  This example writes a tiny Bristol-Fashion
+corpus to a temporary directory (in a real workflow the files would come
+from an MPC framework or a synthesis run), registers it next to the
+built-in suites, and runs the engine over the imported cases:
+
+    python examples/register_corpus.py            # demo corpus
+    python examples/register_corpus.py DIR        # your own netlists
+
+Equivalent CLI: ``python -m repro.engine --corpus DIR --groups external``.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.circuits import external_corpus, full_registry
+from repro.circuits.arithmetic import adder, comparator
+from repro.engine.core import EngineConfig, run_batch
+from repro.io import write_bristol
+
+
+def write_demo_corpus(directory: Path) -> None:
+    """A couple of Bristol-Fashion netlists, as an MPC framework would ship."""
+    for name, circuit in (("adder8", adder(8)),
+                          ("cmp16", comparator(16, signed=False, strict=True))):
+        (directory / f"{name}.txt").write_text(write_bristol(circuit))
+    print(f"wrote demo corpus to {directory}: "
+          f"{sorted(path.name for path in directory.iterdir())}")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        corpus = Path(sys.argv[1])
+    else:
+        corpus = Path(tempfile.mkdtemp(prefix="corpus-"))
+        write_demo_corpus(corpus)
+
+    # one case per readable file; unknown suffixes are skipped with a note
+    cases = external_corpus(corpus)
+    print(f"\nimported {len(cases)} cases: "
+          f"{', '.join(case.name for case in cases)}")
+
+    # the same cases merged with every built-in suite (duplicate names fail
+    # loudly — rename a file if it clashes with a registered benchmark)
+    registry = full_registry(corpus_dirs=[corpus])
+    print(f"full registry: {len(registry)} cases "
+          f"in groups {registry.groups()}")
+
+    # run the engine over just the imported block
+    batch = run_batch(EngineConfig(corpus_dirs=(str(corpus),),
+                                   groups=["external"], max_rounds=0))
+    print()
+    print(batch.render())
+
+
+if __name__ == "__main__":
+    main()

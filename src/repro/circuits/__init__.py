@@ -1,4 +1,4 @@
-"""Benchmark circuit generators (EPFL-style and MPC/FHE suites)."""
+"""Benchmark circuit generators (EPFL-style, MPC/FHE and corpus suites)."""
 
 from repro.circuits.benchmark_case import BenchmarkCase, PaperNumbers
 from repro.circuits import word
@@ -6,14 +6,22 @@ from repro.circuits import arithmetic
 from repro.circuits import control
 from repro.circuits import galois
 from repro.circuits.epfl import epfl_benchmarks, epfl_benchmark_map
+from repro.circuits.corpus import corpus_benchmarks, corpus_benchmark_map
+from repro.circuits.external import external_corpus
+from repro.circuits.registry import BenchmarkRegistry, full_registry
 
 __all__ = [
     "BenchmarkCase",
     "PaperNumbers",
+    "BenchmarkRegistry",
+    "full_registry",
     "word",
     "arithmetic",
     "control",
     "galois",
     "epfl_benchmarks",
     "epfl_benchmark_map",
+    "corpus_benchmarks",
+    "corpus_benchmark_map",
+    "external_corpus",
 ]

@@ -30,18 +30,36 @@ class PaperNumbers:
 
 @dataclass
 class BenchmarkCase:
-    """One reproducible benchmark: generators plus the paper's reference row."""
+    """One reproducible benchmark: generators plus optional paper reference.
+
+    The paper's Tables 1 and 2 rows carry a :class:`PaperNumbers` reference;
+    corpus-sweep and externally imported cases have none (``paper=None``).
+    Cases whose *default* build is already expensive (full-round crypto
+    cores) set ``slow=True`` so parametrised tests can gate them behind the
+    ``slow`` marker and the engine CLI can annotate them in ``--list``.
+    """
 
     name: str
-    #: "arithmetic", "control" (Table 1) or "mpc" (Table 2).
+    #: "arithmetic", "control" (Table 1), "mpc" (Table 2) or a corpus group
+    #: such as "arithmetic-sweep", "control-sweep", "crypto-full", "external".
     group: str
-    paper: PaperNumbers
+    #: the paper's reference row, or ``None`` for corpus/external cases.
+    paper: Optional[PaperNumbers] = None
     #: reduced-scale generator used by default (pure-Python friendly).
-    build_default: Callable[[], Xag]
+    build_default: Callable[[], Xag] = None  # type: ignore[assignment]
     #: paper-scale generator (used when ``REPRO_FULL_SCALE=1``).
-    build_full: Callable[[], Xag]
+    build_full: Callable[[], Xag] = None  # type: ignore[assignment]
     #: short note on how the default scale differs from the paper's netlist.
     scale_note: str = ""
+    #: True when even the default-scale build/optimisation is heavyweight.
+    slow: bool = False
+
+    def __post_init__(self) -> None:
+        if self.build_default is None:
+            raise ValueError(f"benchmark case {self.name!r} needs a "
+                             f"build_default generator")
+        if self.build_full is None:
+            self.build_full = self.build_default
 
     def build(self, full_scale: bool = False) -> Xag:
         """Instantiate the benchmark at the requested scale."""

@@ -1,0 +1,159 @@
+"""Corpus sweeps: width/rounds parameter grids over the small builders.
+
+The paper registries (:mod:`repro.circuits.epfl`,
+:mod:`repro.circuits.crypto.registry`) pin one row per published table
+entry.  The sweeps below widen the benchmark surface for differential and
+round-trip testing by instantiating the *same* builders across a grid of
+widths, operand counts and round counts — each case is one declarative row,
+so adding a width is a one-liner.
+
+Groups:
+
+* ``arithmetic-sweep`` — adders through sine across widths;
+* ``control-sweep`` — small control blocks at non-default sizes;
+* ``crypto-full`` — reduced- and full-round crypto cores, including the
+  Keccak-f[1600] permutation.  Full-round cores are tagged ``slow=True`` so
+  the default test run collects but does not build them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.circuits import arithmetic as A
+from repro.circuits import control as C
+from repro.circuits.benchmark_case import BenchmarkCase
+from repro.circuits.crypto.aes import aes128, aes_sbox_only
+from repro.circuits.crypto.feistel import des_like
+from repro.circuits.crypto.keccak import keccak_f1600
+from repro.circuits.crypto.md5 import md5_block
+from repro.circuits.crypto.sha1 import sha1_block
+from repro.circuits.crypto.sha2 import sha256_block
+from repro.xag.graph import Xag
+
+
+def _case(name: str, group: str, build: Callable[[], Xag],
+          note: str, slow: bool = False) -> BenchmarkCase:
+    """Sweep rows have no paper reference and build the same at any scale."""
+    return BenchmarkCase(name=name, group=group, build_default=build,
+                         build_full=build, scale_note=note, slow=slow)
+
+
+def _arithmetic_sweep() -> List[BenchmarkCase]:
+    group = "arithmetic-sweep"
+    cases = [
+        _case("full_adder", group, A.full_adder,
+              "the paper's Fig. 1 single-bit full adder"),
+        _case("log2_8", group, lambda: A.log2_unit(8, fractional_bits=4),
+              "8-bit fixed-point log2"),
+        _case("sine_8", group, lambda: A.sine_unit(8), "8-bit sine"),
+        _case("rotator_32", group, lambda: A.barrel_shifter(32, rotate=True),
+              "32-bit barrel rotator"),
+        _case("max_8_2", group, lambda: A.max_unit(8, operands=2),
+              "max of two 8-bit words"),
+        _case("max_16_8", group, lambda: A.max_unit(16, operands=8),
+              "max of eight 16-bit words"),
+    ]
+    for width in (8, 16, 128):
+        cases.append(_case(f"adder_{width}", group,
+                           lambda w=width: A.adder(w),
+                           f"{width}-bit ripple-carry adder"))
+    for width in (16, 32):
+        cases.append(_case(f"subtractor_{width}", group,
+                           lambda w=width: A.subtractor(w),
+                           f"{width}-bit subtractor"))
+    for width in (4, 16):
+        cases.append(_case(f"multiplier_{width}", group,
+                           lambda w=width: A.multiplier(w),
+                           f"{width}x{width} array multiplier"))
+        cases.append(_case(f"square_{width}", group,
+                           lambda w=width: A.square(w),
+                           f"{width}-bit squarer"))
+        cases.append(_case(f"divisor_{width}", group,
+                           lambda w=width: A.divisor(w),
+                           f"{width}-bit restoring divider"))
+    for width in (16, 64):
+        cases.append(_case(f"comparator_ult_{width}", group,
+                           lambda w=width: A.comparator(w, signed=False,
+                                                        strict=True),
+                           f"{width}-bit unsigned < comparator"))
+        cases.append(_case(f"comparator_sleq_{width}", group,
+                           lambda w=width: A.comparator(w, signed=True,
+                                                        strict=False),
+                           f"{width}-bit signed <= comparator"))
+        cases.append(_case(f"barrel_shifter_{width}", group,
+                           lambda w=width: A.barrel_shifter(w),
+                           f"{width}-bit log-stage shifter"))
+    for width in (8, 32):
+        cases.append(_case(f"square_root_{width}", group,
+                           lambda w=width: A.square_root(w),
+                           f"{width}-bit restoring square root"))
+    return cases
+
+
+def _control_sweep() -> List[BenchmarkCase]:
+    group = "control-sweep"
+    return [
+        _case("decoder_4", group, lambda: C.decoder(4),
+              "one-hot decoder, 4 address bits"),
+        _case("priority_16", group, lambda: C.priority_encoder(16),
+              "16-request priority encoder"),
+        _case("arbiter_8", group, lambda: C.round_robin_arbiter(8),
+              "8-request round-robin arbiter"),
+        _case("voter_31", group, lambda: C.voter(31),
+              "31-input majority voter"),
+        _case("int2float_16", group,
+              lambda: C.int_to_float(16, exponent_bits=5, mantissa_bits=4),
+              "16-bit integer to small-float converter"),
+    ]
+
+
+def _crypto_sweep() -> List[BenchmarkCase]:
+    group = "crypto-full"
+    cases = [
+        _case("aes_sbox", group, aes_sbox_only,
+              "single composite-field AES S-box"),
+    ]
+    for rounds in (1, 2, 4):
+        cases.append(_case(f"keccak_f1600_r{rounds}", group,
+                           lambda r=rounds: keccak_f1600(num_rounds=r),
+                           f"first {rounds} round(s) of Keccak-f[1600]"))
+    for steps in (16,):
+        cases.append(_case(f"md5_{steps}", group,
+                           lambda s=steps: md5_block(num_steps=s),
+                           f"MD5 compression, {steps} steps"))
+        cases.append(_case(f"sha1_{steps}", group,
+                           lambda s=steps: sha1_block(num_steps=s),
+                           f"SHA-1 compression, {steps} steps"))
+        cases.append(_case(f"sha256_{steps}", group,
+                           lambda s=steps: sha256_block(num_steps=s),
+                           f"SHA-256 compression, {steps} steps"))
+    cases.extend([
+        _case("keccak_f1600", group, keccak_f1600,
+              "full 24-round Keccak-f[1600] permutation", slow=True),
+        _case("aes128_full", group, lambda: aes128(num_rounds=10),
+              "full 10-round AES-128 including the key schedule", slow=True),
+        _case("aes128_expanded_full", group,
+              lambda: aes128(expanded_key_inputs=True, num_rounds=10),
+              "full 10-round AES-128 with expanded round-key inputs",
+              slow=True),
+        _case("des_full", group, lambda: des_like(num_rounds=16),
+              "full 16-round DES-like Feistel network", slow=True),
+        _case("md5_full", group, lambda: md5_block(num_steps=64),
+              "full 64-step MD5 compression", slow=True),
+        _case("sha1_full", group, lambda: sha1_block(num_steps=80),
+              "full 80-step SHA-1 compression", slow=True),
+        _case("sha256_full", group, lambda: sha256_block(num_steps=64),
+              "full 64-step SHA-256 compression", slow=True),
+    ])
+    return cases
+
+
+def corpus_benchmarks() -> List[BenchmarkCase]:
+    """All corpus-sweep cases (arithmetic, control, then crypto)."""
+    return _arithmetic_sweep() + _control_sweep() + _crypto_sweep()
+
+
+def corpus_benchmark_map() -> Dict[str, BenchmarkCase]:
+    """Name → case dictionary."""
+    return {case.name: case for case in corpus_benchmarks()}

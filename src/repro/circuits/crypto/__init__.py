@@ -2,6 +2,7 @@
 
 from repro.circuits.crypto.aes import aes128, aes_sbox_only, sbox_value, aes128_encrypt_reference
 from repro.circuits.crypto.feistel import des_like, des_like_reference
+from repro.circuits.crypto.keccak import keccak_f1600, keccak_f1600_reference
 from repro.circuits.crypto.md5 import md5_block
 from repro.circuits.crypto.sha1 import sha1_block
 from repro.circuits.crypto.sha2 import sha256_block
@@ -14,6 +15,8 @@ __all__ = [
     "aes128_encrypt_reference",
     "des_like",
     "des_like_reference",
+    "keccak_f1600",
+    "keccak_f1600_reference",
     "md5_block",
     "sha1_block",
     "sha256_block",

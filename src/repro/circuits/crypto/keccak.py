@@ -1,0 +1,154 @@
+"""Keccak-f[1600] permutation as an XAG, plus a software reference model.
+
+The permutation is the workhorse of SHA-3/SHAKE and a standard MPC/FHE
+benchmark: each round costs exactly 25 x 64 = 1600 AND gates (the chi step),
+everything else is linear, so it exercises the optimiser on a circuit whose
+multiplicative structure is known in closed form.
+
+State convention (FIPS 202): 25 lanes of 64 bits, lane ``(x, y)`` stored at
+flat index ``x + 5 * y``, bit ``z`` of lane ``l`` at input/output position
+``64 * l + z`` (little-endian within the lane).  Reduced-round variants use
+the *first* ``num_rounds`` rounds of the full schedule.
+
+Both the circuit builder and :func:`keccak_f1600_reference` derive the
+rotation offsets and round constants from the same module-level tables, which
+the test suite pins against the published zero-state vector
+(lane (0, 0) of Keccak-f[1600](0) is ``0xF1258F7940E1DDE7``) and against
+``hashlib.sha3_256`` through the sponge construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.xag.graph import Xag
+
+#: lane width in bits.
+LANE_BITS = 64
+#: number of lanes (5 x 5 state).
+NUM_LANES = 25
+#: rounds of the full permutation.
+NUM_ROUNDS = 24
+#: state width in bits.
+STATE_BITS = NUM_LANES * LANE_BITS
+
+_LANE_MASK = (1 << LANE_BITS) - 1
+
+
+def _rho_offsets() -> List[int]:
+    """Per-lane rotation offsets of the rho step (flat ``x + 5 * y`` index)."""
+    offsets = [0] * NUM_LANES
+    x, y = 1, 0
+    for t in range(24):
+        offsets[x + 5 * y] = ((t + 1) * (t + 2) // 2) % LANE_BITS
+        x, y = y, (2 * x + 3 * y) % 5
+    return offsets
+
+
+def _round_constants() -> List[int]:
+    """Iota round constants via the degree-8 LFSR of FIPS 202 §3.2.5."""
+    constants = []
+    register = 1
+    for _ in range(NUM_ROUNDS):
+        constant = 0
+        for j in range(7):
+            register = ((register << 1) ^ ((register >> 7) * 0x71)) & 0xFF
+            if register & 2:
+                constant ^= 1 << ((1 << j) - 1)
+        constants.append(constant)
+    return constants
+
+
+RHO_OFFSETS = _rho_offsets()
+ROUND_CONSTANTS = _round_constants()
+
+
+def _rol(lane: int, amount: int) -> int:
+    amount %= LANE_BITS
+    return ((lane << amount) | (lane >> (LANE_BITS - amount))) & _LANE_MASK
+
+
+def keccak_f1600_reference(lanes: Sequence[int],
+                           num_rounds: int = NUM_ROUNDS) -> List[int]:
+    """Software model: permute 25 64-bit lane integers."""
+    if len(lanes) != NUM_LANES:
+        raise ValueError(f"expected {NUM_LANES} lanes, got {len(lanes)}")
+    state = [lane & _LANE_MASK for lane in lanes]
+    for round_index in range(num_rounds):
+        # theta
+        column = [state[x] ^ state[x + 5] ^ state[x + 10]
+                  ^ state[x + 15] ^ state[x + 20] for x in range(5)]
+        parity = [column[(x + 4) % 5] ^ _rol(column[(x + 1) % 5], 1)
+                  for x in range(5)]
+        state = [state[x + 5 * y] ^ parity[x]
+                 for y in range(5) for x in range(5)]
+        # rho + pi
+        moved = [0] * NUM_LANES
+        for y in range(5):
+            for x in range(5):
+                moved[y + 5 * ((2 * x + 3 * y) % 5)] = _rol(
+                    state[x + 5 * y], RHO_OFFSETS[x + 5 * y])
+        # chi
+        state = [moved[x + 5 * y]
+                 ^ (~moved[(x + 1) % 5 + 5 * y] & moved[(x + 2) % 5 + 5 * y]
+                    & _LANE_MASK)
+                 for y in range(5) for x in range(5)]
+        # iota
+        state[0] ^= ROUND_CONSTANTS[round_index]
+    return state
+
+
+def keccak_f1600(num_rounds: int = NUM_ROUNDS) -> Xag:
+    """Keccak-f[1600] (or its first ``num_rounds`` rounds) as an XAG.
+
+    1600 primary inputs and outputs; bit ``z`` of lane ``x + 5 * y`` sits at
+    position ``64 * (x + 5 * y) + z``.  Exactly ``1600 * num_rounds`` AND
+    gates by construction.
+    """
+    if not 1 <= num_rounds <= NUM_ROUNDS:
+        raise ValueError(f"num_rounds must be in [1, {NUM_ROUNDS}], "
+                         f"got {num_rounds}")
+    xag = Xag()
+    xag.name = ("keccak_f1600" if num_rounds == NUM_ROUNDS
+                else f"keccak_f1600_r{num_rounds}")
+    flat = xag.create_pis(STATE_BITS, prefix="s")
+    lanes = [flat[64 * lane:64 * (lane + 1)] for lane in range(NUM_LANES)]
+    for round_index in range(num_rounds):
+        lanes = _round_circuit(xag, lanes, ROUND_CONSTANTS[round_index])
+    for lane in range(NUM_LANES):
+        for z in range(LANE_BITS):
+            xag.create_po(lanes[lane][z], f"o{64 * lane + z}")
+    return xag
+
+
+def _round_circuit(xag: Xag, lanes: List[List[int]],
+                   round_constant: int) -> List[List[int]]:
+    """One Keccak round over per-bit literals (lists of 64 per lane)."""
+    # theta: column parities, then mix each lane with its neighbour parity.
+    column = [[xag.create_xor_multi([lanes[x + 5 * y][z] for y in range(5)])
+               for z in range(LANE_BITS)] for x in range(5)]
+    parity = [[xag.create_xor(column[(x + 4) % 5][z],
+                              column[(x + 1) % 5][(z - 1) % LANE_BITS])
+               for z in range(LANE_BITS)] for x in range(5)]
+    mixed = [[xag.create_xor(lanes[x + 5 * y][z], parity[x][z])
+              for z in range(LANE_BITS)]
+             for y in range(5) for x in range(5)]
+    # rho + pi: pure wiring — rotate each lane, then permute lane positions.
+    moved: List[List[int]] = [[] for _ in range(NUM_LANES)]
+    for y in range(5):
+        for x in range(5):
+            offset = RHO_OFFSETS[x + 5 * y]
+            source = mixed[x + 5 * y]
+            moved[y + 5 * ((2 * x + 3 * y) % 5)] = [
+                source[(z - offset) % LANE_BITS] for z in range(LANE_BITS)]
+    # chi: the only non-linear step (one AND per state bit).
+    result = [[xag.create_xor(
+        moved[x + 5 * y][z],
+        xag.create_and(xag.create_not(moved[(x + 1) % 5 + 5 * y][z]),
+                       moved[(x + 2) % 5 + 5 * y][z]))
+        for z in range(LANE_BITS)]
+        for y in range(5) for x in range(5)]
+    # iota: XOR the round constant into lane (0, 0).
+    result[0] = [lit ^ ((round_constant >> z) & 1)
+                 for z, lit in enumerate(result[0])]
+    return result

@@ -1,0 +1,94 @@
+"""Register a directory of circuit files as benchmark cases.
+
+Any directory of Bristol Fashion (``.bristol``/``.txt``), BLIF (``.blif``)
+or serialised-XAG JSON (``.json``) files becomes a block of
+:class:`~repro.circuits.benchmark_case.BenchmarkCase` rows through the
+existing io layer — one case per file, loaded lazily at build time, so
+pointing the engine at a netlist collection needs no code at all
+(``repro-engine --corpus DIR``).
+
+Verilog files are recognised but rejected: :mod:`repro.io.verilog` is a
+writer only (there is no parser), so ``.v`` inputs are either skipped with a
+note (the default) or raise, depending on ``on_unsupported``.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import partial
+from pathlib import Path
+from typing import Callable, Dict, List, Union
+
+from repro.circuits.benchmark_case import BenchmarkCase
+from repro.io.blif import load_blif
+from repro.io.bristol import load_bristol
+from repro.xag import serialize
+from repro.xag.graph import Xag
+
+#: file suffix → loader for the formats the io layer can read.
+LOADERS: Dict[str, Callable[[Union[str, Path]], Xag]] = {
+    ".blif": load_blif,
+    ".bristol": load_bristol,
+    ".txt": load_bristol,
+    ".json": serialize.load,
+}
+
+#: formats the repository can write but not read back.
+WRITE_ONLY_SUFFIXES = (".v",)
+
+_NAME_SANITISER = re.compile(r"[^a-zA-Z0-9_-]+")
+
+
+def case_name_for(path: Union[str, Path]) -> str:
+    """Registry name derived from a corpus file name (sanitised stem)."""
+    stem = Path(path).stem
+    name = _NAME_SANITISER.sub("_", stem).strip("_").lower()
+    return name or "unnamed"
+
+
+def _build(loader: Callable[[Union[str, Path]], Xag], path: Path) -> Xag:
+    xag = loader(path)
+    xag.name = case_name_for(path)
+    return xag
+
+
+def external_corpus(directory: Union[str, Path], group: str = "external",
+                    on_unsupported: str = "skip") -> List[BenchmarkCase]:
+    """One benchmark case per readable circuit file in ``directory``.
+
+    Files are visited in sorted order so the registry (and every report) is
+    deterministic.  ``on_unsupported`` decides what happens to files with an
+    unknown or write-only suffix: ``"skip"`` ignores them, ``"error"``
+    raises.  A directory with no readable circuit at all raises either way —
+    a silently empty corpus would make ``--corpus`` typos invisible.
+    """
+    if on_unsupported not in ("skip", "error"):
+        raise ValueError(f"on_unsupported must be 'skip' or 'error', "
+                         f"got {on_unsupported!r}")
+    root = Path(directory)
+    if not root.is_dir():
+        raise ValueError(f"external corpus {root}: not a directory")
+    cases: List[BenchmarkCase] = []
+    unsupported: List[str] = []
+    for path in sorted(root.iterdir()):
+        if not path.is_file():
+            continue
+        loader = LOADERS.get(path.suffix.lower())
+        if loader is None:
+            if path.suffix.lower() in WRITE_ONLY_SUFFIXES:
+                unsupported.append(f"{path.name} (Verilog is write-only)")
+            else:
+                unsupported.append(path.name)
+            continue
+        build = partial(_build, loader, path)
+        cases.append(BenchmarkCase(
+            name=case_name_for(path), group=group,
+            build_default=build, build_full=build,
+            scale_note=f"imported from {path.name}"))
+    if unsupported and on_unsupported == "error":
+        raise ValueError(f"external corpus {root}: unsupported files "
+                         f"{unsupported} (readable: {sorted(LOADERS)})")
+    if not cases:
+        raise ValueError(f"external corpus {root}: no readable circuit files "
+                         f"(looked for {sorted(LOADERS)})")
+    return cases

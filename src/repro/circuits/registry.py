@@ -1,0 +1,112 @@
+"""Central benchmark registry composing every suite with name uniqueness.
+
+The per-suite loaders (:func:`repro.circuits.epfl.epfl_benchmarks`,
+:func:`repro.circuits.crypto.registry.mpc_benchmarks`,
+:func:`repro.circuits.corpus.corpus_benchmarks` and
+:func:`repro.circuits.external.external_corpus`) each return plain lists of
+:class:`~repro.circuits.benchmark_case.BenchmarkCase`.  This module is the
+single place where those lists are merged: registration order is preserved
+(it is the report order of the engine) and a duplicate name fails loudly
+with both offending groups, because a silently shadowed case would make
+``--circuits name`` ambiguous and corrupt warm-start comparisons.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.circuits.benchmark_case import BenchmarkCase
+
+
+class BenchmarkRegistry:
+    """Ordered, name-unique collection of benchmark cases."""
+
+    def __init__(self, cases: Iterable[BenchmarkCase] = ()) -> None:
+        self._cases: Dict[str, BenchmarkCase] = {}
+        self.extend(cases)
+
+    def register(self, case: BenchmarkCase) -> BenchmarkCase:
+        """Add one case; a duplicate name raises a descriptive error."""
+        existing = self._cases.get(case.name)
+        if existing is not None:
+            raise ValueError(
+                f"duplicate benchmark name {case.name!r}: already registered "
+                f"in group {existing.group!r}, refusing to shadow it with the "
+                f"case from group {case.group!r}")
+        self._cases[case.name] = case
+        return case
+
+    def extend(self, cases: Iterable[BenchmarkCase]) -> None:
+        """Register several cases, in order."""
+        for case in cases:
+            self.register(case)
+
+    def cases(self) -> List[BenchmarkCase]:
+        """All cases in registration order."""
+        return list(self._cases.values())
+
+    def case(self, name: str) -> BenchmarkCase:
+        """Look one case up by name (raises ``KeyError`` with candidates)."""
+        try:
+            return self._cases[name]
+        except KeyError:
+            raise KeyError(f"unknown benchmark {name!r} "
+                           f"(available: {sorted(self._cases)})") from None
+
+    def names(self) -> List[str]:
+        """Registered names, in registration order."""
+        return list(self._cases)
+
+    def groups(self) -> List[str]:
+        """Distinct group names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for case in self._cases.values():
+            seen.setdefault(case.group, None)
+        return list(seen)
+
+    def filter(self, groups: Optional[Sequence[str]] = None,
+               names: Optional[Sequence[str]] = None) -> List[BenchmarkCase]:
+        """Cases restricted to ``groups`` and/or reordered by ``names``."""
+        cases = self.cases()
+        if groups is not None:
+            wanted = set(groups)
+            cases = [case for case in cases if case.group in wanted]
+        if names is not None:
+            by_name = {case.name: case for case in cases}
+            missing = [name for name in names if name not in by_name]
+            if missing:
+                raise ValueError(f"unknown circuits {missing} "
+                                 f"(available: {sorted(by_name)})")
+            cases = [by_name[name] for name in names]
+        return cases
+
+    def __len__(self) -> int:
+        return len(self._cases)
+
+    def __iter__(self) -> Iterator[BenchmarkCase]:
+        return iter(self._cases.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._cases
+
+
+def full_registry(corpus_dirs: Sequence[Union[str, Path]] = ())\
+        -> BenchmarkRegistry:
+    """Every built-in suite (plus optional external directories), merged.
+
+    Order: EPFL Table 1, MPC Table 2, the corpus sweeps, then one
+    ``external`` block per directory — the same order the engine reports.
+    """
+    from repro.circuits.corpus import corpus_benchmarks
+    from repro.circuits.crypto.registry import mpc_benchmarks
+    from repro.circuits.epfl import epfl_benchmarks
+    from repro.circuits.external import external_corpus
+
+    registry = BenchmarkRegistry()
+    registry.extend(epfl_benchmarks())
+    registry.extend(mpc_benchmarks())
+    registry.extend(corpus_benchmarks())
+    for directory in corpus_dirs:
+        registry.extend(external_corpus(directory))
+    return registry

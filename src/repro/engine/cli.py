@@ -58,13 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-engine",
         description="Batch MC cut-rewriting over the EPFL and MPC/FHE registries.")
-    parser.add_argument("--suite", default="epfl", choices=["epfl", "crypto", "all"],
+    parser.add_argument("--suite", default="epfl",
+                        choices=["epfl", "crypto", "corpus", "all"],
                         help="benchmark registry to load (default: epfl)")
+    parser.add_argument("--corpus", action="append", default=None,
+                        metavar="DIR",
+                        help="directory of Bristol/BLIF/JSON netlists to "
+                             "register as extra cases (repeatable)")
     parser.add_argument("--circuits", default=None,
                         help="comma-separated circuit names (default: whole suite)")
     parser.add_argument("--groups", default=None,
-                        help="comma-separated registry groups "
-                             "(arithmetic, control, mpc)")
+                        help="comma-separated registry groups (arithmetic, "
+                             "control, mpc, arithmetic-sweep, control-sweep, "
+                             "crypto-full, external)")
     parser.add_argument("--cut-size", type=positive_int, default=6,
                         help="maximum cut leaves (default: 6)")
     parser.add_argument("--cut-limit", type=positive_int, default=12,
@@ -113,6 +119,7 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
     """Translate parsed arguments into an :class:`EngineConfig`."""
     return EngineConfig(
         suites=(args.suite,),
+        corpus_dirs=tuple(args.corpus) if args.corpus else (),
         circuits=args.circuits.split(",") if args.circuits else None,
         groups=args.groups.split(",") if args.groups else None,
         cut_size=args.cut_size,
@@ -135,8 +142,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_only:
-        for case in available_cases((args.suite,)):
-            print(f"{case.name:<20} {case.group:<12} {case.scale_note}")
+        corpus_dirs = tuple(args.corpus) if args.corpus else ()
+        for case in available_cases((args.suite,), corpus_dirs):
+            slow_note = " [slow]" if case.slow else ""
+            print(f"{case.name:<20} {case.group:<16} "
+                  f"{case.scale_note}{slow_note}")
         return 0
 
     try:

@@ -38,8 +38,11 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuits.benchmark_case import BenchmarkCase
+from repro.circuits.corpus import corpus_benchmarks
 from repro.circuits.crypto.registry import mpc_benchmarks
 from repro.circuits.epfl import epfl_benchmarks
+from repro.circuits.external import external_corpus
+from repro.circuits.registry import BenchmarkRegistry
 from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
 from repro.rewriting.pipeline import (FlowSummary, Pass, PipelineResult,
@@ -53,6 +56,7 @@ from repro.xag.bitsim import SimulationCache
 SUITES = {
     "epfl": epfl_benchmarks,
     "crypto": mpc_benchmarks,
+    "corpus": corpus_benchmarks,
 }
 
 
@@ -60,8 +64,12 @@ SUITES = {
 class EngineConfig:
     """Knobs of one batch run (defaults follow the paper's §4.1 setup)."""
 
-    #: suites to load: any subset of ``{"epfl", "crypto"}`` (or ``"all"``).
+    #: suites to load: any subset of ``{"epfl", "crypto", "corpus"}``
+    #: (or ``"all"``).
     suites: Tuple[str, ...] = ("epfl",)
+    #: directories of Bristol/BLIF/JSON netlists registered as extra cases
+    #: (see :func:`repro.circuits.external.external_corpus`).
+    corpus_dirs: Tuple[str, ...] = ()
     #: restrict to these circuit names (``None`` = every circuit).
     circuits: Optional[Sequence[str]] = None
     #: restrict to these registry groups ("arithmetic", "control", "mpc").
@@ -231,22 +239,30 @@ class BatchReport:
         return "\n".join(lines)
 
 
-def available_cases(suites: Sequence[str] = ("epfl", "crypto")) -> List[BenchmarkCase]:
-    """All benchmark cases of the requested suites, in registry order."""
-    cases: List[BenchmarkCase] = []
+def available_cases(suites: Sequence[str] = ("epfl", "crypto"),
+                    corpus_dirs: Sequence[str] = ()) -> List[BenchmarkCase]:
+    """All benchmark cases of the requested suites, in registry order.
+
+    Goes through a :class:`repro.circuits.registry.BenchmarkRegistry`, so a
+    name collision between suites (or with an external corpus directory)
+    raises a descriptive error instead of silently shadowing a case.
+    """
+    registry = BenchmarkRegistry()
     for suite in suites:
         if suite == "all":
-            return available_cases(tuple(SUITES))
+            return available_cases(tuple(SUITES), corpus_dirs)
         loader = SUITES.get(suite)
         if loader is None:
             raise ValueError(f"unknown suite {suite!r} (available: {sorted(SUITES)})")
-        cases.extend(loader())
-    return cases
+        registry.extend(loader())
+    for directory in corpus_dirs:
+        registry.extend(external_corpus(directory))
+    return registry.cases()
 
 
 def select_cases(config: EngineConfig) -> List[BenchmarkCase]:
     """Resolve the configuration's suite/group/name filters to cases."""
-    cases = available_cases(config.suites)
+    cases = available_cases(config.suites, config.corpus_dirs)
     if config.groups is not None:
         wanted_groups = set(config.groups)
         cases = [case for case in cases if case.group in wanted_groups]
@@ -422,7 +438,9 @@ def _shard_worker(payload: Tuple[EngineConfig, List[Tuple[int, str]],
         # the parent already validated the bundle (or built it itself)
         database.install_bundle(bundle, validate=False)
         cut_cache.warm_start(bundle.get("plans", []))
-    cases_by_name = {case.name: case for case in available_cases(config.suites)}
+    cases_by_name = {case.name: case
+                     for case in available_cases(config.suites,
+                                                 config.corpus_dirs)}
     reports = [
         (index, run_circuit(cases_by_name[name], config,
                             cut_cache=cut_cache, sim_cache=sim_cache))

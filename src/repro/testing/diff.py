@@ -1,0 +1,417 @@
+"""Differential harness: one flow script, three execution modes, cross-checked.
+
+For every seeded random XAG the same flow script (see
+:func:`repro.rewriting.pipeline.parse_flow`) is executed under
+
+* **in-place** — the default engine path, sharing the batch cache trio
+  (database, cut-function cache, simulation cache) across *all* seeds of the
+  run, exactly like a long engine batch;
+* **rebuild** — the ``--rebuild`` engine path (out-of-place reconstruction;
+  flows containing a depth guard replay the in-place trajectory with
+  per-round A/B cross-checks, mirroring :func:`repro.engine.core.run_circuit`);
+* **fresh** — in-place again, but with a brand-new cache trio, so any result
+  that *depends* on accumulated cache state shows up as a divergence.
+
+Checks per seed: every mode's result must stay functionally equivalent to
+the untouched input (fresh packed simulation — never through the shared
+simulation cache), must not increase the AND count, must report verified
+rounds, the in-place and fresh trajectories must agree exactly on
+(ANDs, XORs, multiplicative depth), and — for flows without an "mc-depth"
+rewriting step, whose two application orders legitimately drift — the
+rebuild trajectory must match as well.
+
+A failing seed is shrunk (:func:`repro.testing.shrink.shrink_xag`) to a
+minimal reproducer and written to disk as validated JSON; ``--replay FILE``
+re-runs the checks on a stored reproducer.
+
+CLI::
+
+    python -m repro.testing.diff --seeds 25 --time-budget 300 \
+        --flow "balance,mc*,mc-depth*"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import re
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cuts.cache import CutFunctionCache
+from repro.mc.database import McDatabase
+from repro.rewriting.pipeline import (DepthGuard, Pass, Repeat, RewritePass,
+                                      contains_depth_guard, parse_flow,
+                                      run_pipeline)
+from repro.rewriting.rewrite import RewriteParams
+from repro.testing.generate import random_xag
+from repro.testing.oracle import reference_stimulus
+from repro.testing.shrink import shrink_xag
+from repro.xag.bitsim import SimulationCache
+from repro.xag.depth import multiplicative_depth
+from repro.xag.graph import Xag
+from repro.xag.serialize import from_dict, to_dict
+from repro.xag.simulate import simulate_words
+
+#: flow scripts checked when none is given: the paper's mc pipeline and the
+#: depth flow's balance + guarded-mc + mc-depth script.
+DEFAULT_FLOWS: Tuple[str, ...] = ("mc,mc*", "balance,mc*,mc-depth*")
+
+REPRODUCER_FORMAT = "repro-diff-reproducer"
+REPRODUCER_VERSION = 1
+
+
+@dataclass
+class DiffConfig:
+    """Knobs of one differential run."""
+
+    flows: Tuple[str, ...] = DEFAULT_FLOWS
+    seeds: int = 25
+    seed_start: int = 0
+    #: wall-clock budget in seconds; no new seed starts once exceeded.
+    time_budget: Optional[float] = None
+    #: packed random words per PI for the equivalence oracle.
+    num_random_words: int = 16
+    cut_size: int = 6
+    cut_limit: int = 12
+    #: predicate-evaluation budget of the shrinker.
+    shrink_budget: int = 200
+    #: directory for shrunk reproducer files.
+    output_dir: Union[str, Path] = "diff-reproducers"
+
+
+@dataclass
+class SeedOutcome:
+    """Result of one (seed, flow) differential check."""
+
+    seed: int
+    flow: str
+    failures: List[str] = field(default_factory=list)
+    #: path of the shrunk reproducer (only written on failure).
+    reproducer: Optional[str] = None
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.failures)
+
+
+@dataclass
+class DiffReport:
+    """Everything one :func:`run_diff` invocation measured."""
+
+    config: DiffConfig
+    outcomes: List[SeedOutcome] = field(default_factory=list)
+    seeds_run: int = 0
+    elapsed_seconds: float = 0.0
+    #: True when the time budget stopped the run before all seeds executed.
+    budget_exhausted: bool = False
+
+    @property
+    def divergences(self) -> List[SeedOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.diverged]
+
+    def render(self) -> str:
+        lines = []
+        for outcome in self.divergences:
+            lines.append(f"DIVERGENCE seed={outcome.seed} "
+                         f"flow={outcome.flow!r}")
+            for failure in outcome.failures:
+                lines.append(f"  - {failure}")
+            if outcome.reproducer:
+                lines.append(f"  reproducer: {outcome.reproducer}")
+        budget_note = " [time budget exhausted]" if self.budget_exhausted else ""
+        lines.append(
+            f"{self.seeds_run} seeds x {len(self.config.flows)} flows: "
+            f"{len(self.divergences)} divergences in "
+            f"{self.elapsed_seconds:.1f}s{budget_note}")
+        return "\n".join(lines)
+
+
+def generator_knobs(seed: int) -> Dict[str, object]:
+    """Deterministic per-seed generator shape (decoupled from the XAG rng)."""
+    shape_rng = random.Random(0xD1FF ^ ((seed * 2654435761) & 0xFFFFFFFF))
+    return {
+        "num_pis": shape_rng.randint(4, 8),
+        "num_gates": shape_rng.randint(20, 70),
+        "num_pos": shape_rng.randint(2, 4),
+        "and_bias": shape_rng.choice([0.4, 0.5, 0.6]),
+        "locality": shape_rng.choice([None, None, 6, 10]),
+        "max_fanout": shape_rng.choice([None, None, 4]),
+    }
+
+
+def _contains_objective(passes: Sequence[Pass], objective: str) -> bool:
+    """True when any (nested) rewrite pass runs under ``objective``."""
+    for pass_ in passes:
+        if isinstance(pass_, RewritePass) and pass_.objective == objective:
+            return True
+        if isinstance(pass_, Repeat) and \
+                _contains_objective(pass_.passes, objective):
+            return True
+        if isinstance(pass_, DepthGuard) and \
+                _contains_objective([pass_.inner], objective):
+            return True
+    return False
+
+
+def _run_mode(xag: Xag, flow: str, in_place: bool,
+              database: McDatabase, cut_cache: CutFunctionCache,
+              sim_cache: SimulationCache, cut_size: int, cut_limit: int):
+    """Execute one flow under one application mode (engine parity)."""
+    passes = parse_flow(flow)
+    params = RewriteParams(cut_size=cut_size, cut_limit=cut_limit,
+                           verify=True, in_place=in_place)
+    if contains_depth_guard(passes) and not in_place:
+        # guarded rounds decide in place; the rebuild mode replays the
+        # trajectory with per-round out-of-place cross-checks, exactly like
+        # repro.engine.core.run_circuit under --rebuild.
+        params = RewriteParams(cut_size=cut_size, cut_limit=cut_limit,
+                               verify=True, in_place=True, ab_check=True)
+    return run_pipeline(xag, passes, database=database, params=params,
+                        cut_cache=cut_cache, sim_cache=sim_cache)
+
+
+def check_modes(xag: Xag, flow: str,
+                database: Optional[McDatabase] = None,
+                cut_cache: Optional[CutFunctionCache] = None,
+                sim_cache: Optional[SimulationCache] = None,
+                num_random_words: int = 16,
+                cut_size: int = 6, cut_limit: int = 12) -> List[str]:
+    """Cross-check one network under one flow; returns failure descriptions.
+
+    ``database``/``cut_cache``/``sim_cache`` are the *shared* trio used by
+    the in-place and rebuild modes (fresh ones are created when omitted);
+    the fresh-recompute mode always builds its own.
+    """
+    database = database if database is not None else McDatabase()
+    cut_cache = CutFunctionCache.ensure(cut_cache, database)
+    sim_cache = sim_cache if sim_cache is not None else SimulationCache()
+
+    words, mask, _ = reference_stimulus(xag.num_pis,
+                                        num_random_words=num_random_words)
+    baseline_words = simulate_words(xag, words, mask)
+    ands_before = xag.num_ands
+
+    failures: List[str] = []
+    results = {}
+    fresh_database = McDatabase()
+    mode_runs = (
+        ("in-place", True, database, cut_cache, sim_cache),
+        ("rebuild", False, database, cut_cache, sim_cache),
+        ("fresh", True, fresh_database, CutFunctionCache(fresh_database),
+         SimulationCache()),
+    )
+    for mode, in_place, mode_database, mode_cut_cache, mode_sim_cache in mode_runs:
+        try:
+            results[mode] = _run_mode(xag, flow, in_place, mode_database,
+                                      mode_cut_cache, mode_sim_cache,
+                                      cut_size, cut_limit)
+        except Exception as exc:  # noqa: BLE001 - a crash is a finding
+            failures.append(f"{mode}: raised {type(exc).__name__}: {exc}")
+
+    for mode, result in results.items():
+        final = result.final
+        final_words = simulate_words(final, words, mask)
+        if final_words != baseline_words:
+            failures.append(
+                f"{mode}: final network is NOT equivalent to the input "
+                f"(PO words differ under the canonical stimulus)")
+        if final.num_ands > ands_before:
+            failures.append(f"{mode}: AND count increased "
+                            f"({ands_before} -> {final.num_ands})")
+        if result.verified is False:
+            failures.append(f"{mode}: pipeline verification reported failure")
+
+    in_place_result = results.get("in-place")
+    fresh_result = results.get("fresh")
+    if in_place_result is not None and fresh_result is not None:
+        shared = _metrics(in_place_result.final)
+        fresh = _metrics(fresh_result.final)
+        if shared != fresh:
+            failures.append(
+                f"cache-vs-fresh mismatch: shared-cache run produced "
+                f"{shared}, fresh-cache run produced {fresh} — results "
+                f"depend on accumulated cache state")
+
+    rebuild_result = results.get("rebuild")
+    comparable = not _contains_objective(parse_flow(flow), "mc-depth")
+    if comparable and in_place_result is not None and rebuild_result is not None:
+        in_place_metrics = _metrics(in_place_result.final)
+        rebuild_metrics = _metrics(rebuild_result.final)
+        if in_place_metrics != rebuild_metrics:
+            failures.append(
+                f"in-place vs rebuild mismatch: {in_place_metrics} vs "
+                f"{rebuild_metrics} on a mode-comparable flow")
+    return failures
+
+
+def _metrics(xag: Xag) -> Dict[str, int]:
+    return {"ands": xag.num_ands, "xors": xag.num_xors,
+            "depth": multiplicative_depth(xag)}
+
+
+# ----------------------------------------------------------------------
+# reproducers
+# ----------------------------------------------------------------------
+def write_reproducer(directory: Union[str, Path], seed: int, flow: str,
+                     knobs: Dict[str, object], failures: Sequence[str],
+                     shrunk: Xag, evaluations: int,
+                     original_gates: int) -> Path:
+    """Write one shrunk failing case as validated JSON; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", flow.lower()).strip("-")
+    path = directory / f"reproducer-seed{seed}-{slug}.json"
+    payload = {
+        "format": REPRODUCER_FORMAT,
+        "version": REPRODUCER_VERSION,
+        "seed": seed,
+        "flow": flow,
+        "knobs": knobs,
+        "failures": list(failures),
+        "shrink_evaluations": evaluations,
+        "original_gates": original_gates,
+        "xag": to_dict(shrunk),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_reproducer(path: Union[str, Path]) -> Tuple[Dict, Xag]:
+    """Read a reproducer file back as ``(payload, network)``."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or \
+            payload.get("format") != REPRODUCER_FORMAT:
+        raise ValueError(f"{path}: not a {REPRODUCER_FORMAT} file")
+    return payload, from_dict(payload["xag"])
+
+
+def replay_reproducer(path: Union[str, Path],
+                      num_random_words: int = 16) -> List[str]:
+    """Re-run the differential checks on a stored reproducer."""
+    payload, xag = load_reproducer(path)
+    return check_modes(xag, payload["flow"],
+                       num_random_words=num_random_words)
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def run_diff(config: Optional[DiffConfig] = None,
+             verbose: bool = False) -> DiffReport:
+    """Run the differential harness over ``config.seeds`` seeded XAGs."""
+    config = config if config is not None else DiffConfig()
+    for flow in config.flows:
+        parse_flow(flow)  # fail fast on a bad script
+    database = McDatabase()
+    cut_cache = CutFunctionCache(database)
+    sim_cache = SimulationCache()
+    report = DiffReport(config=config)
+    start = time.perf_counter()
+    for offset in range(config.seeds):
+        elapsed = time.perf_counter() - start
+        if config.time_budget is not None and elapsed > config.time_budget:
+            report.budget_exhausted = True
+            break
+        seed = config.seed_start + offset
+        knobs = generator_knobs(seed)
+        xag = random_xag(random.Random(seed), **knobs)
+        xag.name = f"seed{seed}"
+        report.seeds_run += 1
+        for flow in config.flows:
+            outcome = SeedOutcome(seed=seed, flow=flow)
+            outcome.failures = check_modes(
+                xag, flow, database, cut_cache, sim_cache,
+                num_random_words=config.num_random_words,
+                cut_size=config.cut_size, cut_limit=config.cut_limit)
+            if outcome.diverged:
+                shrunk, evaluations = shrink_xag(
+                    xag,
+                    lambda candidate: bool(check_modes(
+                        candidate, flow,
+                        num_random_words=config.num_random_words,
+                        cut_size=config.cut_size,
+                        cut_limit=config.cut_limit)),
+                    max_evaluations=config.shrink_budget)
+                outcome.reproducer = str(write_reproducer(
+                    config.output_dir, seed, flow, knobs, outcome.failures,
+                    shrunk, evaluations, xag.num_gates))
+            if verbose:
+                status = "DIVERGED" if outcome.diverged else "ok"
+                print(f"seed {seed:>4} flow {flow!r}: {status}", flush=True)
+            report.outcomes.append(outcome)
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.testing.diff``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.testing.diff",
+        description="Differential equivalence harness: run a flow script "
+                    "under in-place / rebuild / fresh-recompute modes on "
+                    "seeded random XAGs and cross-check the results.")
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="number of seeded random networks (default: 25)")
+    parser.add_argument("--seed-start", type=int, default=0,
+                        help="first seed value (default: 0)")
+    parser.add_argument("--time-budget", type=float, default=None, metavar="S",
+                        help="stop starting new seeds after S seconds")
+    parser.add_argument("--flow", action="append", default=None,
+                        metavar="SCRIPT",
+                        help="flow script to check (repeatable; default: "
+                             + " and ".join(repr(flow) for flow in DEFAULT_FLOWS)
+                             + ")")
+    parser.add_argument("--num-random-words", type=int, default=16,
+                        help="packed 64-bit words per PI for the oracle "
+                             "stimulus (default: 16)")
+    parser.add_argument("--shrink-budget", type=int, default=200,
+                        help="predicate evaluations the shrinker may spend "
+                             "(default: 200)")
+    parser.add_argument("--out", default="diff-reproducers", metavar="DIR",
+                        help="directory for shrunk reproducers "
+                             "(default: diff-reproducers)")
+    parser.add_argument("--replay", metavar="FILE", default=None,
+                        help="re-run the checks on a stored reproducer "
+                             "and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print one line per (seed, flow)")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        failures = replay_reproducer(args.replay,
+                                     num_random_words=args.num_random_words)
+        if failures:
+            print(f"reproducer {args.replay} still diverges:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"reproducer {args.replay} no longer diverges")
+        return 0
+
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    config = DiffConfig(
+        flows=tuple(args.flow) if args.flow else DEFAULT_FLOWS,
+        seeds=args.seeds,
+        seed_start=args.seed_start,
+        time_budget=args.time_budget,
+        num_random_words=args.num_random_words,
+        shrink_budget=args.shrink_budget,
+        output_dir=args.out,
+    )
+    try:
+        report = run_diff(config, verbose=args.verbose)
+    except ValueError as error:
+        print(f"repro.testing.diff: error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 1 if report.divergences else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Seeded random-XAG generators (promoted from ``tests/helpers.py``).
+
+The default-parameter behaviour of :func:`random_xag` is frozen: it consumes
+the ``random.Random`` stream exactly like the original test helper, so
+golden tests seeded with the same generator keep producing the same
+networks.  The extra knobs (``locality``, ``max_fanout``,
+``not_probability``) only change the construction — and the stream — when
+explicitly set away from their defaults.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.xag.graph import Xag
+
+
+def random_xag(rng: random.Random, num_pis: int = 6, num_gates: int = 30,
+               num_pos: int = 3, and_bias: float = 0.5,
+               not_probability: float = 0.3,
+               locality: Optional[int] = None,
+               max_fanout: Optional[int] = None) -> Xag:
+    """Random, connected XAG used by property-style and differential tests.
+
+    Knobs:
+
+    * ``num_gates`` — size;
+    * ``and_bias`` — AND/XOR mix (1.0 = all ANDs);
+    * ``not_probability`` — chance of complementing each fanin;
+    * ``locality`` — fanins are drawn from the last ``locality`` signals
+      only, which produces long chains (a depth knob: small window = deep
+      network, ``None`` = uniform over every signal, the historical
+      behaviour);
+    * ``max_fanout`` — signals already referenced that many times are no
+      longer picked (a fanout cap; ``None`` = unbounded).
+    """
+    if num_pis < 1 or num_gates < 0 or not 0 < num_pos <= num_pis + num_gates:
+        raise ValueError(f"inconsistent generator shape: num_pis={num_pis}, "
+                         f"num_gates={num_gates}, num_pos={num_pos}")
+    xag = Xag()
+    xag.name = "random"
+    signals = list(xag.create_pis(num_pis))
+    fanout = {lit: 0 for lit in signals}
+
+    def pick() -> int:
+        pool = signals if locality is None else signals[-locality:]
+        if max_fanout is not None:
+            capped = [lit for lit in pool if fanout[lit] < max_fanout]
+            pool = capped or pool
+        return rng.choice(pool)
+
+    for _ in range(num_gates):
+        a = pick()
+        b = pick()
+        fanout[a] += 1
+        fanout[b] += 1
+        if rng.random() < not_probability:
+            a = xag.create_not(a)
+        if rng.random() < not_probability:
+            b = xag.create_not(b)
+        if rng.random() < and_bias:
+            out = xag.create_and(a, b)
+        else:
+            out = xag.create_xor(a, b)
+        signals.append(out)
+        fanout.setdefault(out, 0)
+    for index in range(num_pos):
+        xag.create_po(signals[-(index + 1)], f"y{index}")
+    return xag
+
+
+def seeded_xag(seed: int, **knobs) -> Xag:
+    """A :func:`random_xag` from a bare integer seed (reproducible by value)."""
+    xag = random_xag(random.Random(seed), **knobs)
+    xag.name = f"seed{seed}"
+    return xag
+
+
+def full_adder_naive() -> Xag:
+    """The paper's Fig. 1 full adder (3 AND gates)."""
+    xag = Xag()
+    xag.name = "full_adder"
+    a, b, cin = xag.create_pis(3)
+    a_xor_b = xag.create_xor(a, b)
+    xag.create_po(xag.create_xor(a_xor_b, cin), "sum")
+    xag.create_po(xag.create_or(xag.create_and(a, b), xag.create_and(cin, a_xor_b)), "cout")
+    return xag

@@ -1,0 +1,166 @@
+"""Greedy shrinking of failing XAGs to minimal reproducers.
+
+The shrinker works on the serialised form of the network
+(:func:`repro.xag.serialize.to_dict`): candidate reductions edit the payload,
+are rebuilt with the fully validated :func:`repro.xag.serialize.from_dict`,
+and are kept whenever ``predicate`` still holds (i.e. the bug still
+reproduces).  Reductions, applied to a fixpoint under an evaluation budget:
+
+* drop primary outputs (down to one);
+* bypass a gate by rewiring its fanout to one of its fanins;
+* sweep gates that became dead.
+
+This is delta debugging in spirit: each accepted step yields a strictly
+smaller network, so termination is structural, and the result is locally
+minimal — no single remaining PO drop or gate bypass preserves the failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.xag.graph import Xag
+from repro.xag.serialize import from_dict, to_dict
+
+
+def shrink_xag(xag: Xag, predicate: Callable[[Xag], bool],
+               max_evaluations: int = 400) -> Tuple[Xag, int]:
+    """Smallest network (gates, then POs) on which ``predicate`` still holds.
+
+    ``predicate`` must be true for ``xag`` itself (the caller observed the
+    failure there); if it is not, the input is returned unshrunk.  Returns
+    ``(shrunk, evaluations)`` where ``evaluations`` counts predicate calls.
+    """
+    payload = to_dict(xag)
+    evaluations = 0
+
+    def holds(candidate: Dict) -> bool:
+        nonlocal evaluations
+        if evaluations >= max_evaluations:
+            return False
+        evaluations += 1
+        try:
+            return bool(predicate(from_dict(candidate)))
+        except Exception:  # noqa: BLE001 - a crashing candidate still reproduces
+            return True
+
+    if not holds(payload):
+        return xag, evaluations
+
+    changed = True
+    while changed and evaluations < max_evaluations:
+        changed = False
+        reduced = _drop_outputs(payload, holds)
+        if reduced is not None:
+            payload, changed = reduced, True
+        reduced = _bypass_gates(payload, holds)
+        if reduced is not None:
+            payload, changed = reduced, True
+    return from_dict(_sweep(payload)), evaluations
+
+
+# ----------------------------------------------------------------------
+# reductions (all pure: they return a new payload or None)
+# ----------------------------------------------------------------------
+def _drop_outputs(payload: Dict,
+                  holds: Callable[[Dict], bool]) -> Optional[Dict]:
+    """Drop POs one at a time (keeping at least one), last first."""
+    result = None
+    index = len(payload["outputs"]) - 1
+    while index >= 0 and len((result or payload)["outputs"]) > 1:
+        base = result or payload
+        candidate = dict(base)
+        candidate["outputs"] = base["outputs"][:index] + base["outputs"][index + 1:]
+        candidate["po_names"] = (base["po_names"][:index]
+                                 + base["po_names"][index + 1:])
+        candidate = _sweep(candidate)
+        if holds(candidate):
+            result = candidate
+        index -= 1
+    return result
+
+
+def _bypass_gates(payload: Dict,
+                  holds: Callable[[Dict], bool]) -> Optional[Dict]:
+    """Replace a gate's output with one of its fanins, deepest gate first."""
+    result = None
+    index = len(payload["gates"]) - 1
+    while index >= 0:
+        base = result or payload
+        if index >= len(base["gates"]):
+            index = len(base["gates"]) - 1
+            continue
+        for fanin_slot in (0, 1):
+            candidate = _rewire(base, index, fanin_slot)
+            if holds(candidate):
+                result = candidate
+                break
+        index -= 1
+    return result
+
+
+def _rewire(payload: Dict, gate_index: int, fanin_slot: int) -> Dict:
+    """Payload with gate ``gate_index`` replaced by its chosen fanin."""
+    num_pis = int(payload["num_pis"])
+    gate_serial_base = (num_pis + 1) << 1
+    victim_serial = gate_serial_base + (gate_index << 1)
+    replacement = payload["gates"][gate_index][1 + fanin_slot]
+
+    def remap(serial: int) -> int:
+        if (serial >> 1) == (victim_serial >> 1):
+            return replacement ^ (serial & 1)
+        if serial > victim_serial:
+            return serial - 2  # positions after the removed gate shift down
+        return serial
+
+    gates = [[kind, remap(a), remap(b)]
+             for kind, a, b in (payload["gates"][:gate_index]
+                                + payload["gates"][gate_index + 1:])]
+    candidate = dict(payload)
+    candidate["gates"] = gates
+    candidate["outputs"] = [remap(serial) for serial in payload["outputs"]]
+    return _sweep(candidate)
+
+
+def _sweep(payload: Dict) -> Dict:
+    """Drop gates no output transitively depends on (keeps PIs intact)."""
+    num_pis = int(payload["num_pis"])
+    gates = payload["gates"]
+    live = [False] * len(gates)
+
+    def gate_position(serial: int) -> Optional[int]:
+        position = (serial >> 1) - num_pis - 1
+        return position if position >= 0 else None
+
+    stack = [gate_position(serial) for serial in payload["outputs"]]
+    stack = [position for position in stack if position is not None]
+    while stack:
+        position = stack.pop()
+        if live[position]:
+            continue
+        live[position] = True
+        for serial in payload["gates"][position][1:]:
+            child = gate_position(serial)
+            if child is not None:
+                stack.append(child)
+
+    if all(live):
+        return payload
+    new_positions: Dict[int, int] = {}
+    kept: List[List] = []
+    for position, gate in enumerate(gates):
+        if live[position]:
+            new_positions[position] = len(kept)
+            kept.append(gate)
+
+    def remap(serial: int) -> int:
+        position = gate_position(serial)
+        if position is None:
+            return serial
+        return (((new_positions[position] + num_pis + 1) << 1)
+                | (serial & 1))
+
+    candidate = dict(payload)
+    candidate["gates"] = [[kind, remap(a), remap(b)] for kind, a, b in kept]
+    candidate["outputs"] = [remap(serial) for serial in payload["outputs"]]
+    return candidate

@@ -1,10 +1,37 @@
-"""Shared fixtures for the test suite (circuit builders live in ``helpers``)."""
+"""Shared fixtures (circuit builders live in :mod:`repro.testing`).
+
+Tests marked ``slow`` (full-scale crypto builds, long convergence runs) are
+skipped by default so the tier-1 ``pytest -x -q`` wall time stays bounded;
+opt in with ``--runslow`` or ``REPRO_RUN_SLOW=1``.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption("--runslow", action="store_true", default=False,
+                     help="run tests marked slow (full-scale crypto cases)")
+
+
+def run_slow_enabled(config) -> bool:
+    """True when slow-marked tests should run."""
+    return bool(config.getoption("--runslow", default=False)
+                or os.environ.get("REPRO_RUN_SLOW") == "1")
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if run_slow_enabled(config):
+        return
+    skip_slow = pytest.mark.skip(
+        reason="slow test: pass --runslow or set REPRO_RUN_SLOW=1")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

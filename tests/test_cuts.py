@@ -2,7 +2,7 @@
 
 import pytest
 
-from helpers import full_adder_naive, random_xag
+from repro.testing import full_adder_naive, random_xag
 from repro.cuts import Cut, cut_and_count, cut_cone, cut_function, enumerate_cuts, mffc, \
     mffc_and_count
 from repro.xag.graph import Xag, lit_node

@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from helpers import full_adder_naive, random_xag
+from repro.testing import full_adder_naive, random_xag
 from repro.cuts import CutFunctionCache, cut_function, enumerate_cuts
 from repro.engine import EngineConfig, available_cases, run_batch, run_circuit
 from repro.engine.cli import build_parser, config_from_args, main
@@ -110,10 +110,13 @@ def test_rewriter_rejects_mismatched_cache_database():
 def test_available_cases_suites():
     epfl = available_cases(("epfl",))
     crypto = available_cases(("crypto",))
-    both = available_cases(("all",))
+    corpus = available_cases(("corpus",))
+    everything = available_cases(("all",))
     assert {case.group for case in epfl} == {"arithmetic", "control"}
     assert all(case.group == "mpc" for case in crypto)
-    assert len(both) == len(epfl) + len(crypto)
+    assert {case.group for case in corpus} == \
+        {"arithmetic-sweep", "control-sweep", "crypto-full"}
+    assert len(everything) == len(epfl) + len(crypto) + len(corpus)
     with pytest.raises(ValueError):
         available_cases(("nope",))
 

@@ -1,0 +1,113 @@
+"""External corpus directories: loaders, rejection rules, engine plumbing.
+
+A temporary directory of mixed-format netlists (Bristol, BLIF, serialised
+JSON, plus a write-only Verilog file) stands in for a user-provided corpus;
+the tests cover name sanitisation, deterministic ordering, the skip/error
+policy for unreadable files, duplicate-stem detection through the registry,
+and an end-to-end engine run over ``EngineConfig.corpus_dirs``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits import external_corpus, full_registry
+from repro.circuits.external import LOADERS, case_name_for
+from repro.engine.core import EngineConfig, available_cases, run_batch
+from repro.io import write_blif, write_bristol
+from repro.testing import assert_equivalent, full_adder_naive
+from repro.xag.serialize import to_dict
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    """One full adder in every readable format, plus a Verilog stray."""
+    xag = full_adder_naive()
+    (tmp_path / "fa_bristol.txt").write_text(write_bristol(xag))
+    (tmp_path / "fa_blif.blif").write_text(write_blif(xag))
+    (tmp_path / "fa_json.json").write_text(json.dumps(to_dict(xag)))
+    (tmp_path / "notes.v").write_text("// write-only format\n")
+    return tmp_path
+
+
+def test_case_names_are_sanitised():
+    assert case_name_for("adder 64 (v2).blif") == "adder_64_v2"
+    assert case_name_for("SHA-256.txt") == "sha-256"
+    assert case_name_for("§§§.json") == "unnamed"
+
+
+def test_corpus_cases_load_and_match_the_source(corpus_dir):
+    cases = external_corpus(corpus_dir)
+    assert [case.name for case in cases] == \
+        ["fa_blif", "fa_bristol", "fa_json"]  # sorted, .v skipped
+    assert all(case.group == "external" for case in cases)
+    reference = full_adder_naive()
+    for case in cases:
+        built = case.build(full_scale=False)
+        assert built.name == case.name
+        assert_equivalent(built, reference, context=case.name)
+
+
+def test_every_registered_loader_suffix_was_exercised(corpus_dir):
+    suffixes = {path.suffix for path in corpus_dir.iterdir()}
+    assert set(LOADERS) <= suffixes | {".bristol"}  # .bristol == .txt loader
+
+
+def test_unsupported_files_can_raise(corpus_dir):
+    with pytest.raises(ValueError, match="Verilog is write-only"):
+        external_corpus(corpus_dir, on_unsupported="error")
+    with pytest.raises(ValueError, match="'skip' or 'error'"):
+        external_corpus(corpus_dir, on_unsupported="maybe")
+
+
+def test_missing_and_empty_directories_fail_loudly(tmp_path):
+    with pytest.raises(ValueError, match="not a directory"):
+        external_corpus(tmp_path / "nope")
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ValueError, match="no readable circuit files"):
+        external_corpus(empty)
+    (empty / "readme.md").write_text("not a netlist")
+    with pytest.raises(ValueError, match="no readable circuit files"):
+        external_corpus(empty)
+
+
+def test_duplicate_stems_are_rejected_by_the_registry(tmp_path):
+    xag = full_adder_naive()
+    (tmp_path / "adder.blif").write_text(write_blif(xag))
+    (tmp_path / "adder.txt").write_text(write_bristol(xag))
+    with pytest.raises(ValueError, match="duplicate benchmark name 'adder'"):
+        full_registry(corpus_dirs=[tmp_path])
+
+
+def test_duplicate_against_builtin_suite_is_rejected(tmp_path):
+    (tmp_path / "sha256.blif").write_text(write_blif(full_adder_naive()))
+    with pytest.raises(ValueError,
+                       match="duplicate benchmark name 'sha256'"):
+        full_registry(corpus_dirs=[tmp_path])
+
+
+def test_available_cases_appends_corpus_blocks(corpus_dir):
+    cases = available_cases(("epfl",), corpus_dirs=(str(corpus_dir),))
+    names = [case.name for case in cases]
+    assert names[-3:] == ["fa_blif", "fa_bristol", "fa_json"]
+    corpus_only = available_cases(("corpus",))
+    assert all(case.group in ("arithmetic-sweep", "control-sweep",
+                              "crypto-full") for case in corpus_only)
+
+
+def test_engine_runs_an_external_corpus(corpus_dir):
+    config = EngineConfig(suites=("epfl",),
+                          corpus_dirs=(str(corpus_dir),),
+                          circuits=["fa_bristol", "fa_blif", "fa_json"],
+                          max_rounds=1)
+    batch = run_batch(config)
+    assert not batch.failed
+    assert len(batch.reports) == 3
+    for report in batch.reports:
+        assert report.error is None
+        assert report.group == "external"
+        assert report.verified
+        assert report.ands_after <= report.ands_before

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from helpers import full_adder_naive, random_xag
+from repro.testing import full_adder_naive, random_xag
 from repro.circuits.arithmetic import adder
 from repro.io import (
     load_bristol,

@@ -1,0 +1,135 @@
+"""Keccak-f[1600]: reference model vs known vectors, circuit vs reference.
+
+The reference permutation is pinned against the published zero-state test
+vector and cross-checked against :mod:`hashlib`'s SHA3-256 through a
+minimal sponge; the circuit builder is then validated against the reference
+on packed random states, so the benchmark case inherits a fully vetted
+functional model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.circuits.crypto.keccak import (LANE_BITS, NUM_LANES, NUM_ROUNDS,
+                                          RHO_OFFSETS, ROUND_CONSTANTS,
+                                          STATE_BITS, keccak_f1600,
+                                          keccak_f1600_reference)
+from repro.xag.simulate import simulate_words
+
+#: lanes of Keccak-f[1600] applied to the all-zero state (the canonical
+#: "KAT zero-state" vector, x-major order: index = x + 5*y).
+ZERO_STATE_PERMUTED = [
+    0xF1258F7940E1DDE7, 0x84D5CCF933C0478A, 0xD598261EA65AA9EE,
+    0xBD1547306F80494D, 0x8B284E056253D057, 0xFF97A42D7F8E6FD4,
+    0x90FEE5A0A44647C4, 0x8C5BDA0CD6192E76, 0xAD30A6F71B19059C,
+    0x30935AB7D08FFC64, 0xEB5AA93F2317D635, 0xA9A6E6260D712103,
+    0x81A57C16DBCF555F, 0x43B831CD0347C826, 0x01F22F1A11A5569F,
+    0x05E5635A21D9AE61, 0x64BEFEF28CC970F2, 0x613670957BC46611,
+    0xB87C5A554FD00ECB, 0x8C3EE88A1CCF32C8, 0x940C7922AE3A2614,
+    0x1841F924A2C509E4, 0x16F53526E70465C2, 0x75F644E97F30A13B,
+    0xEAF1FF7B5CECA249,
+]
+
+
+def test_structure_constants():
+    assert NUM_LANES == 25
+    assert LANE_BITS == 64
+    assert STATE_BITS == 1600
+    assert NUM_ROUNDS == 24
+    assert RHO_OFFSETS[0] == 0  # lane (0,0) is never rotated
+    assert all(0 <= offset < 64 for offset in RHO_OFFSETS)
+
+
+def test_round_constants_match_lfsr_pins():
+    assert ROUND_CONSTANTS[0] == 0x0000000000000001
+    assert ROUND_CONSTANTS[1] == 0x0000000000008082
+    assert ROUND_CONSTANTS[23] == 0x8000000080008008
+
+
+def test_reference_zero_state_vector():
+    assert keccak_f1600_reference([0] * NUM_LANES) == ZERO_STATE_PERMUTED
+
+
+@pytest.mark.parametrize("message", [b"", b"abc", b"x" * 200])
+def test_reference_sha3_256_sponge(message):
+    """The reference permutation drives a correct SHA3-256 sponge."""
+    rate_bytes = 136
+    padded = bytearray(message)
+    padded.append(0x06)
+    padded.extend(b"\x00" * (-len(padded) % rate_bytes))
+    padded[-1] |= 0x80
+
+    lanes = [0] * NUM_LANES
+    for offset in range(0, len(padded), rate_bytes):
+        block = padded[offset:offset + rate_bytes]
+        for index in range(rate_bytes // 8):
+            lanes[index] ^= int.from_bytes(block[8 * index:8 * index + 8],
+                                           "little")
+        lanes = keccak_f1600_reference(lanes)
+    digest = b"".join(lane.to_bytes(8, "little") for lane in lanes[:4])
+    assert digest == hashlib.sha3_256(message).digest()
+
+
+def _simulate_states(xag, states):
+    """Run packed lane-states through the circuit; returns permuted lanes."""
+    num_words = len(states)
+    mask = (1 << num_words) - 1
+    # PI order is bit z of lane l at position 64*l + z; pack one word per
+    # state across the test patterns.
+    pi_words = []
+    for lane in range(NUM_LANES):
+        for z in range(LANE_BITS):
+            word = 0
+            for pattern, lanes in enumerate(states):
+                word |= ((lanes[lane] >> z) & 1) << pattern
+            pi_words.append(word)
+    po_words = simulate_words(xag, pi_words, mask)
+    permuted = []
+    for pattern in range(num_words):
+        lanes = []
+        for lane in range(NUM_LANES):
+            value = 0
+            for z in range(LANE_BITS):
+                value |= ((po_words[64 * lane + z] >> pattern) & 1) << z
+            lanes.append(value)
+        permuted.append(lanes)
+    return permuted
+
+
+def test_circuit_matches_reference_on_packed_states():
+    rng = random.Random(0x5EED)
+    states = [[0] * NUM_LANES]
+    states += [[rng.getrandbits(64) for _ in range(NUM_LANES)]
+               for _ in range(7)]
+    xag = keccak_f1600(num_rounds=2)
+    expected = [keccak_f1600_reference(lanes, num_rounds=2)
+                for lanes in states]
+    assert _simulate_states(xag, states) == expected
+
+
+def test_circuit_and_count_is_exact():
+    # chi is the only non-linear step: 5 ANDs per row, 5 rows, 64 bits
+    for rounds in (1, 2):
+        xag = keccak_f1600(num_rounds=rounds)
+        assert xag.num_ands == STATE_BITS * rounds
+        assert xag.num_pis == STATE_BITS
+        assert xag.num_pos == STATE_BITS
+
+
+def test_num_rounds_is_validated():
+    with pytest.raises(ValueError):
+        keccak_f1600(num_rounds=0)
+    with pytest.raises(ValueError):
+        keccak_f1600(num_rounds=25)
+
+
+@pytest.mark.slow
+def test_full_permutation_circuit_matches_zero_state_vector():
+    xag = keccak_f1600()
+    assert xag.num_ands == STATE_BITS * NUM_ROUNDS
+    permuted, = _simulate_states(xag, [[0] * NUM_LANES])
+    assert permuted == ZERO_STATE_PERMUTED

@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from helpers import random_xag
+from repro.testing import random_xag
 from repro.circuits import control as C
 from repro.cuts.cache import CutFunctionCache
 from repro.cuts.enumeration import enumerate_cuts

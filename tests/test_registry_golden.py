@@ -1,0 +1,181 @@
+"""Golden pins of the benchmark registry: names, groups and interfaces.
+
+The tuples below are the registry's public contract: registration order is
+the engine's report order, names select circuits on the command line, and
+PI/PO counts are what warm-start bundles and io round-trips key on.  A
+changed or reordered row here is an intentional API change — update the
+table *and* whatever depends on it (docs, warm-start bundles) together.
+
+Slow full-scale cases pin only (name, group): their interface is asserted
+by the slow-marked build test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import BenchmarkRegistry, full_registry
+from repro.circuits.benchmark_case import BenchmarkCase
+
+#: (name, group, num_pis, num_pos) for every default-scale case, in
+#: registration order.
+GOLDEN = [
+    ("adder", "arithmetic", 64, 33),
+    ("barrel_shifter", "arithmetic", 37, 32),
+    ("divisor", "arithmetic", 16, 16),
+    ("log2", "arithmetic", 16, 9),
+    ("max", "arithmetic", 64, 16),
+    ("multiplier", "arithmetic", 16, 16),
+    ("sine", "arithmetic", 10, 10),
+    ("square_root", "arithmetic", 16, 8),
+    ("square", "arithmetic", 8, 16),
+    ("arbiter", "control", 32, 17),
+    ("alu_ctrl", "control", 7, 26),
+    ("cavlc", "control", 10, 11),
+    ("decoder", "control", 6, 64),
+    ("i2c", "control", 73, 71),
+    ("int2float", "control", 11, 8),
+    ("mem_ctrl", "control", 75, 76),
+    ("priority", "control", 32, 6),
+    ("router", "control", 60, 30),
+    ("voter", "control", 63, 1),
+    ("aes_128", "mpc", 256, 128),
+    ("aes_128_expanded", "mpc", 384, 128),
+    ("des", "mpc", 128, 64),
+    ("des_expanded", "mpc", 160, 64),
+    ("md5", "mpc", 512, 128),
+    ("sha1", "mpc", 512, 160),
+    ("sha256", "mpc", 512, 256),
+    ("adder_32", "mpc", 64, 33),
+    ("adder_64", "mpc", 128, 65),
+    ("multiplier_32", "mpc", 16, 16),
+    ("comparator_sleq_32", "mpc", 64, 1),
+    ("comparator_slt_32", "mpc", 64, 1),
+    ("comparator_uleq_32", "mpc", 64, 1),
+    ("comparator_ult_32", "mpc", 64, 1),
+    ("full_adder", "arithmetic-sweep", 3, 2),
+    ("log2_8", "arithmetic-sweep", 8, 8),
+    ("sine_8", "arithmetic-sweep", 8, 8),
+    ("rotator_32", "arithmetic-sweep", 37, 32),
+    ("max_8_2", "arithmetic-sweep", 16, 8),
+    ("max_16_8", "arithmetic-sweep", 128, 16),
+    ("adder_8", "arithmetic-sweep", 16, 9),
+    ("adder_16", "arithmetic-sweep", 32, 17),
+    ("adder_128", "arithmetic-sweep", 256, 129),
+    ("subtractor_16", "arithmetic-sweep", 32, 17),
+    ("subtractor_32", "arithmetic-sweep", 64, 33),
+    ("multiplier_4", "arithmetic-sweep", 8, 8),
+    ("square_4", "arithmetic-sweep", 4, 8),
+    ("divisor_4", "arithmetic-sweep", 8, 8),
+    ("multiplier_16", "arithmetic-sweep", 32, 32),
+    ("square_16", "arithmetic-sweep", 16, 32),
+    ("divisor_16", "arithmetic-sweep", 32, 32),
+    ("comparator_ult_16", "arithmetic-sweep", 32, 1),
+    ("comparator_sleq_16", "arithmetic-sweep", 32, 1),
+    ("barrel_shifter_16", "arithmetic-sweep", 20, 16),
+    ("comparator_ult_64", "arithmetic-sweep", 128, 1),
+    ("comparator_sleq_64", "arithmetic-sweep", 128, 1),
+    ("barrel_shifter_64", "arithmetic-sweep", 70, 64),
+    ("square_root_8", "arithmetic-sweep", 8, 4),
+    ("square_root_32", "arithmetic-sweep", 32, 16),
+    ("decoder_4", "control-sweep", 4, 16),
+    ("priority_16", "control-sweep", 16, 5),
+    ("arbiter_8", "control-sweep", 16, 9),
+    ("voter_31", "control-sweep", 31, 1),
+    ("int2float_16", "control-sweep", 16, 10),
+    ("aes_sbox", "crypto-full", 8, 8),
+    ("keccak_f1600_r1", "crypto-full", 1600, 1600),
+    ("keccak_f1600_r2", "crypto-full", 1600, 1600),
+    ("keccak_f1600_r4", "crypto-full", 1600, 1600),
+    ("md5_16", "crypto-full", 512, 128),
+    ("sha1_16", "crypto-full", 512, 160),
+    ("sha256_16", "crypto-full", 512, 256),
+]
+
+#: (name, group, num_pis, num_pos) of the slow full-scale crypto cases.
+GOLDEN_SLOW = [
+    ("keccak_f1600", "crypto-full", 1600, 1600),
+    ("aes128_full", "crypto-full", 256, 128),
+    ("aes128_expanded_full", "crypto-full", 1536, 128),
+    ("des_full", "crypto-full", 128, 64),
+    ("md5_full", "crypto-full", 512, 128),
+    ("sha1_full", "crypto-full", 512, 160),
+    ("sha256_full", "crypto-full", 512, 256),
+]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return full_registry()
+
+
+def test_registry_names_and_order_are_pinned(registry):
+    expected = ([name for name, _, _, _ in GOLDEN]
+                + [name for name, _, _, _ in GOLDEN_SLOW])
+    assert registry.names() == expected
+
+
+def test_registry_has_grown_past_sixty_cases(registry):
+    assert len(registry) >= 60
+    assert len(GOLDEN) >= 60
+
+
+def test_registry_collects_without_building(registry):
+    """Metadata-only access must not trigger any (lazy) circuit build."""
+    for case in registry:
+        assert case.name and case.group
+        assert isinstance(case.slow, bool)
+    assert registry.groups() == ["arithmetic", "control", "mpc",
+                                 "arithmetic-sweep", "control-sweep",
+                                 "crypto-full"]
+
+
+@pytest.mark.parametrize("name,group,num_pis,num_pos", GOLDEN,
+                         ids=[row[0] for row in GOLDEN])
+def test_case_interface_is_pinned(registry, name, group, num_pis, num_pos):
+    case = registry.case(name)
+    assert case.group == group
+    assert not case.slow
+    xag = case.build(full_scale=False)
+    assert (xag.num_pis, xag.num_pos) == (num_pis, num_pos)
+    assert xag.num_gates > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name,group,num_pis,num_pos", GOLDEN_SLOW,
+                         ids=[row[0] for row in GOLDEN_SLOW])
+def test_slow_case_interface_is_pinned(registry, name, group,
+                                       num_pis, num_pos):
+    case = registry.case(name)
+    assert case.group == group
+    assert case.slow
+    xag = case.build(full_scale=False)
+    assert (xag.num_pis, xag.num_pos) == (num_pis, num_pos)
+
+
+def test_duplicate_name_raises_descriptive_error(registry):
+    first = registry.case("adder")
+    clone = BenchmarkCase(name="adder", group="imposters",
+                          build_default=first.build_default)
+    fresh = BenchmarkRegistry([clone])
+    with pytest.raises(ValueError) as excinfo:
+        fresh.register(clone)
+    message = str(excinfo.value)
+    assert "duplicate benchmark name 'adder'" in message
+    assert "imposters" in message
+
+
+def test_unknown_lookups_fail_with_candidates(registry):
+    with pytest.raises(KeyError, match="unknown benchmark 'nope'"):
+        registry.case("nope")
+    with pytest.raises(ValueError, match="unknown circuits"):
+        registry.filter(names=["adder", "nope"])
+
+
+def test_filter_by_group_and_name(registry):
+    sweep = registry.filter(groups=["control-sweep"])
+    assert [case.name for case in sweep] == \
+        ["decoder_4", "priority_16", "arbiter_8", "voter_31", "int2float_16"]
+    picked = registry.filter(names=["sha256_16", "adder"])
+    assert [case.name for case in picked] == ["sha256_16", "adder"]
+    assert "adder" in registry and "nope" not in registry

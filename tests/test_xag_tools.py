@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from helpers import full_adder_naive, random_xag
+from repro.testing import full_adder_naive, random_xag
 from repro.xag import (
     Xag,
     depth,
