@@ -26,7 +26,9 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.engine.core import EngineConfig, available_cases, run_batch
+from repro.engine.core import (EngineConfig, available_cases, resolved_flow,
+                               run_batch)
+from repro.rewriting.cost import cost_model, registered_cost_models
 
 
 def non_negative_int(text: str) -> int:
@@ -75,12 +77,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="maximum cut leaves (default: 6)")
     parser.add_argument("--cut-limit", type=positive_int, default=12,
                         help="cuts kept per node (default: 12)")
-    parser.add_argument("--objective", default="mc",
-                        choices=["mc", "size", "mc-depth"],
+    parser.add_argument("--cost", "--objective", dest="cost", default="mc",
+                        choices=sorted(registered_cost_models()),
+                        metavar="MODEL",
                         help="cost model: mc = AND count (the paper's), "
                              "size = total gates, mc-depth = AND count then "
                              "multiplicative depth via the balance+rewrite "
-                             "depth flow (default: mc)")
+                             "depth flow, fhe = noise-budget levels "
+                             "(weighted depth + ANDs); models registered via "
+                             "repro.rewriting.register_cost_model are "
+                             "accepted too (default: mc; --objective is the "
+                             "legacy spelling)")
     parser.add_argument("--flow", metavar="SCRIPT", default=None,
                         help="custom pass pipeline instead of the objective's "
                              "canonical flow, e.g. 'balance,mc*,mc-depth*' or "
@@ -124,7 +131,7 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
         groups=args.groups.split(",") if args.groups else None,
         cut_size=args.cut_size,
         cut_limit=args.cut_limit,
-        objective=args.objective,
+        objective=args.cost,
         flow=args.flow,
         max_rounds=None if args.rounds == 0 else args.rounds,
         in_place=not args.rebuild,
@@ -160,13 +167,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"warm-start bundle {loaded}: {args.db}")
 
     if args.json:
+        model = cost_model(batch.config.objective)
         payload = {
             "config": {
                 "suites": list(batch.config.suites),
                 "circuits": batch.config.circuits,
                 "groups": batch.config.groups,
-                "objective": batch.config.objective,
-                "flow": batch.config.flow,
+                "objective": model.name,  # legacy key, kept for consumers
+                "cost": model.name,
+                # always the *resolved* script: a custom --flow verbatim,
+                # else the canonical pipeline serialised (never null)
+                "flow": resolved_flow(batch.config),
                 "rounds": args.rounds,
                 "jobs": batch.jobs,
                 "in_place": batch.config.in_place,
@@ -194,6 +205,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "mult_depth_before": report.depth_before,
                     "mult_depth_after": report.depth_after,
                     "depth_improvement": report.depth_improvement,
+                    "cost_model": report.cost_model,
+                    "cost_before": report.cost_before,
+                    "cost_after": report.cost_after,
+                    "within_budget": report.within_budget,
                     "rounds": len(report.rounds),
                     "verified": report.verified,
                     "stage_seconds": report.stage_timings(),

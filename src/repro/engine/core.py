@@ -45,11 +45,13 @@ from repro.circuits.external import external_corpus
 from repro.circuits.registry import BenchmarkRegistry
 from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
+from repro.rewriting.cost import CostModel, cost_model
 from repro.rewriting.pipeline import (FlowSummary, Pass, PipelineResult,
                                       SizeBaselinePass, contains_depth_guard,
-                                      contains_pass, parse_flow, run_pipeline,
+                                      contains_pass, flow_mode_comparable,
+                                      flow_script, parse_flow, run_pipeline,
                                       standard_flow)
-from repro.rewriting.rewrite import OBJECTIVES, RewriteParams, RoundStats
+from repro.rewriting.rewrite import RewriteParams, RoundStats
 from repro.xag.bitsim import SimulationCache
 
 #: suite name → registry loader.
@@ -76,10 +78,13 @@ class EngineConfig:
     groups: Optional[Sequence[str]] = None
     cut_size: int = 6
     cut_limit: int = 12
-    #: rewriting cost model: "mc" (the paper's objective), "size" (total
-    #: gates) or "mc-depth" (AND count, then multiplicative depth; runs the
-    #: balance → rewrite → balance depth flow).
-    objective: str = "mc"
+    #: rewriting cost model: any registered name — "mc" (the paper's
+    #: objective), "size" (total gates), "mc-depth" (AND count, then
+    #: multiplicative depth), "fhe" (weighted noise budget, depth first) or
+    #: a plugin registered via
+    #: :func:`repro.rewriting.cost.register_cost_model`.  Depth-aware models
+    #: run the balance → guarded-rewrite depth flow.
+    objective: Union[str, CostModel] = "mc"
     #: custom flow script (see :func:`repro.rewriting.pipeline.parse_flow`);
     #: overrides the canonical pipeline that ``objective`` /
     #: ``size_baseline`` / ``max_rounds`` would select — round caps then
@@ -123,6 +128,14 @@ class CircuitReport(FlowSummary):
     #: multiplicative depth of the initial / final network.
     depth_before: int = 0
     depth_after: int = 0
+    #: name of the cost model that priced the run, and its scalar metric
+    #: (:meth:`repro.rewriting.cost.CostModel.metric`) before / after.
+    cost_model: str = "mc"
+    cost_before: int = 0
+    cost_after: int = 0
+    #: whether the final depth fits the model's level budget (``None`` when
+    #: the model declares no cap).
+    within_budget: Optional[bool] = None
     rounds: List[RoundStats] = field(default_factory=list)
     build_seconds: float = 0.0
     baseline_seconds: float = 0.0
@@ -192,10 +205,20 @@ class BatchReport:
         return [report for report in self.reports if report.error is not None]
 
     def render(self) -> str:
-        """Human-readable batch table plus cache summary."""
+        """Human-readable batch table plus cache summary.
+
+        Cost models whose metric is not the plain AND count (size, fhe, …)
+        contribute an extra before/after column pair labelled with their
+        :attr:`~repro.rewriting.cost.CostModel.metric_name`; a final cost
+        marked ``!`` busts the model's level budget.
+        """
+        model = cost_model(self.config.objective)
+        cost_columns = model.metric_name != "ANDs"
+        cost_header = (f" {model.metric_name + '0':>8} {model.metric_name:>8}"
+                       if cost_columns else "")
         header = (f"{'Name':<20} {'Grp':<6} {'In':>5} {'Out':>5} | "
                   f"{'AND0':>7} {'AND':>7} {'impr':>6} "
-                  f"{'D0':>4} {'D':>4} {'rnds':>5} | "
+                  f"{'D0':>4} {'D':>4} {'rnds':>5}{cost_header} | "
                   f"{'build':>7} {'1rnd':>7} {'conv':>7} {'verify':>7} {'ok':>3}")
         lines = [header, "-" * len(header)]
         for report in self.reports:
@@ -204,12 +227,18 @@ class BatchReport:
                 continue
             stages = report.stage_timings()
             verified = {True: "yes", False: "NO", None: "-"}[report.verified]
+            cost_cells = ""
+            if cost_columns:
+                final_cost = (f"{report.cost_after}!"
+                              if report.within_budget is False
+                              else f"{report.cost_after}")
+                cost_cells = f" {report.cost_before:>8} {final_cost:>8}"
             lines.append(
                 f"{report.name:<20} {report.group:<6} {report.num_pis:>5} {report.num_pos:>5} | "
                 f"{report.ands_before:>7} {report.ands_after:>7} "
                 f"{round(100 * report.and_improvement):>5}% "
                 f"{report.depth_before:>4} {report.depth_after:>4} "
-                f"{len(report.rounds):>5} | "
+                f"{len(report.rounds):>5}{cost_cells} | "
                 f"{report.build_seconds:>7.2f} {stages['one_round']:>7.2f} "
                 f"{stages['convergence']:>7.2f} {stages['verify']:>7.2f} {verified:>3}")
         lines.append("-" * len(header))
@@ -224,8 +253,8 @@ class BatchReport:
         jobs_note = f" [{self.jobs} jobs]" if self.jobs > 1 else ""
         warm_note = " [warm start]" if self.warm_start_loaded else ""
         mode_note = "" if self.config.in_place else " [rebuild]"
-        if self.config.objective != "mc":
-            mode_note += f" [{self.config.objective}]"
+        if model.name != "mc":
+            mode_note += f" [{model.name}]"
         if self.config.flow is not None:
             mode_note += f" [flow: {self.config.flow}]"
         lines.append(
@@ -295,6 +324,19 @@ def build_pipeline(config: EngineConfig) -> List[Pass]:
                          max_rounds=config.max_rounds)
 
 
+def resolved_flow(config: EngineConfig) -> str:
+    """The flow script the configuration actually runs.
+
+    A custom ``config.flow`` is returned verbatim (minus ``size_baseline``
+    injection, which :func:`build_pipeline` documents); otherwise the
+    canonical pipeline of the cost model is serialised back to a script so
+    reports can state what ran instead of ``null``.
+    """
+    if config.flow is not None:
+        return config.flow
+    return flow_script(build_pipeline(config))
+
+
 def run_circuit(case: BenchmarkCase, config: EngineConfig,
                 database: Optional[McDatabase] = None,
                 cut_cache: Optional[CutFunctionCache] = None,
@@ -311,6 +353,8 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
     cut_cache = CutFunctionCache.ensure(cut_cache, database)
     sim_cache = sim_cache if sim_cache is not None else SimulationCache()
     try:
+        model = cost_model(config.objective)
+        report.cost_model = model.name
         passes = build_pipeline(config)
         build_start = time.perf_counter()
         xag = case.build(full_scale=config.full_scale)
@@ -322,10 +366,12 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
         params = RewriteParams(cut_size=config.cut_size, cut_limit=config.cut_limit,
                                objective=config.objective, verify=verify,
                                in_place=config.in_place)
-        if contains_depth_guard(passes):
-            # guarded rounds decide in place; --rebuild replays the in-place
-            # trajectory with per-round out-of-place cross-checks instead of
-            # forking a second trajectory (see RewriteParams.ab_check).
+        if contains_depth_guard(passes) or not flow_mode_comparable(passes):
+            # guarded rounds — and rounds priced by a depth-aware model —
+            # decide in place against maintained levels; --rebuild replays
+            # the in-place trajectory with per-round out-of-place
+            # cross-checks instead of forking a second trajectory (see
+            # RewriteParams.ab_check).
             params = replace(params, in_place=True,
                              ab_check=params.ab_check or not config.in_place)
 
@@ -339,6 +385,13 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
         report.xors_after = result.final.num_xors
         report.depth_before = result.depth_before
         report.depth_after = result.depth_after
+        report.cost_before = model.metric(report.ands_before,
+                                          report.xors_before,
+                                          report.depth_before)
+        report.cost_after = model.metric(report.ands_after,
+                                         report.xors_after,
+                                         report.depth_after)
+        report.within_budget = model.within_budget(report.depth_after)
         report.rounds = result.rounds
         report.baseline_seconds = result.stage_seconds("baseline")
         report.balance_seconds = result.stage_seconds("balance")
@@ -535,9 +588,7 @@ def run_batch(config: Optional[EngineConfig] = None,
     config = config if config is not None else EngineConfig()
     if config.jobs < 1:
         raise ValueError(f"jobs must be a positive integer (got {config.jobs})")
-    if config.objective not in OBJECTIVES:
-        raise ValueError(f"unknown objective {config.objective!r} "
-                         f"(available: {', '.join(OBJECTIVES)})")
+    cost_model(config.objective)  # fail fast with the registry's message
     if config.flow is not None:
         # fail fast on a bad script (per-circuit errors would repeat it)
         parse_flow(config.flow)

@@ -39,7 +39,9 @@ forked engine path.  This module replaces that with three orthogonal ideas:
              |  "guard" "(" rewrite-atom ")"      # discard depth-raising rounds
              |  atom
       atom   := name ["*" [N]]                    # one round / up to N / fixpoint
-      name   := "sweep" | "balance" | "baseline" | "mc" | "size" | "mc-depth"
+      name   := "sweep" | "balance" | "baseline"
+             |  <registered cost model>           # "mc", "size", "mc-depth",
+                                                  # "fhe", any plugin name
 
   A bare rewrite atom (``mc``) runs exactly one round; ``mc*`` repeats until
   the objective stops improving; ``mc*3`` caps at three rounds.  ``guard``
@@ -55,13 +57,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import astuple, dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.cuts.cache import CutFunctionCache
 from repro.cuts.enumeration import CutSetCache
 from repro.mc.database import McDatabase
-from repro.rewriting.rewrite import (OBJECTIVES, CutRewriter, RewriteParams,
-                                     RoundStats)
+from repro.rewriting.cost import (NAME_CHARS, CostModel, cost_model,
+                                  registered_cost_models)
+from repro.rewriting.rewrite import CutRewriter, RewriteParams, RoundStats
 from repro.xag.balance import BalanceStats, balance_in_place
 from repro.xag.bitsim import SimulationCache
 from repro.xag.cleanup import sweep, sweep_owned
@@ -226,10 +229,10 @@ class OptimizationContext:
         self._network: Optional[Xag] = None
         self._owned = False
         self._rewriters: Dict[tuple, CutRewriter] = {}
-        #: dirty seeds of the last rewrite round, and the objective that
+        #: dirty seeds of the last rewrite round, and the cost model that
         #: produced them (``None`` seeds = examine every gate).
         self.seeds: Optional[Set[int]] = None
-        self.seeds_objective: Optional[str] = None
+        self.seeds_objective: Optional[CostModel] = None
 
     # ------------------------------------------------------------------
     # working network
@@ -306,21 +309,22 @@ class OptimizationContext:
     # ------------------------------------------------------------------
     # worklist
     # ------------------------------------------------------------------
-    def take_seeds(self, objective: str) -> Optional[Set[int]]:
+    def take_seeds(self, objective: Union[str, CostModel]) -> Optional[Set[int]]:
         """Dirty seeds for a pass pricing ``objective`` (``None`` = all gates).
 
-        Seeds recorded under a different objective are not reusable: a node
-        rejected by the "mc" cost model may still hold a depth-only win for
-        "mc-depth", so an objective switch re-examines everything.
+        Seeds recorded under a different cost model are not reusable: a node
+        rejected by the "mc" model may still hold a depth-only win for
+        "mc-depth", so a model switch re-examines everything.
         """
-        if self.seeds_objective != objective:
+        if self.seeds_objective != cost_model(objective):
             return None
         return self.seeds
 
-    def set_seeds(self, seeds: Optional[Set[int]], objective: str) -> None:
+    def set_seeds(self, seeds: Optional[Set[int]],
+                  objective: Union[str, CostModel]) -> None:
         """Record the dirty seeds of the last executed round."""
         self.seeds = seeds
-        self.seeds_objective = objective
+        self.seeds_objective = cost_model(objective)
 
     def clear_seeds(self) -> None:
         """Force the next rewrite pass to examine every gate."""
@@ -457,27 +461,31 @@ class RewritePass(Pass):
 
     kind = "rewrite"
 
-    def __init__(self, objective: Optional[str] = None,
+    def __init__(self, objective: Optional[Union[str, CostModel]] = None,
                  max_rounds: Optional[int] = None,
                  name: Optional[str] = None) -> None:
-        if objective is not None and objective not in OBJECTIVES:
-            raise ValueError(f"unknown objective {objective!r} "
-                             f"(available: {', '.join(OBJECTIVES)})")
+        if objective is not None:
+            # resolve eagerly: an unknown name must fail at composition time
+            # (parse_flow, standard_flow), not rounds later
+            default_name = cost_model(objective).name
+        else:
+            default_name = "rewrite"
         self.objective = objective
         self.max_rounds = max_rounds
-        self.name = name if name is not None else (objective or "rewrite")
+        self.name = name if name is not None else default_name
 
     def resolved_params(self, ctx: OptimizationContext) -> RewriteParams:
-        """The context's parameters with this pass's objective applied."""
+        """The context's parameters with this pass's cost model applied."""
         params = ctx.params
-        if self.objective is not None and self.objective != params.objective:
+        if self.objective is not None and \
+                cost_model(self.objective) != cost_model(params.objective):
             params = replace(params, objective=self.objective)
         return params
 
     def run(self, ctx: OptimizationContext) -> PassResult:
         start = time.perf_counter()
         params = self.resolved_params(ctx)
-        result = self.begin(ctx, objective=params.objective)
+        result = self.begin(ctx, objective=cost_model(params.objective).name)
         if params.in_place:
             _drain_worklist(ctx, params, result, self.max_rounds)
         else:
@@ -622,7 +630,7 @@ class DepthGuard(Pass):
         if not params.in_place:
             # discarding a round needs the snapshot/restore machinery
             params = replace(params, in_place=True)
-        result = self.begin(ctx, objective=params.objective)
+        result = self.begin(ctx, objective=cost_model(params.objective).name)
         _drain_worklist(ctx, params, result, self.inner.max_rounds,
                         guard_level=ctx.critical_level())
         return self.complete(ctx, result, start)
@@ -757,27 +765,29 @@ def run_pipeline(xag: Xag, passes: Sequence[Pass],
                           runtime_seconds=time.perf_counter() - start)
 
 
-def standard_flow(objective: str = "mc", size_baseline: bool = False,
+def standard_flow(objective: Union[str, CostModel] = "mc",
+                  size_baseline: bool = False,
                   max_rounds: Optional[int] = None,
                   max_iterations: int = 8) -> List[Pass]:
-    """The canonical pipeline for an objective (what the engine runs).
+    """The canonical pipeline for a cost model (what the engine runs).
 
-    ``"mc"`` / ``"size"`` build the paper pipeline — one round, then repeat
-    until convergence (``max_rounds`` caps the total) — while ``"mc-depth"``
-    builds the depth flow: balance → depth-guarded mc rounds → mc-depth
-    rewriting, iterated to an ``(ANDs, depth)`` fixpoint.  Flow-script
-    equivalents: ``"mc,mc*"`` and ``"repeat:8(balance,guard(mc*),mc-depth*)"``.
+    Mode-comparable models ("mc", "size", …) build the paper pipeline — one
+    round, then repeat until convergence (``max_rounds`` caps the total) —
+    while depth-aware models ("mc-depth", "fhe", …) build the depth flow:
+    balance → depth-guarded mc rounds → objective rewriting, iterated to an
+    ``(ANDs, depth)`` fixpoint.  Flow-script equivalents: ``"mc,mc*"`` and
+    ``"repeat:8(balance,guard(mc*),mc-depth*)"``.
     """
-    if objective not in OBJECTIVES:
-        raise ValueError(f"unknown objective {objective!r} "
-                         f"(available: {', '.join(OBJECTIVES)})")
+    model = cost_model(objective)
     passes: List[Pass] = [SizeBaselinePass()] if size_baseline else []
-    if objective == "mc-depth":
+    if model.depth_aware:
+        flow_name = "depth-flow" if model.name == "mc-depth" \
+            else f"{model.name}-flow"
         passes.append(Repeat(
             [BalancePass(),
              DepthGuard(RewritePass("mc", max_rounds=max_rounds)),
-             RewritePass("mc-depth", max_rounds=max_rounds, name="mc-depth")],
-            max_iterations=max_iterations, name="depth-flow"))
+             RewritePass(objective, max_rounds=max_rounds, name=model.name)],
+            max_iterations=max_iterations, name=flow_name))
         return passes
     passes.append(RewritePass(objective, max_rounds=1, name="one-round"))
     conv_cap = None if max_rounds is None else max(0, max_rounds - 1)
@@ -819,7 +829,9 @@ _STRUCTURAL_STEPS = {
     "balance": BalancePass,
     "baseline": SizeBaselinePass,
 }
-_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyz0123456789-_")
+#: atom alphabet — shared with the cost-model registry, so every registered
+#: model name tokenises as a flow step.
+_NAME_CHARS = NAME_CHARS
 
 
 class _FlowParser:
@@ -897,7 +909,8 @@ class _FlowParser:
                 self.fail(f"{name} does not take rounds "
                           "(* applies to rewrite steps)")
             return _STRUCTURAL_STEPS[name]()
-        if name in OBJECTIVES:
+        models = registered_cost_models()
+        if name in models:
             max_rounds: Optional[int] = 1
             if self.peek() == "*":
                 self.take("*")
@@ -907,9 +920,10 @@ class _FlowParser:
                     if max_rounds < 1:
                         self.fail("round cap must be at least 1")
             return RewritePass(name, max_rounds=max_rounds)
-        self.fail(f"unknown step {name!r} (steps: "
-                  f"{', '.join(sorted(_STRUCTURAL_STEPS))}, "
-                  f"{', '.join(OBJECTIVES)}, repeat(...), guard(...))")
+        self.fail(f"unknown step {name!r} (pass atoms: "
+                  f"{', '.join(sorted(_STRUCTURAL_STEPS))}; "
+                  f"registered cost models: {', '.join(sorted(models))}; "
+                  "combinators: repeat(...), guard(...))")
         raise AssertionError("unreachable")
 
     def parse(self) -> List[Pass]:
@@ -930,6 +944,78 @@ def parse_flow(script: str) -> List[Pass]:
         parse_flow("balance,mc*,mc-depth*")                # one depth sweep
         parse_flow("repeat:8(balance,guard(mc*),mc-depth*)")  # the depth flow
 
-    Raises :class:`ValueError` with a position-annotated message on errors.
+    Rewrite atoms resolve against the cost-model registry, so a freshly
+    registered model (``register_cost_model(GarbledCircuitCost())``) is a
+    flow atom immediately.  Raises :class:`ValueError` with a
+    position-annotated message on errors; unknown atoms list the structural
+    steps and every registered cost model.
     """
     return _FlowParser(script).parse()
+
+
+def _step_script(pass_: Pass) -> str:
+    if isinstance(pass_, Repeat):
+        return (f"repeat:{pass_.max_iterations}"
+                f"({flow_script(pass_.passes)})")
+    if isinstance(pass_, DepthGuard):
+        return f"guard({_step_script(pass_.inner)})"
+    if isinstance(pass_, RewritePass):
+        if pass_.objective is None:
+            raise ValueError(
+                f"cannot serialise rewrite pass {pass_.name!r}: it inherits "
+                "its cost model from the context parameters, which a flow "
+                "script cannot express")
+        atom = cost_model(pass_.objective).name
+        if pass_.max_rounds == 1:
+            return atom
+        if pass_.max_rounds is None:
+            return atom + "*"
+        return f"{atom}*{pass_.max_rounds}"
+    for name, step_type in _STRUCTURAL_STEPS.items():
+        if isinstance(pass_, step_type):
+            return name
+    raise ValueError(f"cannot serialise pass {type(pass_).__name__} "
+                     "to a flow script")
+
+
+def flow_script(passes: Sequence[Pass]) -> str:
+    """Serialise a pipeline back to flow-script text (:func:`parse_flow`'s
+    inverse).
+
+    Every pipeline the engine builds — parsed scripts and the canonical
+    ``standard_flow`` alike — round-trips; the engine uses this to report
+    the *resolved* flow in its JSON payload even when no ``--flow`` was
+    given.  Structural steps serialise by name (constructor arguments such
+    as a custom baseline round cap are not part of the grammar and are
+    dropped); pipelines containing passes outside the grammar raise
+    :class:`ValueError`.
+    """
+    return ",".join(_step_script(pass_) for pass_ in passes)
+
+
+def flow_mode_comparable(passes: Sequence[Pass]) -> bool:
+    """True when every (nested) rewrite pass prices a mode-comparable model.
+
+    Mode-comparable flows reach identical metrics under independent in-place
+    and rebuild trajectories, so the differential harness compares them
+    directly.  A flow with any depth-aware (non-mode-comparable) rewrite
+    step decides rounds against maintained levels of one persistent network;
+    its rebuild mode must replay the in-place trajectory with per-round A/B
+    cross-checks instead — exactly like flows containing a
+    :class:`DepthGuard` (see :func:`contains_depth_guard`).  Rewrite passes
+    without an explicit objective inherit the context's model and are
+    treated as comparable here; the engine resolves those against its
+    configured cost model before deciding the execution mode.
+    """
+    for pass_ in passes:
+        if isinstance(pass_, RewritePass):
+            if pass_.objective is not None and \
+                    not cost_model(pass_.objective).mode_comparable:
+                return False
+        elif isinstance(pass_, DepthGuard):
+            if not flow_mode_comparable([pass_.inner]):
+                return False
+        elif isinstance(pass_, Repeat):
+            if not flow_mode_comparable(pass_.passes):
+                return False
+    return True

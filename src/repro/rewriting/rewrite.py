@@ -28,28 +28,28 @@ best positive-gain candidate of each node is recorded.
   a node with a selected candidate is re-implemented on top of its cut
   leaves; all other gates are copied; the result is swept.
 
-The ``objective`` parameter switches the cost model between the paper's
-AND-count objective (``"mc"``), a unit-cost total-gate objective used as the
-generic size-optimisation baseline (``"size"``), and the depth-aware
-``"mc-depth"`` objective: candidates are priced lexicographically by AND
-gain, then by the AND-level gain at the cut root (computed against the
-maintained levels of :class:`repro.xag.levels.LevelTracker`), and any
-replacement that would *raise* the root's AND-level is refused — so no node
-level, and in particular the critical AND-level (multiplicative depth), can
-ever increase.
+The ``objective`` parameter selects the :class:`~repro.rewriting.cost.CostModel`
+that prices candidates, vetoes replacements and decides round convergence —
+either a registered name (``"mc"``, ``"size"``, ``"mc-depth"``, ``"fhe"``,
+…) or a model instance injected directly.  Depth-aware models price the
+AND-level gain at the cut root against the maintained levels of
+:class:`repro.xag.levels.LevelTracker` and can refuse any replacement that
+would *raise* the root's AND-level — so no node level, and in particular
+the critical AND-level (multiplicative depth), can ever increase.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.cuts.cache import CutFunctionCache
 from repro.cuts.cut import Cut
 from repro.cuts.enumeration import CutSetCache, cut_cone
 from repro.cuts.mffc import mffc
 from repro.mc.database import ImplementationPlan, McDatabase
+from repro.rewriting.cost import CostModel, cost_model
 from repro.rewriting.insert import insert_plan
 from repro.xag.bitsim import SimulationCache
 from repro.xag.cleanup import sweep, sweep_owned
@@ -58,7 +58,9 @@ from repro.xag.equivalence import equivalence_stimulus, equivalent
 from repro.xag.graph import Xag, lit_node, literal
 from repro.xag.levels import LevelCache, LevelTracker
 
-#: cost models understood by :class:`CutRewriter` (see the module docstring).
+#: the original built-in objectives, kept for backwards compatibility; the
+#: registry (:func:`repro.rewriting.cost.registered_cost_models`) is the
+#: authoritative list — it also holds "fhe" and any user-registered model.
 OBJECTIVES = ("mc", "size", "mc-depth")
 
 
@@ -71,11 +73,12 @@ class RewriteParams:
     cut_size: int = 6
     #: maximum number of cuts stored per node (paper value: 12).
     cut_limit: int = 12
-    #: "mc" minimises AND gates first (the paper's objective); "size"
-    #: minimises total gates (the generic baseline objective); "mc-depth"
-    #: minimises AND gates, then the root AND-level, and refuses any
-    #: replacement that would deepen a node's AND-level.
-    objective: str = "mc"
+    #: the cost model pricing this pass: a registered name ("mc" minimises
+    #: AND gates — the paper's objective; "size" minimises total gates;
+    #: "mc-depth" minimises AND gates then the root AND-level and never
+    #: deepens; "fhe" minimises the weighted noise budget, depth first) or a
+    #: :class:`~repro.rewriting.cost.CostModel` instance injected directly.
+    objective: Union[str, CostModel] = "mc"
     #: also accept replacements with zero AND gain but a positive total-gate
     #: gain (reduces XOR overhead without ever increasing the AND count).
     allow_zero_gain: bool = False
@@ -97,6 +100,11 @@ class RewriteParams:
     #: ``--rebuild`` — see :func:`repro.rewriting.flow.depth_flow`.
     ab_check: bool = False
 
+    @property
+    def cost(self) -> CostModel:
+        """The resolved cost model (raises ``ValueError`` for unknown names)."""
+        return cost_model(self.objective)
+
 
 @dataclass
 class Candidate:
@@ -106,9 +114,12 @@ class Candidate:
     plan: ImplementationPlan
     gain_ands: int
     gain_gates: int
-    #: reduction of the root's AND-level (only priced under "mc-depth";
-    #: negative values mean the replacement would deepen the root).
+    #: reduction of the root's AND-level (only priced by depth-aware cost
+    #: models; negative values mean the replacement would deepen the root).
     gain_depth: int = 0
+    #: the root's current AND-level (depth-aware models only — lets a veto
+    #: reason about absolute level budgets, not just the gain).
+    root_level: int = 0
 
 
 @dataclass
@@ -133,8 +144,12 @@ class RoundStats:
     verified: Optional[bool] = None
     #: application strategy of this round ("in_place" or "rebuild").
     mode: str = "rebuild"
-    #: cost model the round was priced under (see :data:`OBJECTIVES`).
+    #: name of the cost model the round was priced under.
     objective: str = "mc"
+    #: the cost model's own verdict on this round, recorded by the rewriter
+    #: (``None`` for hand-built stats — :attr:`made_progress` then resolves
+    #: the model by name).
+    progress: Optional[bool] = None
     #: multiplicative depth before/after (tracked for "mc-depth" rounds).
     depth_before: int = 0
     depth_after: int = 0
@@ -160,21 +175,24 @@ class RoundStats:
 
     @property
     def made_progress(self) -> bool:
-        """True when the round improved its objective's cost.
+        """True when the round improved its cost model's objective.
 
-        ``"mc"`` counts AND gates, ``"size"`` counts all gates, and
-        ``"mc-depth"`` counts a round as progress when it reduced the AND
-        count *or* the multiplicative depth — convergence loops use this
-        instead of comparing AND counts directly, so depth-only rounds are
-        not discarded.
+        The verdict is the cost model's
+        :meth:`~repro.rewriting.cost.CostModel.made_progress` — "mc" counts
+        AND gates, "size" counts all gates, "mc-depth" counts AND count *or*
+        multiplicative depth, "fhe" its weighted noise score.  Convergence
+        loops use this instead of comparing AND counts directly, so (e.g.)
+        depth-only rounds are not discarded.  Rounds executed by the
+        rewriter carry the verdict in :attr:`progress`; stats built by hand
+        resolve the model from :attr:`objective`.
         """
-        if self.objective == "size":
-            return (self.ands_after + self.xors_after
-                    < self.ands_before + self.xors_before)
-        if self.objective == "mc-depth":
-            return (self.ands_after < self.ands_before
-                    or self.depth_after < self.depth_before)
-        return self.ands_after < self.ands_before
+        if self.progress is not None:
+            return self.progress
+        try:
+            model = cost_model(self.objective)
+        except ValueError:
+            return self.ands_after < self.ands_before
+        return model.made_progress(self)
 
 
 class CutRewriter:
@@ -215,10 +233,15 @@ class CutRewriter:
         """Level tracker bound to ``xag`` (rebound when the network changes)."""
         return self._level_cache.tracker(xag)
 
-    def _check_objective(self) -> None:
-        if self.params.objective not in OBJECTIVES:
-            raise ValueError(f"unknown objective {self.params.objective!r} "
-                             f"(available: {', '.join(OBJECTIVES)})")
+    def _model(self) -> CostModel:
+        """The resolved cost model.
+
+        Resolution is deliberately lazy — at rewrite time, not construction
+        — so a :class:`CutRewriter` can be built before the model (or a
+        late-registered plugin) exists; an unknown name raises the
+        registry's descriptive ``ValueError`` here.
+        """
+        return cost_model(self.params.objective)
 
     # ------------------------------------------------------------------
     def rewrite(self, xag: Xag) -> Tuple[Xag, RoundStats]:
@@ -229,7 +252,7 @@ class CutRewriter:
         :meth:`rewrite_in_place` directly to keep one network identity — and
         its observer-maintained caches — alive across rounds).
         """
-        self._check_objective()
+        self._model()
         if not self.params.in_place:
             return self._rewrite_rebuild(xag)
         working = sweep_owned(xag)
@@ -239,10 +262,11 @@ class CutRewriter:
 
     def _rewrite_rebuild(self, xag: Xag) -> Tuple[Xag, RoundStats]:
         """Out-of-place round: select, reconstruct, sweep, verify."""
+        model = self._model()
         stats = RoundStats(ands_before=xag.num_ands, xors_before=xag.num_xors,
-                           mode="rebuild", objective=self.params.objective)
+                           mode="rebuild", objective=model.name)
         start = time.perf_counter()
-        if self.params.objective == "mc-depth":
+        if model.depth_aware:
             stats.depth_before = multiplicative_depth(xag)
 
         selections = self._select_candidates(xag, stats)
@@ -253,8 +277,9 @@ class CutRewriter:
 
         stats.ands_after = result.num_ands
         stats.xors_after = result.num_xors
-        if self.params.objective == "mc-depth":
+        if model.depth_aware:
             stats.depth_after = multiplicative_depth(result)
+        stats.progress = model.made_progress(stats)
         if self.params.verify:
             verify_start = time.perf_counter()
             stats.verified = equivalent(xag, result, sim_cache=self.sim_cache)
@@ -285,12 +310,12 @@ class CutRewriter:
         for empty rounds); the convergence loop uses it to discard a final
         round that brought no AND reduction, mirroring the rebuild loop.
         """
-        self._check_objective()
+        model = self._model()
         stats = RoundStats(ands_before=xag.num_ands, xors_before=xag.num_xors,
-                           mode="in_place", objective=self.params.objective,
+                           mode="in_place", objective=model.name,
                            worklist_size=len(worklist) if worklist is not None else 0)
         start = time.perf_counter()
-        if self.params.objective == "mc-depth":
+        if model.depth_aware:
             stats.depth_before = self._levels(xag).critical_level()
 
         sim = None
@@ -317,8 +342,9 @@ class CutRewriter:
 
         stats.ands_after = xag.num_ands
         stats.xors_after = xag.num_xors
-        if self.params.objective == "mc-depth":
+        if model.depth_aware:
             stats.depth_after = self._levels(xag).critical_level()
+        stats.progress = model.made_progress(stats)
         if self.params.verify:
             verify_start = time.perf_counter()
             assert sim is not None and po_before is not None
@@ -351,7 +377,7 @@ class CutRewriter:
             raise AssertionError(
                 "A/B check: out-of-place application increased the AND count "
                 f"({live_ands} -> {rebuilt.num_ands})")
-        if self.params.objective == "mc-depth":
+        if self._model().depth_aware:
             critical = self._levels(xag).critical_level()
             rebuilt_depth = multiplicative_depth(rebuilt)
             if rebuilt_depth > critical:
@@ -366,6 +392,7 @@ class CutRewriter:
     def _select_candidates(self, xag: Xag, stats: RoundStats,
                            worklist: Optional[Set[int]] = None) -> Dict[int, Candidate]:
         params = self.params
+        model = self._model()
         cuts = self.cut_sets.cuts(xag)
         selections: Dict[int, Candidate] = {}
         cache = self.cut_cache
@@ -373,8 +400,13 @@ class CutRewriter:
         function_hits_before = cache.function_hits
         plan_hits_before = cache.plan_hits
         plan_misses_before = cache.plan_misses
-        depth_aware = params.objective == "mc-depth"
+        depth_aware = model.depth_aware
         node_levels = self._levels(xag).levels() if depth_aware else None
+        # both pre-filters run before the plan lookup: they save database
+        # traffic, not just a comparison, so the cache statistics depend on
+        # the model honouring them consistently.
+        skip_zero_saving = model.skip_zero_saving(params.allow_zero_gain)
+        allow_zero_gain = params.allow_zero_gain
 
         for node in xag.gates():
             if worklist is not None and node not in worklist:
@@ -385,23 +417,24 @@ class CutRewriter:
             stats.nodes_considered += 1
             node_mffc = None
             best: Optional[Candidate] = None
+            best_key: Optional[Tuple[int, ...]] = None
 
             for cut in node_cuts:
                 if cut.size < 2 or cut.size > params.cut_size or node in cut.leaves:
                     continue
                 interior = cut_cone(xag, node, cut.leaves)
                 interior_ands = [n for n in interior if xag.is_and(n)]
-                if not interior_ands and params.objective != "size":
-                    # AND-free cones have nothing to offer either AND-count
+                if not interior_ands and not model.examine_and_free_cones:
+                    # AND-free cones have nothing to offer an AND-count
                     # objective (XOR gates are depth-transparent too).
                     continue
                 if node_mffc is None:
                     node_mffc = mffc(xag, node)
                 saved_ands = sum(1 for n in interior_ands if n in node_mffc)
                 saved_gates = sum(1 for n in interior if n in node_mffc)
-                if params.objective == "mc" and saved_ands == 0 and not params.allow_zero_gain:
-                    # "mc-depth" keeps zero-AND-gain candidates: they may
-                    # still lower the root's AND-level.
+                if skip_zero_saving and saved_ands == 0:
+                    # depth-aware models keep zero-AND-saving candidates:
+                    # they may still lower the root's AND-level.
                     continue
 
                 table = cache.cone_function(xag, node, cut.leaves, interior)
@@ -413,18 +446,22 @@ class CutRewriter:
                 gain_ands = saved_ands - cost_ands
                 gain_gates = saved_gates - cost_gates
                 gain_depth = 0
+                root_level = 0
                 if depth_aware:
                     assert node_levels is not None
+                    root_level = node_levels[node]
                     leaf_levels = [node_levels[leaf] for leaf in cut.leaves]
-                    gain_depth = node_levels[node] - \
+                    gain_depth = root_level - \
                         self._plan_and_level(plan, leaf_levels)
                 candidate = Candidate(cut, plan, gain_ands, gain_gates,
-                                      gain_depth)
+                                      gain_depth, root_level)
 
-                if not self._acceptable(candidate):
+                if not model.acceptable(candidate, allow_zero_gain):
                     continue
-                if best is None or self._better(candidate, best):
+                key = model.key(candidate)
+                if best_key is None or key > best_key:
                     best = candidate
+                    best_key = key
 
             if best is not None:
                 selections[node] = best
@@ -433,44 +470,6 @@ class CutRewriter:
         stats.plan_cache_hits = cache.plan_hits - plan_hits_before
         stats.plan_cache_misses = cache.plan_misses - plan_misses_before
         return selections
-
-    def _acceptable(self, candidate: Candidate) -> bool:
-        if self.params.objective == "mc":
-            if candidate.gain_ands > 0:
-                return True
-            return (self.params.allow_zero_gain and candidate.gain_ands == 0
-                    and candidate.gain_gates > 0)
-        if self.params.objective == "mc-depth":
-            # a replacement whose estimated root level exceeds the current
-            # one is refused outright: since the estimate upper-bounds the
-            # built level and leaf levels only ever decrease during a round,
-            # no node level — hence no critical AND-level — can increase.
-            if candidate.gain_depth < 0:
-                return False
-            if candidate.gain_ands > 0:
-                return True
-            if candidate.gain_ands < 0:
-                return False
-            if candidate.gain_depth > 0:
-                return True
-            return self.params.allow_zero_gain and candidate.gain_gates > 0
-        # size objective: unit cost over all gates, never allow AND regressions
-        # beyond what the gate gain justifies.
-        return candidate.gain_gates > 0
-
-    def _better(self, candidate: Candidate, incumbent: Candidate) -> bool:
-        if self.params.objective == "mc":
-            key = (candidate.gain_ands, candidate.gain_gates)
-            incumbent_key = (incumbent.gain_ands, incumbent.gain_gates)
-        elif self.params.objective == "mc-depth":
-            key = (candidate.gain_ands, candidate.gain_depth,
-                   candidate.gain_gates)
-            incumbent_key = (incumbent.gain_ands, incumbent.gain_depth,
-                             incumbent.gain_gates)
-        else:
-            key = (candidate.gain_gates, candidate.gain_ands)
-            incumbent_key = (incumbent.gain_gates, incumbent.gain_ands)
-        return key > incumbent_key
 
     @staticmethod
     def _plan_and_level(plan: ImplementationPlan,

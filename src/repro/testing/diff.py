@@ -15,10 +15,13 @@ For every seeded random XAG the same flow script (see
 Checks per seed: every mode's result must stay functionally equivalent to
 the untouched input (fresh packed simulation — never through the shared
 simulation cache), must not increase the AND count, must report verified
-rounds, the in-place and fresh trajectories must agree exactly on
-(ANDs, XORs, multiplicative depth), and — for flows without an "mc-depth"
-rewriting step, whose two application orders legitimately drift — the
-rebuild trajectory must match as well.
+rounds, and the in-place, fresh and rebuild trajectories must agree
+exactly on (ANDs, XORs, multiplicative depth).  Mode-comparable flows
+(see :func:`repro.rewriting.pipeline.flow_mode_comparable`) reach that
+agreement through genuinely independent in-place/rebuild runs; flows with
+a depth-aware cost model or a depth guard replay the in-place trajectory
+under per-round A/B cross-checks, so their agreement validates the replay
+path instead.
 
 A failing seed is shrunk (:func:`repro.testing.shrink.shrink_xag`) to a
 minimal reproducer and written to disk as validated JSON; ``--replay FILE``
@@ -28,6 +31,9 @@ CLI::
 
     python -m repro.testing.diff --seeds 25 --time-budget 300 \
         --flow "balance,mc*,mc-depth*"
+
+    # canonical differential flow of every registered cost model
+    python -m repro.testing.diff --seeds 10 --cost all
 """
 
 from __future__ import annotations
@@ -44,8 +50,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cuts.cache import CutFunctionCache
 from repro.mc.database import McDatabase
-from repro.rewriting.pipeline import (DepthGuard, Pass, Repeat, RewritePass,
-                                      contains_depth_guard, parse_flow,
+from repro.rewriting.cost import cost_model, registered_cost_models
+from repro.rewriting.pipeline import (contains_depth_guard,
+                                      flow_mode_comparable, parse_flow,
                                       run_pipeline)
 from repro.rewriting.rewrite import RewriteParams
 from repro.testing.generate import random_xag
@@ -144,18 +151,17 @@ def generator_knobs(seed: int) -> Dict[str, object]:
     }
 
 
-def _contains_objective(passes: Sequence[Pass], objective: str) -> bool:
-    """True when any (nested) rewrite pass runs under ``objective``."""
-    for pass_ in passes:
-        if isinstance(pass_, RewritePass) and pass_.objective == objective:
-            return True
-        if isinstance(pass_, Repeat) and \
-                _contains_objective(pass_.passes, objective):
-            return True
-        if isinstance(pass_, DepthGuard) and \
-                _contains_objective([pass_.inner], objective):
-            return True
-    return False
+def cost_model_flow(name: str) -> str:
+    """Canonical differential flow script of one registered cost model.
+
+    Mirrors :func:`repro.rewriting.pipeline.standard_flow`: mode-comparable
+    models run one round then converge; depth-aware models run the balance +
+    guarded-mc + model-convergence script of the depth flow.
+    """
+    model = cost_model(name)
+    if model.depth_aware:
+        return f"balance,guard(mc*),{model.name}*"
+    return f"{model.name},{model.name}*"
 
 
 def _run_mode(xag: Xag, flow: str, in_place: bool,
@@ -165,10 +171,12 @@ def _run_mode(xag: Xag, flow: str, in_place: bool,
     passes = parse_flow(flow)
     params = RewriteParams(cut_size=cut_size, cut_limit=cut_limit,
                            verify=True, in_place=in_place)
-    if contains_depth_guard(passes) and not in_place:
-        # guarded rounds decide in place; the rebuild mode replays the
-        # trajectory with per-round out-of-place cross-checks, exactly like
-        # repro.engine.core.run_circuit under --rebuild.
+    if not in_place and (contains_depth_guard(passes) or
+                         not flow_mode_comparable(passes)):
+        # guarded rounds and depth-aware cost models decide in place; the
+        # rebuild mode replays the trajectory with per-round out-of-place
+        # cross-checks, exactly like repro.engine.core.run_circuit under
+        # --rebuild.
         params = RewriteParams(cut_size=cut_size, cut_limit=cut_limit,
                                verify=True, in_place=True, ab_check=True)
     return run_pipeline(xag, passes, database=database, params=params,
@@ -238,14 +246,19 @@ def check_modes(xag: Xag, flow: str,
                 f"depend on accumulated cache state")
 
     rebuild_result = results.get("rebuild")
-    comparable = not _contains_objective(parse_flow(flow), "mc-depth")
-    if comparable and in_place_result is not None and rebuild_result is not None:
+    if in_place_result is not None and rebuild_result is not None:
+        # mode-comparable flows reach the same metrics via independent
+        # trajectories; depth-aware/guarded flows via the A/B replay path —
+        # either way a mismatch is a finding, only its meaning differs.
+        comparable = flow_mode_comparable(parse_flow(flow))
         in_place_metrics = _metrics(in_place_result.final)
         rebuild_metrics = _metrics(rebuild_result.final)
         if in_place_metrics != rebuild_metrics:
+            kind = ("a mode-comparable flow" if comparable
+                    else "the A/B replay path of a depth-aware flow")
             failures.append(
                 f"in-place vs rebuild mismatch: {in_place_metrics} vs "
-                f"{rebuild_metrics} on a mode-comparable flow")
+                f"{rebuild_metrics} on {kind}")
     return failures
 
 
@@ -366,6 +379,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="flow script to check (repeatable; default: "
                              + " and ".join(repr(flow) for flow in DEFAULT_FLOWS)
                              + ")")
+    parser.add_argument("--cost", action="append", default=None,
+                        metavar="MODEL",
+                        help="check the canonical differential flow of a "
+                             "registered cost model (repeatable; 'all' "
+                             "expands to every registered model); combines "
+                             "with --flow")
     parser.add_argument("--num-random-words", type=int, default=16,
                         help="packed 64-bit words per PI for the oracle "
                              "stimulus (default: 16)")
@@ -395,8 +414,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.seeds < 1:
         parser.error("--seeds must be at least 1")
+    flows: List[str] = list(args.flow) if args.flow else []
+    if args.cost:
+        names = list(args.cost)
+        if "all" in names:
+            names = [name for name in names if name != "all"]
+            names.extend(sorted(registered_cost_models()))
+        try:
+            for name in names:
+                script = cost_model_flow(name)
+                if script not in flows:
+                    flows.append(script)
+        except ValueError as error:
+            parser.error(str(error))
     config = DiffConfig(
-        flows=tuple(args.flow) if args.flow else DEFAULT_FLOWS,
+        flows=tuple(flows) if flows else DEFAULT_FLOWS,
         seeds=args.seeds,
         seed_start=args.seed_start,
         time_budget=args.time_budget,

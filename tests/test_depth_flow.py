@@ -199,7 +199,7 @@ def test_mc_depth_objective_never_deepens(seeded_circuits=(3, 7, 11)):
 
 
 def test_mc_depth_rejects_unknown_objective_still():
-    with pytest.raises(ValueError, match="unknown objective"):
+    with pytest.raises(ValueError, match="unknown cost model"):
         CutRewriter(params=RewriteParams(objective="fast")).rewrite(
             C.int_to_float())
 

@@ -280,7 +280,7 @@ def test_cli_objective_plumbs_into_config():
 
 
 def test_run_batch_rejects_unknown_objective():
-    with pytest.raises(ValueError, match="unknown objective"):
+    with pytest.raises(ValueError, match="unknown cost model"):
         run_batch(EngineConfig(circuits=["decoder"], objective="fast"))
 
 
