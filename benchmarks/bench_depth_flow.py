@@ -29,6 +29,7 @@ from pathlib import Path
 import pytest
 
 from conftest import rounds_cap
+from repro import kernels
 from repro.cuts.cache import CutFunctionCache
 from repro.engine import EngineConfig
 from repro.engine.core import select_cases
@@ -94,6 +95,7 @@ def _run_row(name, suite, ab_check):
         "mc_seconds": mc_seconds,
         "df_seconds": df_seconds,
         "ab_checked": ab_check,
+        "backend": kernels.backend_name(),
     }
     _ROWS.append(row)
     return row
@@ -132,11 +134,14 @@ def test_depth_flow_report():
         "database/caches; `(ANDs, depth)` pairs, depth = multiplicative",
         "depth.  Control rows are additionally A/B-checked: the `--rebuild`",
         "mode (same trajectory, every round's selections re-applied",
-        "out-of-place and verified) must reach the identical pair.",
+        "out-of-place and verified) must reach the identical pair.  The",
+        "backend column names the kernel backend that ran the row; both",
+        "backends produce bit-identical pairs (pinned in",
+        "`tests/test_kernels.py`), only the timings differ.",
         "",
         "| circuit | group | initial | mc flow | depth flow | Δdepth vs mc "
-        "| AND regression | A/B |",
-        "| --- | --- | --- | --- | --- | --- | --- | --- |",
+        "| AND regression | A/B | backend |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- | --- |",
     ]
     for row in _ROWS:
         ands_mc, depth_mc = row["mc"]
@@ -148,7 +153,7 @@ def test_depth_flow_report():
             f"| {ands_mc}/{depth_mc} ({row['mc_seconds']:.1f}s) "
             f"| {ands_df}/{depth_df} ({row['df_seconds']:.1f}s) "
             f"| {depth_df - depth_mc:+d} | {100 * regression:+.1f}% "
-            f"| {'ok' if row['ab_checked'] else '-'} |")
+            f"| {'ok' if row['ab_checked'] else '-'} | {row['backend']} |")
     if control:
         lines += ["",
                   f"Depth strictly reduced vs the mc flow on {wins} of "

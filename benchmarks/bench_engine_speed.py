@@ -21,6 +21,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro import kernels
 from repro.affine.classify import AffineClassifier, Classification
 from repro.affine.operations import AffineTransform
 from repro.circuits import control as C
@@ -219,6 +220,9 @@ def test_engine_speed_report():
     RESULTS_DIR.mkdir(exist_ok=True)
     body = "\n".join(
         ["# Engine speed: seed kernels vs bit-parallel core", "",
+         f"Measured with the `{kernels.backend_name()}` kernel backend "
+         "(`repro.kernels`); both backends produce bit-identical results, "
+         "only the timings depend on the backend.", "",
          "| measurement | seed / full | new / incremental | speedup |",
          "| --- | --- | --- | --- |"] + _LINES) + "\n"
     (RESULTS_DIR / "engine_speed.md").write_text(body)
@@ -373,11 +377,14 @@ def test_inplace_vs_rebuild_report():
 # CI smoke entry point
 # ----------------------------------------------------------------------
 def smoke(circuit: str = "int2float") -> int:
-    """Quick A/B check for CI: both rewriter modes on one EPFL circuit.
+    """Quick A/B check for CI: rewriter modes and kernel backends.
 
     Runs the convergence flow in in-place and rebuild mode on ``circuit``
     and fails (non-zero exit) when the final AND counts diverge or the
-    result is not equivalent to the input.
+    result is not equivalent to the input.  The same flow is then repeated
+    once per available kernel backend and the (ANDs, rounds) pairs are
+    asserted identical — backends may only change wall time, never
+    results.
     """
     from repro.engine.core import select_cases
 
@@ -392,8 +399,19 @@ def smoke(circuit: str = "int2float") -> int:
     print(f"smoke {circuit}: in-place {res_in.final.num_ands} ANDs "
           f"({res_in.num_rounds} rounds) vs rebuild {res_out.final.num_ands} ANDs "
           f"({res_out.num_rounds} rounds) in {seconds:.1f}s -> "
-          f"{'OK' if ok else 'DIVERGED'}")
-    return 0 if ok else 1
+          f"{'OK' if ok else 'DIVERGED'} [{kernels.backend_name()} kernels]")
+
+    pairs = {}
+    for name in kernels.available_backends():
+        with kernels.use_backend(name):
+            res = optimize(case.build(), params=RewriteParams(in_place=True))
+        pairs[name] = (res.final.num_ands, res.num_rounds)
+    parity = len(set(pairs.values())) == 1
+    print(f"smoke {circuit}: backend parity "
+          + " vs ".join(f"{name} {ands} ANDs/{rounds} rounds"
+                        for name, (ands, rounds) in sorted(pairs.items()))
+          + f" -> {'OK' if parity else 'DIVERGED'}")
+    return 0 if ok and parity else 1
 
 
 if __name__ == "__main__":

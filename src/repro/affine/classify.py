@@ -29,9 +29,9 @@ from typing import Callable, List, Optional, Tuple
 
 from repro import gf2
 from repro.affine.operations import AffineOp, AffineTransform
-from repro.tt.bits import num_bits, projection, table_mask
+from repro.tt.bits import num_bits, popcount, projection, table_mask
 from repro.tt.operations import apply_input_transform, translate_rows
-from repro.tt.spectrum import walsh_spectrum
+from repro.tt.spectrum import table_from_spectrum, walsh_spectrum
 
 
 @dataclass
@@ -58,29 +58,208 @@ class Classification:
 
 
 class _State:
-    """Running (table, forward transform, op list) during a canonisation pass."""
+    """Running canonisation state as a signed permutation of one spectrum.
 
-    __slots__ = ("table", "transform", "ops", "num_vars")
+    Every operation the spectral strategy performs acts on the Walsh
+    spectrum by a structured signed permutation: an input matrix ``M``
+    permutes indices (``W'(w) = W(M^{-T} w)``), an input complement
+    multiplies by ``(-1)^{w_a}``, an output complement negates everything
+    and ``f ^ x_a`` translates indices by ``e_a``.  The state therefore
+    never touches truth tables: it is the view
 
-    def __init__(self, table: int, num_vars: int, transform: AffineTransform,
-                 ops: List[AffineOp]):
-        self.table = table
+        ``W_state(w) = sign * (-1)^{<linear_sign, w>} * spectrum[perm[w]]``
+
+    over the spectrum of the *original* table, maintained with one
+    ``2**n``-entry gather (or a couple of integer updates) per step.  The
+    magnitude queries and sign checks the greedy needs are O(1) reads;
+    a truth table is materialised — one inverse Walsh transform — only
+    when a finished state is compared against the incumbent best.  The
+    closed-form :class:`AffineTransform` is not maintained either: the
+    winner's forward transform is rebuilt at the end by replaying its op
+    list (a transform's ``(A, b, c, d)`` is uniquely determined by the
+    function map the ops compose to)."""
+
+    __slots__ = ("num_vars", "size", "spectrum", "magnitudes", "perm",
+                 "sign", "linear_sign", "ops")
+
+    def __init__(self, num_vars: int, spectrum: List[int],
+                 magnitudes: List[int], perm: List[int], sign: int,
+                 linear_sign: int, ops: List[AffineOp]):
         self.num_vars = num_vars
-        self.transform = transform
+        self.size = len(spectrum)
+        self.spectrum = spectrum
+        self.magnitudes = magnitudes
+        self.perm = perm
+        self.sign = sign
+        self.linear_sign = linear_sign
         self.ops = ops
 
+    @classmethod
+    def initial(cls, num_vars: int, spectrum: List[int],
+                magnitudes: List[int]) -> "_State":
+        return cls(num_vars, spectrum, magnitudes,
+                   list(range(len(spectrum))), 1, 0, [])
+
     def copy(self) -> "_State":
-        return _State(self.table, self.num_vars, self.transform.copy(), list(self.ops))
+        return _State(self.num_vars, self.spectrum, self.magnitudes,
+                      list(self.perm), self.sign, self.linear_sign,
+                      list(self.ops))
 
-    def apply_op(self, op: AffineOp) -> None:
-        self.table = op.apply_to_table(self.table, self.num_vars)
-        self.transform.apply_op(op)
-        self.ops.append(op)
+    def coefficient(self, w: int) -> int:
+        """Exact ``W_state[w]`` of the state's (virtual) current table."""
+        value = self.sign * self.spectrum[self.perm[w]]
+        return -value if popcount(self.linear_sign & w) & 1 else value
 
-    def apply_matrix(self, matrix: List[int]) -> None:
-        self.table = apply_input_transform(self.table, matrix, 0, self.num_vars)
-        self.transform.apply_input_matrix(matrix, 0)
-        self.ops.extend(_matrix_to_ops(matrix))
+    def xor_output(self, var: int) -> None:
+        """``f ^= x_var``: spectrum indices translate by ``e_var``."""
+        mask = 1 << var
+        perm = self.perm
+        self.perm = [perm[w ^ mask] for w in range(self.size)]
+        if (self.linear_sign >> var) & 1:
+            self.sign = -self.sign
+        self.ops.append(AffineOp("xor_output", var))
+
+    def flip_output(self) -> None:
+        self.sign = -self.sign
+        self.ops.append(AffineOp("flip_output"))
+
+    def flip_input(self, var: int) -> None:
+        """``x_var`` complement: sign flip wherever ``w_var`` is set."""
+        self.linear_sign ^= 1 << var
+        self.ops.append(AffineOp("flip_input", var))
+
+    def apply_placement(self, source: int, position: int) -> None:
+        """Substitute the memoised placement matrix ``x -> M x``."""
+        ops, mperm, minv = _placement_data(source, position, self.num_vars)
+        perm = self.perm
+        self.perm = [perm[m] for m in mperm]
+        self.linear_sign = gf2.mat_vec(minv, self.linear_sign)
+        self.ops.extend(ops)
+
+    def tied_best(self, candidates: List[int]) -> List[int]:
+        """Candidates of maximal magnitude, in candidate order."""
+        perm = self.perm
+        magnitudes = self.magnitudes
+        best = max(magnitudes[perm[w]] for w in candidates)
+        return [w for w in candidates if magnitudes[perm[w]] == best]
+
+    def table(self) -> int:
+        """Materialise the state's current truth table."""
+        spectrum = self.spectrum
+        perm = self.perm
+        sign = self.sign
+        linear = self.linear_sign
+        if linear:
+            values = [
+                -sign * spectrum[perm[w]] if popcount(linear & w) & 1
+                else sign * spectrum[perm[w]]
+                for w in range(self.size)]
+        elif sign < 0:
+            values = [-spectrum[p] for p in perm]
+        else:
+            values = [spectrum[p] for p in perm]
+        return table_from_spectrum(values, self.num_vars)
+
+
+class _NpState(_State):
+    """:class:`_State` with the permutation held as a numpy index array.
+
+    Used when the active backend is accelerated: gathers, magnitude
+    maxima and table materialisation become single vectorised calls.
+    Every decision quantity is the same exact integer as the reference
+    state's, so the exploration (and therefore the result) is identical.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def initial(cls, num_vars: int, spectrum, magnitudes) -> "_NpState":
+        import numpy as np
+        return cls(num_vars, spectrum, magnitudes,
+                   np.arange(len(spectrum)), 1, 0, [])
+
+    def copy(self) -> "_NpState":
+        return _NpState(self.num_vars, self.spectrum, self.magnitudes,
+                        self.perm.copy(), self.sign, self.linear_sign,
+                        list(self.ops))
+
+    def coefficient(self, w: int) -> int:
+        value = self.sign * int(self.spectrum[self.perm[w]])
+        return -value if popcount(self.linear_sign & w) & 1 else value
+
+    def xor_output(self, var: int) -> None:
+        self.perm = self.perm[_xor_index(1 << var, self.size)]
+        if (self.linear_sign >> var) & 1:
+            self.sign = -self.sign
+        self.ops.append(AffineOp("xor_output", var))
+
+    def apply_placement(self, source: int, position: int) -> None:
+        ops, mperm, minv = _placement_data(source, position, self.num_vars)
+        self.perm = self.perm[_placement_index(source, position, self.num_vars)]
+        self.linear_sign = gf2.mat_vec(minv, self.linear_sign)
+        self.ops.extend(ops)
+
+    def tied_best(self, candidates: List[int]) -> List[int]:
+        cands = _candidate_index(self.size, candidates)
+        selected = self.magnitudes[self.perm[cands]]
+        return cands[selected == selected.max()].tolist()
+
+    def table(self) -> int:
+        values = self.spectrum[self.perm]
+        if self.sign < 0:
+            values = -values
+        if self.linear_sign:
+            values = values * _sign_vector(self.linear_sign, self.size)
+        from repro import kernels
+        return kernels.active_backend().table_from_spectrum(
+            values, self.num_vars)
+
+
+#: small memoised numpy index/sign helpers for :class:`_NpState`.
+_NP_INDEX_CACHE: dict = {}
+
+
+def _xor_index(mask: int, size: int):
+    key = ("xor", mask, size)
+    index = _NP_INDEX_CACHE.get(key)
+    if index is None:
+        import numpy as np
+        index = np.arange(size) ^ mask
+        _NP_INDEX_CACHE[key] = index
+    return index
+
+
+def _placement_index(source: int, position: int, num_vars: int):
+    key = ("place", source, position, num_vars)
+    index = _NP_INDEX_CACHE.get(key)
+    if index is None:
+        import numpy as np
+        _, mperm, _ = _placement_data(source, position, num_vars)
+        index = np.asarray(mperm)
+        _NP_INDEX_CACHE[key] = index
+    return index
+
+
+def _candidate_index(size: int, candidates: List[int]):
+    key = ("cands", size, candidates[0], len(candidates))
+    index = _NP_INDEX_CACHE.get(key)
+    if index is None:
+        import numpy as np
+        index = np.asarray(candidates)
+        _NP_INDEX_CACHE[key] = index
+    return index
+
+
+def _sign_vector(linear: int, size: int):
+    key = ("sign", linear, size)
+    vector = _NP_INDEX_CACHE.get(key)
+    if vector is None:
+        import numpy as np
+        parity = np.asarray(
+            [popcount(linear & w) & 1 for w in range(size)], dtype=np.int32)
+        vector = 1 - 2 * parity
+        _NP_INDEX_CACHE[key] = vector
+    return vector
 
 
 class AffineClassifier:
@@ -194,25 +373,40 @@ class AffineClassifier:
     # ------------------------------------------------------------------
     def _classify_spectral(self, table: int, num_vars: int) -> Classification:
         budget = [self.iteration_limit]
-        best: List[Optional[Tuple[int, AffineTransform, List[AffineOp]]]] = [None]
+        best: List[Optional[Tuple[int, List[AffineOp]]]] = [None]
 
         def consider(state: _State) -> None:
-            if best[0] is None or state.table < best[0][0]:
-                best[0] = (state.table, state.transform.copy(), list(state.ops))
+            candidate = state.table()
+            if best[0] is None or candidate < best[0][0]:
+                best[0] = (candidate, list(state.ops))
 
         spectrum = walsh_spectrum(table, num_vars)
+        magnitudes = [abs(value) for value in spectrum]
         size = num_bits(num_vars)
-        max_magnitude = max(abs(value) for value in spectrum)
-        zero_targets = [w for w in range(size) if abs(spectrum[w]) == max_magnitude]
+        max_magnitude = max(magnitudes)
+        zero_targets = [w for w in range(size) if magnitudes[w] == max_magnitude]
+
+        from repro import kernels
+        backend = kernels.active_backend()
+        if backend.accelerated and num_vars <= backend.MAX_DENSE_VARS:
+            import numpy as np
+            state_cls = _NpState
+            spectrum = np.asarray(spectrum, dtype=np.int32)
+            magnitudes = np.abs(spectrum)
+        else:
+            state_cls = _State
 
         for index, target in enumerate(zero_targets):
             if index > 0 and (budget[0] <= 0 or best[0] is not None and index >= 4):
                 break
-            state = _State(table, num_vars, AffineTransform.identity(num_vars), [])
+            state = state_cls.initial(num_vars, spectrum, magnitudes)
             self._greedy_pass(state, target, budget, consider, allow_branching=(index == 0))
 
         assert best[0] is not None
-        representative, forward, ops = best[0]
+        representative, ops = best[0]
+        forward = AffineTransform.identity(num_vars)
+        for op in ops:
+            forward.apply_op(op)
         return Classification(
             table=table,
             num_vars=num_vars,
@@ -228,25 +422,23 @@ class AffineClassifier:
         """One canonisation pass; ties may spawn bounded greedy sub-passes."""
         budget[0] -= 1
         num_vars = state.num_vars
-        size = num_bits(num_vars)
+        size = state.size
 
         # Step 1: disjoint translations move the chosen coefficient to index 0,
         # an output complement makes it positive.
         if zero_target:
             for var in range(num_vars):
                 if (zero_target >> var) & 1:
-                    state.apply_op(AffineOp("xor_output", var))
-        if walsh_spectrum(state.table, num_vars)[0] < 0:
-            state.apply_op(AffineOp("flip_output"))
+                    state.xor_output(var)
+        if state.coefficient(0) < 0:
+            state.flip_output()
 
         # Step 2: place the largest reachable coefficients on e_0 .. e_{n-1}.
         for position in range(num_vars):
-            spectrum = walsh_spectrum(state.table, num_vars)
-            candidates = [w for w in range(1, size) if (w >> position) != 0]
+            candidates = _position_candidates(size, position)
             if not candidates:
                 break
-            best_magnitude = max(abs(spectrum[w]) for w in candidates)
-            tied = [w for w in candidates if abs(spectrum[w]) == best_magnitude]
+            tied = state.tied_best(candidates)
 
             if allow_branching:
                 for alternative in tied[1:]:
@@ -265,22 +457,19 @@ class AffineClassifier:
     def _finish_greedily(self, state: _State, start_position: int) -> None:
         """Complete a pass without any further branching."""
         num_vars = state.num_vars
-        size = num_bits(num_vars)
+        size = state.size
         for position in range(start_position, num_vars):
-            spectrum = walsh_spectrum(state.table, num_vars)
-            candidates = [w for w in range(1, size) if (w >> position) != 0]
+            candidates = _position_candidates(size, position)
             if not candidates:
                 break
-            best_magnitude = max(abs(spectrum[w]) for w in candidates)
-            source = next(w for w in candidates if abs(spectrum[w]) == best_magnitude)
+            source = state.tied_best(candidates)[0]
             self._place(state, source, position)
 
     def _place(self, state: _State, source: int, position: int) -> None:
         """Move the coefficient at ``source`` to ``e_position`` and fix its sign."""
-        matrix = self._placement_matrix(source, position, state.num_vars)
-        state.apply_matrix(matrix)
-        if walsh_spectrum(state.table, state.num_vars)[1 << position] < 0:
-            state.apply_op(AffineOp("flip_input", position))
+        state.apply_placement(source, position)
+        if state.coefficient(1 << position) < 0:
+            state.flip_input(position)
 
     def _placement_matrix(self, source: int, position: int, num_vars: int) -> List[int]:
         """Invertible ``M`` with row ``j = e_j`` for ``j < position`` and row
@@ -288,26 +477,90 @@ class AffineClassifier:
 
         Applying ``x -> M x`` to the function maps spectral index ``source``
         to ``e_position`` while fixing indices ``0, e_0, .., e_{position-1}``.
+        The construction is a pure function of its arguments and is executed
+        hundreds of thousands of times per crypto circuit, so it is memoised
+        process-wide.
         """
-        rows: List[int] = [1 << j for j in range(position)]
-        rows.append(source)
-        for var in range(num_vars):
-            if len(rows) == num_vars:
-                break
-            candidate = 1 << var
-            if gf2.rank(rows + [candidate]) == len(rows) + 1:
-                rows.append(candidate)
-        if len(rows) != num_vars or not gf2.is_invertible(rows):
-            raise AssertionError("failed to build placement matrix")
-        return rows
+        return _placement_matrix_rows(source, position, num_vars)
 
 
-def _matrix_to_ops(matrix: List[int]) -> List[AffineOp]:
+#: (source, position, num_vars) → placement matrix rows (deterministic).
+_PLACEMENT_CACHE: dict = {}
+
+#: (source, position, num_vars) → (elementary ops, spectral index
+#: permutation of ``x -> M x``, inverse matrix rows) — everything a
+#: spectral state needs to substitute a placement matrix.
+_PLACEMENT_DATA_CACHE: dict = {}
+
+
+def _placement_matrix_rows(source: int, position: int, num_vars: int) -> List[int]:
+    key = (source, position, num_vars)
+    cached = _PLACEMENT_CACHE.get(key)
+    if cached is not None:
+        return list(cached)
+    rows: List[int] = [1 << j for j in range(position)]
+    rows.append(source)
+    for var in range(num_vars):
+        if len(rows) == num_vars:
+            break
+        candidate = 1 << var
+        if gf2.rank(rows + [candidate]) == len(rows) + 1:
+            rows.append(candidate)
+    if len(rows) != num_vars or not gf2.is_invertible(rows):
+        raise AssertionError("failed to build placement matrix")
+    _PLACEMENT_CACHE[key] = tuple(rows)
+    return rows
+
+
+def _placement_data(source: int, position: int,
+                    num_vars: int) -> Tuple[Tuple[AffineOp, ...],
+                                            Tuple[int, ...], Tuple[int, ...]]:
+    """Memoised spectral-action data of one placement matrix.
+
+    Substituting ``x -> M x`` maps spectrum index ``w`` to ``M^{-T} w``
+    (``W'(w) = W(M^{-T} w)``) and the sign-pattern vector ``t`` to
+    ``M^{-1} t`` (``<t, M^{-T} w> = <M^{-1} t, w>``).
+    """
+    key = (source, position, num_vars)
+    data = _PLACEMENT_DATA_CACHE.get(key)
+    if data is None:
+        rows = _placement_matrix_rows(source, position, num_vars)
+        minv = gf2.inverse(rows)
+        assert minv is not None
+        minv_t = gf2.transpose(minv)
+        mperm = tuple(gf2.mat_vec(minv_t, w) for w in range(num_bits(num_vars)))
+        data = (_matrix_to_ops(rows), mperm, tuple(minv))
+        _PLACEMENT_DATA_CACHE[key] = data
+    return data
+
+#: matrix rows → elementary op sequence (AffineOp is frozen, safe to share).
+_MATRIX_OPS_CACHE: dict = {}
+
+#: (table size, position) → spectral indices reachable for that position.
+_POSITION_CANDIDATES_CACHE: dict = {}
+
+
+def _position_candidates(size: int, position: int) -> List[int]:
+    key = (size, position)
+    cached = _POSITION_CANDIDATES_CACHE.get(key)
+    if cached is None:
+        cached = [w for w in range(1, size) if (w >> position) != 0]
+        _POSITION_CANDIDATES_CACHE[key] = cached
+    return cached
+
+
+def _matrix_to_ops(matrix: List[int]) -> Tuple[AffineOp, ...]:
     """Elementary swap/translate operations whose composition is ``x -> M x``.
 
     Applying the returned operations to a function, in order, has the same
-    effect as substituting ``x -> M x`` into it.
+    effect as substituting ``x -> M x`` into it.  Memoised by the matrix
+    rows: the classifier applies the same placement matrices over and over,
+    and the Gaussian-elimination decomposition dominates their cost.
     """
+    key = tuple(matrix)
+    cached = _MATRIX_OPS_CACHE.get(key)
+    if cached is not None:
+        return cached
     ops: List[AffineOp] = []
     factors = gf2.elementary_decomposition(matrix)
     for kind, a, b in reversed(factors):
@@ -316,4 +569,8 @@ def _matrix_to_ops(matrix: List[int]) -> List[AffineOp]:
                 ops.append(AffineOp("swap", a, b))
         else:
             ops.append(AffineOp("translate", a, b))
-    return ops
+    if len(_MATRIX_OPS_CACHE) >= (1 << 16):
+        _MATRIX_OPS_CACHE.clear()
+    result = tuple(ops)
+    _MATRIX_OPS_CACHE[key] = result
+    return result

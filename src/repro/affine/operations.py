@@ -119,21 +119,41 @@ class AffineTransform:
         self.output_linear = gf2.vec_mat(self.output_linear, op_matrix)
 
     def apply_op(self, op: AffineOp) -> None:
-        """Update the transform for an elementary operation applied to the function."""
-        n = self.num_vars
-        if op.kind == "swap":
-            matrix = gf2.identity(n)
-            matrix[op.a], matrix[op.b] = matrix[op.b], matrix[op.a]
-            self._compose_input(matrix, 0)
-        elif op.kind == "flip_input":
-            self._compose_input(gf2.identity(n), 1 << op.a)
-        elif op.kind == "translate":
-            matrix = gf2.identity(n)
-            matrix[op.a] |= 1 << op.b
-            self._compose_input(matrix, 0)
-        elif op.kind == "flip_output":
+        """Update the transform for an elementary operation applied to the function.
+
+        Each elementary operation composes with the closed form through a
+        structured matrix, so the generic :meth:`_compose_input` (a full
+        ``A · M`` product) specialises to per-row bit twiddles: a swap
+        exchanges two columns of ``A`` (and two bits of ``c``), a
+        translation XORs column ``a`` into column ``b``, and an input flip
+        folds column ``a`` of ``A`` into the offset.
+        """
+        kind = op.kind
+        if kind == "swap":
+            a, b = op.a, op.b
+            flip = (1 << a) | (1 << b)
+            self.matrix = [
+                row ^ flip if ((row >> a) ^ (row >> b)) & 1 else row
+                for row in self.matrix]
+            c = self.output_linear
+            if ((c >> a) ^ (c >> b)) & 1:
+                self.output_linear = c ^ flip
+        elif kind == "flip_input":
+            a = op.a
+            column = 0
+            for i, row in enumerate(self.matrix):
+                column |= ((row >> a) & 1) << i
+            self.offset ^= column
+            self.output_const ^= (self.output_linear >> a) & 1
+        elif kind == "translate":
+            a, b = op.a, op.b
+            self.matrix = [
+                row ^ (((row >> a) & 1) << b) for row in self.matrix]
+            c = self.output_linear
+            self.output_linear = c ^ (((c >> a) & 1) << b)
+        elif kind == "flip_output":
             self.output_const ^= 1
-        elif op.kind == "xor_output":
+        elif kind == "xor_output":
             self.output_linear ^= 1 << op.a
         else:
             raise ValueError(f"unknown affine operation {op.kind!r}")

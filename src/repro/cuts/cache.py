@@ -46,6 +46,9 @@ class CutFunctionCache:
         # __len__) but must still be honoured.
         self.database = database if database is not None else McDatabase()
         self._functions: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        #: cone interiors (topological node lists), same keys and lifetime
+        #: as the cone-function memo.
+        self._interiors: Dict[Tuple[int, Tuple[int, ...]], List[int]] = {}
         #: root node → memo keys rooted there, for per-root invalidation.
         self._root_keys: Dict[int, List[Tuple[int, Tuple[int, ...]]]] = {}
         self._plans: Dict[Tuple[int, int], ImplementationPlan] = {}
@@ -97,6 +100,7 @@ class CutFunctionCache:
                 and xag._mutation_epoch == self._bound_mutation_epoch):
             return
         self._functions.clear()
+        self._interiors.clear()
         self._root_keys.clear()
         if self._bound_xag is not None and self._bound_xag is not xag:
             self._bound_xag.unsubscribe(self)
@@ -116,6 +120,7 @@ class CutFunctionCache:
         if xag is not self._bound_xag:
             return
         functions = self._functions
+        interiors = self._interiors
         root_keys = self._root_keys
         for root in result.affected(xag):
             keys = root_keys.pop(root, None)
@@ -124,6 +129,7 @@ class CutFunctionCache:
             for key in keys:
                 if functions.pop(key, None) is not None:
                     self.function_invalidations += 1
+                interiors.pop(key, None)
         self._bound_mutation_epoch = xag._mutation_epoch
 
     def on_rollback(self, xag: Xag) -> None:
@@ -131,6 +137,7 @@ class CutFunctionCache:
         if xag is not self._bound_xag:
             return
         self._functions.clear()
+        self._interiors.clear()
         self._root_keys.clear()
         self._bound_epoch = xag._rollback_epoch
 
@@ -150,12 +157,55 @@ class CutFunctionCache:
             return table
         self.function_misses += 1
         if interior is None:
-            from repro.cuts.enumeration import cut_cone
-            interior = cut_cone(xag, root, leaves)
+            interior = self.cone_interior(xag, root, leaves)
         table = _simulate_cone(xag, root, leaves, interior)
         self._functions[key] = table
-        self._root_keys.setdefault(root, []).append(key)
+        self._register_key(root, key)
         return table
+
+    def cone_interior(self, xag: Xag, root: int,
+                      leaves: Tuple[int, ...]) -> List[int]:
+        """Topologically-ordered cone of ``(root, leaves)``, memoised.
+
+        The traversal shares the cone-function memo's invalidation rule: a
+        cached interior can only go stale when a rewired node sits inside
+        the cone, which puts ``root`` in the dirty transitive fanout.
+        """
+        self.bind(xag)
+        key = (root, leaves)
+        interior = self._interiors.get(key)
+        if interior is None:
+            from repro.cuts.enumeration import cut_cone
+            interior = cut_cone(xag, root, leaves)
+            self._interiors[key] = interior
+            self._register_key(root, key)
+        return interior
+
+    def install_cone_functions(self, xag: Xag,
+                               entries: Sequence[Tuple[Tuple[int, Tuple[int, ...]], int]]) -> None:
+        """Store batch-computed cone functions, counting one miss each.
+
+        This is the install half of per-drain batched cone simulation: the
+        rewriter collects the cones a drain is missing, evaluates them in
+        one vectorised sweep on an accelerated backend, and lands them here
+        with the same hit/miss accounting as individual
+        :meth:`cone_function` misses — the counters stay backend-invariant.
+        """
+        self.bind(xag)
+        functions = self._functions
+        for key, table in entries:
+            if key in functions:
+                continue
+            self.function_misses += 1
+            functions[key] = table
+            self._register_key(key[0], key)
+
+    def _register_key(self, root: int,
+                      key: Tuple[int, Tuple[int, ...]]) -> None:
+        """Record ``key`` for per-root invalidation (at most once per key)."""
+        keys = self._root_keys.setdefault(root, [])
+        if key not in keys:
+            keys.append(key)
 
     # ------------------------------------------------------------------
     # implementation plans (network independent)
@@ -224,6 +274,7 @@ class CutFunctionCache:
     def clear(self) -> None:
         """Drop all memoised entries and counters (the database is untouched)."""
         self._functions.clear()
+        self._interiors.clear()
         self._root_keys.clear()
         self._plans.clear()
         if self._bound_xag is not None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cuts.cut import Cut
+from repro.tt.bits import popcount
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.cuts.cache import CutFunctionCache
@@ -25,28 +26,91 @@ from repro.xag.graph import SubstitutionResult, Xag, lit_node
 
 def _merge_node_cuts(xag: Xag, node: int,
                      merge_sets: Dict[int, List[Tuple[int, ...]]],
-                     cut_size: int, cut_limit: int) -> List[Tuple[int, ...]]:
-    """Kept leaf sets of one gate from its fan-ins' merge sets.
+                     cut_size: int, cut_limit: int
+                     ) -> List[Tuple[int, ...]]:
+    """Kept leaf tuples of one gate from its fan-ins' merge sets.
 
-    This is the single definition of the per-node cut computation, shared by
-    the one-shot enumeration and the incremental :class:`CutSetCache` so the
-    two can never drift apart.
+    Leaf sets are remapped into a *local* bit space (one bit per distinct
+    leaf seen across both fan-ins, at most ``2 * cut_limit * cut_size``
+    bits), so the pairwise union is one machine-word ``|``, the size check
+    one ``bit_count`` and dominance filtering a subset test — no big-int
+    churn over the full node-index space.  This is the single definition
+    of the per-node cut computation, shared by the one-shot enumeration
+    and the incremental :class:`CutSetCache` so the two can never drift
+    apart.
     """
     f0, f1 = xag.fanins(node)
-    child0 = lit_node(f0)
-    child1 = lit_node(f1)
-    candidates: List[Tuple[int, ...]] = []
+    cuts0 = merge_sets[lit_node(f0)]
+    cuts1 = merge_sets[lit_node(f1)]
+    distinct = set()
+    for leaves in cuts0:
+        distinct.update(leaves)
+    for leaves in cuts1:
+        distinct.update(leaves)
+    local_leaves = sorted(distinct)
+    index = {leaf: bit for bit, leaf in enumerate(local_leaves)}
+    masks0 = [_leaves_to_mask(leaves, index) for leaves in cuts0]
+    masks1 = [_leaves_to_mask(leaves, index) for leaves in cuts1]
+
+    # note: a vectorised variant of this merge (uint64 outer union +
+    # broadcast subset tests) measures *slower* than the scalar loop at the
+    # typical ~13x13 batch size, so the merge stays pure Python on every
+    # backend.
+    masks: List[int] = []
     seen = set()
-    for cut0 in merge_sets[child0]:
-        for cut1 in merge_sets[child1]:
-            merged = tuple(sorted(set(cut0) | set(cut1)))
-            if len(merged) > cut_size or merged in seen:
+    for mask0 in masks0:
+        for mask1 in masks1:
+            union = mask0 | mask1
+            if union in seen or popcount(union) > cut_size:
                 continue
-            seen.add(merged)
-            candidates.append(merged)
-    candidates = _filter_dominated(candidates)
+            seen.add(union)
+            masks.append(union)
+    kept = _filter_dominated_masks(masks)
+    candidates = [_mask_to_leaves(mask, local_leaves) for mask in kept]
     candidates.sort(key=lambda leaves: (len(leaves), leaves))
     return candidates[:cut_limit]
+
+
+def _leaves_to_mask(leaves: Tuple[int, ...], index: Dict[int, int]) -> int:
+    """Local bitmask of a leaf tuple."""
+    mask = 0
+    for leaf in leaves:
+        mask |= 1 << index[leaf]
+    return mask
+
+
+def _mask_to_leaves(mask: int, local_leaves: List[int]) -> Tuple[int, ...]:
+    """Node-index tuple of a local leaf bitmask (local bits are assigned in
+    ascending node order, so extraction is already sorted)."""
+    leaves = []
+    while mask:
+        low = mask & -mask
+        leaves.append(local_leaves[low.bit_length() - 1])
+        mask ^= low
+    return tuple(leaves)
+
+
+def _filter_dominated_masks(masks: List[int]) -> List[int]:
+    """Drop masks that strictly contain another mask (they are dominated).
+
+    The survivor set is order-independent, so the scan may sort by
+    popcount and test each mask only against already-kept (necessarily
+    smaller) ones: domination is transitive, so a mask dominated by a
+    *dropped* mask is also dominated by that mask's kept dominator.
+    """
+    if len(masks) <= 1:
+        return list(masks)
+    ordered = sorted(masks, key=popcount)
+    keep: List[int] = []
+    for mask in ordered:
+        for other in keep:
+            # other ⊆ mask is (other & mask) == other (strict: dedup
+            # upstream guarantees other != mask)
+            if other & mask == other:
+                break
+        else:
+            keep.append(mask)
+    return keep
 
 
 def enumerate_cuts(xag: Xag, cut_size: int = 6, cut_limit: int = 12) -> Dict[int, List[Cut]]:
@@ -61,8 +125,8 @@ def enumerate_cuts(xag: Xag, cut_size: int = 6, cut_limit: int = 12) -> Dict[int
     if cut_limit < 1:
         raise ValueError("cut_limit must be at least 1")
 
-    # leaf sets (as sorted tuples) usable for merging, per node.  Iteration
-    # follows the live topological order: after an in-place substitution the
+    # sorted leaf tuples usable for merging, per node.  Iteration follows
+    # the live topological order: after an in-place substitution the
     # creation order is no longer topological, and dead nodes are skipped.
     merge_sets: Dict[int, List[Tuple[int, ...]]] = {}
     result: Dict[int, List[Cut]] = {}
@@ -78,7 +142,8 @@ def enumerate_cuts(xag: Xag, cut_size: int = 6, cut_limit: int = 12) -> Dict[int
             continue
 
         kept = _merge_node_cuts(xag, node, merge_sets, cut_size, cut_limit)
-        result[node] = [Cut(node, leaves) for leaves in kept if leaves != (node,)]
+        result[node] = [Cut(node, leaves) for leaves in kept
+                        if leaves != (node,)]
         # the trivial cut participates in the merges of the fan-outs
         merge_sets[node] = kept + [(node,)]
     return result
@@ -172,24 +237,6 @@ class CutSetCache:
         return result
 
 
-def _filter_dominated(candidates: Sequence[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
-    """Remove cuts whose leaf set is a strict superset of another cut's."""
-    as_sets = [set(c) for c in candidates]
-    keep: List[Tuple[int, ...]] = []
-    for i, cut in enumerate(candidates):
-        dominated = False
-        for j, other in enumerate(as_sets):
-            if i != j and other < as_sets[i]:
-                dominated = True
-                break
-            if i > j and other == as_sets[i]:
-                dominated = True
-                break
-        if not dominated:
-            keep.append(cut)
-    return keep
-
-
 def cut_cone(xag: Xag, root: int, leaves: Sequence[int]) -> List[int]:
     """Nodes strictly inside the cut (between leaves and root, root included).
 
@@ -198,6 +245,9 @@ def cut_cone(xag: Xag, root: int, leaves: Sequence[int]) -> List[int]:
     leaf_set = set(leaves)
     visited = set(leaf_set)
     order: List[int] = []
+    kinds = xag._kind
+    fanin0 = xag._fanin0
+    fanin1 = xag._fanin1
     stack: List[Tuple[int, bool]] = [(root, False)]
     while stack:
         node, expanded = stack.pop()
@@ -207,15 +257,18 @@ def cut_cone(xag: Xag, root: int, leaves: Sequence[int]) -> List[int]:
         if node in visited:
             continue
         visited.add(node)
-        if not xag.is_gate(node):
-            if node in leaf_set or xag.is_constant(node):
+        kind = kinds[node]
+        if kind != 2 and kind != 3:  # neither AND nor XOR: must be a boundary
+            if node in leaf_set or kind == 0:
                 continue
             raise ValueError(f"cut of node {root} does not cover node {node}")
         stack.append((node, True))
-        f0, f1 = xag.fanins(node)
-        for child in (lit_node(f0), lit_node(f1)):
-            if child not in visited:
-                stack.append((child, False))
+        child0 = fanin0[node] >> 1
+        child1 = fanin1[node] >> 1
+        if child0 not in visited:
+            stack.append((child0, False))
+        if child1 not in visited:
+            stack.append((child1, False))
     return order
 
 

@@ -26,6 +26,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.kernels import BACKEND_CHOICES
 from repro.engine.core import (EngineConfig, available_cases, resolved_flow,
                                run_batch)
 from repro.rewriting.cost import cost_model, registered_cost_models
@@ -115,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verify-limit", type=non_negative_int, default=20000,
                         help="verify equivalence up to this many gates, 0 disables "
                              "(default: 20000)")
+    parser.add_argument("--backend", default="auto", choices=BACKEND_CHOICES,
+                        help="kernel backend: auto picks numpy when "
+                             "importable, else the pure-Python reference "
+                             "(REPRO_BACKEND overrides); both give "
+                             "bit-identical results (default: auto)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the per-circuit numbers as JSON")
     parser.add_argument("--list", action="store_true", dest="list_only",
@@ -141,6 +147,7 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
         jobs=args.jobs,
         warm_start=args.db,
         persist=args.db,
+        backend=args.backend,
     )
 
 
@@ -181,6 +188,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "rounds": args.rounds,
                 "jobs": batch.jobs,
                 "in_place": batch.config.in_place,
+                # the backend that actually ran (never "auto")
+                "backend": batch.backend,
             },
             "summary": {
                 "total_seconds": batch.total_seconds,

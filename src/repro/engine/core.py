@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import kernels
 from repro.circuits.benchmark_case import BenchmarkCase
 from repro.circuits.corpus import corpus_benchmarks
 from repro.circuits.crypto.registry import mpc_benchmarks
@@ -111,6 +112,11 @@ class EngineConfig:
     warm_start: Optional[Union[str, Path]] = None
     #: bundle path to write after the run (recipes + classifications + plans).
     persist: Optional[Union[str, Path]] = None
+    #: kernel backend for packed simulation, truth-table and classifier
+    #: kernels: "auto" (numpy when importable, else python), "python" or
+    #: "numpy" (a hard error when numpy is not importable).  Both backends
+    #: produce bit-identical results; the choice only affects speed.
+    backend: str = "auto"
 
 
 @dataclass
@@ -193,6 +199,9 @@ class BatchReport:
     warm_start_loaded: bool = False
     #: per-worker cache statistics of a sharded run (empty when jobs == 1).
     worker_stats: List[Dict[str, Dict[str, float]]] = field(default_factory=list)
+    #: resolved kernel backend the batch actually ran with ("python" or
+    #: "numpy" — never "auto").
+    backend: str = "python"
 
     @property
     def succeeded(self) -> List[CircuitReport]:
@@ -257,6 +266,7 @@ class BatchReport:
             mode_note += f" [{model.name}]"
         if self.config.flow is not None:
             mode_note += f" [flow: {self.config.flow}]"
+        mode_note += f" [{self.backend} kernels]"
         lines.append(
             f"{len(self.succeeded)}/{len(self.reports)} circuits in "
             f"{self.total_seconds:.2f}s{jobs_note}{warm_note}{mode_note} | plan cache "
@@ -484,6 +494,9 @@ def _shard_worker(payload: Tuple[EngineConfig, List[Tuple[int, str]],
     shards into the shared store.
     """
     config, indexed_names, bundle, use_classification = payload
+    # workers are fresh processes: activate the batch's kernel backend
+    # before any simulation or classification happens
+    kernels.set_backend(config.backend)
     database = McDatabase(use_classification=use_classification)
     cut_cache = CutFunctionCache(database)
     sim_cache = SimulationCache()
@@ -558,7 +571,10 @@ def _run_batch_sharded(batch: BatchReport, cases: Sequence[BenchmarkCase],
     # same way.  The shared database's classification mode is propagated so
     # ablation runs stay identical to sequential ones (custom classifier /
     # synthesizer instances are not shipped — workers use the defaults).
-    worker_config = replace(config, jobs=1, warm_start=None, persist=None)
+    # ship the *resolved* backend so every worker runs the same kernels
+    # the parent recorded, whatever "auto" would resolve to over there
+    worker_config = replace(config, jobs=1, warm_start=None, persist=None,
+                            backend=kernels.backend_name())
     seed_bundle = database.to_bundle(plan_keys=cut_cache.plan_keys())
     payloads = [(worker_config, shard, seed_bundle, database.use_classification)
                 for shard in shards]
@@ -589,29 +605,32 @@ def run_batch(config: Optional[EngineConfig] = None,
     if config.jobs < 1:
         raise ValueError(f"jobs must be a positive integer (got {config.jobs})")
     cost_model(config.objective)  # fail fast with the registry's message
+    backend = kernels.resolve_backend(config.backend)  # fail fast here too
     if config.flow is not None:
         # fail fast on a bad script (per-circuit errors would repeat it)
         parse_flow(config.flow)
     database = database if database is not None else McDatabase()
     cut_cache = CutFunctionCache(database)
     sim_cache = SimulationCache()
-    batch = BatchReport(config=config)
+    batch = BatchReport(config=config, backend=backend)
     start = time.perf_counter()
-    if config.warm_start is not None:
-        batch.warm_start_loaded = load_warm_start(config.warm_start, database,
-                                                  cut_cache)
-    cases = select_cases(config)
-    batch.jobs = min(config.jobs, max(1, len(cases)))
-    if batch.jobs > 1:
-        _run_batch_sharded(batch, cases, config, database, cut_cache)
-    else:
-        for case in cases:
-            batch.reports.append(
-                run_circuit(case, config, cut_cache=cut_cache, sim_cache=sim_cache))
-        batch.database_stats = database.stats()
-        batch.cut_cache_stats = cut_cache.stats()
-        batch.sim_cache_hits = sim_cache.hits
-        batch.sim_cache_misses = sim_cache.misses
+    with kernels.use_backend(backend):
+        if config.warm_start is not None:
+            batch.warm_start_loaded = load_warm_start(config.warm_start,
+                                                      database, cut_cache)
+        cases = select_cases(config)
+        batch.jobs = min(config.jobs, max(1, len(cases)))
+        if batch.jobs > 1:
+            _run_batch_sharded(batch, cases, config, database, cut_cache)
+        else:
+            for case in cases:
+                batch.reports.append(
+                    run_circuit(case, config, cut_cache=cut_cache,
+                                sim_cache=sim_cache))
+            batch.database_stats = database.stats()
+            batch.cut_cache_stats = cut_cache.stats()
+            batch.sim_cache_hits = sim_cache.hits
+            batch.sim_cache_misses = sim_cache.misses
     batch.total_seconds = time.perf_counter() - start
     if config.persist is not None:
         persist_warm_start(config.persist, database, cut_cache)

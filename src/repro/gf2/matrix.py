@@ -35,8 +35,12 @@ def to_rows(matrix: Sequence[int], num_cols: int) -> List[List[int]]:
     return [[(row >> col) & 1 for col in range(num_cols)] for row in matrix]
 
 
-def _parity(value: int) -> int:
-    return bin(value).count("1") & 1
+if hasattr(int, "bit_count"):  # Python >= 3.10
+    def _parity(value: int) -> int:
+        return value.bit_count() & 1
+else:
+    def _parity(value: int) -> int:
+        return bin(value).count("1") & 1
 
 
 def mat_vec(matrix: Sequence[int], vector: int) -> int:

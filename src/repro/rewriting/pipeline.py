@@ -519,6 +519,11 @@ def _drain_worklist(ctx: OptimizationContext, params: RewriteParams,
     ``guard_level`` a round that raises the critical AND-level above it is
     rolled back too, and — like the restart-based depth flow before it —
     only accepted rounds are reported.
+
+    Each round's candidate selection batches its cut-cone simulations
+    through the active kernel backend (one vectorised sweep per drain round
+    on numpy, see :meth:`Rewriter._select_candidates`); backends only
+    change speed, never which candidates a round selects.
     """
     rewriter = ctx.rewriter(params)
     working = ctx.own_network()

@@ -44,9 +44,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple, Union
 
+from repro import kernels
 from repro.cuts.cache import CutFunctionCache
 from repro.cuts.cut import Cut
-from repro.cuts.enumeration import CutSetCache, cut_cone
+from repro.cuts.enumeration import CutSetCache
 from repro.cuts.mffc import mffc
 from repro.mc.database import ImplementationPlan, McDatabase
 from repro.rewriting.cost import CostModel, cost_model
@@ -325,7 +326,7 @@ class CutRewriter:
             verify_start = time.perf_counter()
             words, mask, _ = equivalence_stimulus(xag.num_pis)
             sim = self.sim_cache.simulator(xag, words, mask)
-            po_before = sim.po_words()
+            po_before = sim.po_snapshot()
             resim_before = sim.incremental_updates
             stats.verify_seconds += time.perf_counter() - verify_start
 
@@ -348,7 +349,7 @@ class CutRewriter:
         if self.params.verify:
             verify_start = time.perf_counter()
             assert sim is not None and po_before is not None
-            stats.verified = sim.po_words() == po_before
+            stats.verified = sim.po_matches(po_before)
             stats.nodes_resimulated = sim.incremental_updates - resim_before
             stats.verify_seconds += time.perf_counter() - verify_start
             if not stats.verified:
@@ -408,6 +409,18 @@ class CutRewriter:
         skip_zero_saving = model.skip_zero_saving(params.allow_zero_gain)
         allow_zero_gain = params.allow_zero_gain
 
+        # Sweep A: structural filters and gain accounting for every cut of
+        # every worklist node.  Nothing here needs the cone *function*, so
+        # the sweep both prices the cheap vetoes first and discovers which
+        # cone tables the drain is missing — on an accelerated backend those
+        # are then evaluated in one vectorised batch instead of one big-int
+        # simulation per cone.  Sweep B consumes the items in the exact
+        # order this sweep produced them, so the selection decisions (and
+        # the cache hit/miss counters) are identical on every backend.
+        backend = kernels.active_backend()
+        functions = cache._functions
+        work: List[Tuple[int, List[Tuple[Cut, int, int]]]] = []
+        missing: List[Tuple[int, Tuple[int, ...], List[int]]] = []
         for node in xag.gates():
             if worklist is not None and node not in worklist:
                 continue
@@ -416,13 +429,12 @@ class CutRewriter:
                 continue
             stats.nodes_considered += 1
             node_mffc = None
-            best: Optional[Candidate] = None
-            best_key: Optional[Tuple[int, ...]] = None
+            items: List[Tuple[Cut, int, int]] = []
 
             for cut in node_cuts:
                 if cut.size < 2 or cut.size > params.cut_size or node in cut.leaves:
                     continue
-                interior = cut_cone(xag, node, cut.leaves)
+                interior = cache.cone_interior(xag, node, cut.leaves)
                 interior_ands = [n for n in interior if xag.is_and(n)]
                 if not interior_ands and not model.examine_and_free_cones:
                     # AND-free cones have nothing to offer an AND-count
@@ -436,8 +448,34 @@ class CutRewriter:
                     # depth-aware models keep zero-AND-saving candidates:
                     # they may still lower the root's AND-level.
                     continue
+                items.append((cut, saved_ands, saved_gates))
+                if backend.accelerated and (node, cut.leaves) not in functions:
+                    missing.append((node, cut.leaves, interior))
+            if items:
+                work.append((node, items))
 
-                table = cache.cone_function(xag, node, cut.leaves, interior)
+        # Batched cone simulation (numpy backend): all cones this drain is
+        # missing are evaluated in one level-ordered vectorised sweep.  The
+        # install counts one function miss per cone — the same tally the
+        # per-cone ``cone_function`` misses would have produced.
+        prefetched: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        if missing:
+            tables = backend.simulate_cones(xag, missing)
+            entries = []
+            for (root, leaves, _), table in zip(missing, tables):
+                prefetched[(root, leaves)] = table
+                entries.append(((root, leaves), table))
+            cache.install_cone_functions(xag, entries)
+
+        # Sweep B: plan lookup and pricing, in sweep A's decision order.
+        for node, items in work:
+            best: Optional[Candidate] = None
+            best_key: Optional[Tuple[int, ...]] = None
+
+            for cut, saved_ands, saved_gates in items:
+                table = prefetched.get((node, cut.leaves))
+                if table is None:
+                    table = cache.cone_function(xag, node, cut.leaves)
                 plan = cache.plan_for(table, cut.size)
                 stats.candidates_evaluated += 1
 

@@ -18,9 +18,14 @@ def table_mask(num_vars: int) -> int:
     return (1 << num_bits(num_vars)) - 1
 
 
-def popcount(value: int) -> int:
-    """Number of set bits of ``value`` (value must be non-negative)."""
-    return bin(value).count("1")
+if hasattr(int, "bit_count"):  # Python >= 3.10
+    def popcount(value: int) -> int:
+        """Number of set bits of ``value`` (value must be non-negative)."""
+        return value.bit_count()
+else:
+    def popcount(value: int) -> int:
+        """Number of set bits of ``value`` (value must be non-negative)."""
+        return bin(value).count("1")
 
 
 def bit_of(table: int, row: int) -> int:

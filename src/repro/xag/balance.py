@@ -172,7 +172,7 @@ def balance_in_place(xag: Xag, verify: bool = True,
             sim = sim_cache.simulator(xag, words, mask)
         else:
             sim = BitSimulator(xag, words, mask)
-        po_before = sim.po_words()
+        po_before = sim.po_snapshot()
 
     for _ in range(max_passes):
         stats.passes += 1
@@ -209,7 +209,7 @@ def balance_in_place(xag: Xag, verify: bool = True,
     stats.depth_after = and_levels.critical_level()
     if verify:
         assert sim is not None and po_before is not None
-        stats.verified = sim.po_words() == po_before
+        stats.verified = sim.po_matches(po_before)
         if not stats.verified:
             raise AssertionError("tree rebalancing changed the network function")
     return stats

@@ -40,6 +40,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, List, Optional, Sequence, Set
 
+from repro import kernels
 from repro.xag.graph import (NodeKind, SubstitutionResult, Xag,
                              lit_complemented, lit_node)
 
@@ -60,6 +61,13 @@ class BitSimulator:
         self.mask = mask
         self._pi_words: List[int] = list(pi_words)
         self._values: List[int] = []
+        # numpy mode: packed words live in a (num_nodes, words) uint64 matrix
+        # and the sweeps below dispatch to the level-batched kernels.  The
+        # mode is fixed at construction (the simulator must stay
+        # self-consistent even if the active backend changes later).
+        backend = kernels.active_backend()
+        self._store = (backend.make_sim_store(mask)
+                       if backend.accelerated else None)
         self._synced = 0
         self._rollback_epoch = xag._rollback_epoch
         #: nodes rewired/revived by substitutions since the last sync.
@@ -111,12 +119,18 @@ class BitSimulator:
         if len(pi_words) != xag.num_pis:
             raise ValueError("one simulation word per primary input is required")
         values = self._values
+        store = self._store
         mask = self.mask
         changed = bytearray(xag.num_nodes)
         any_changed = False
         for position, node in enumerate(xag.pis()):
             word = pi_words[position] & mask
-            if values[node] != word:
+            if store is not None:
+                if not store.row_equals_int(node, word):
+                    store.set_int(node, word)
+                    changed[node] = 1
+                    any_changed = True
+            elif values[node] != word:
                 values[node] = word
                 changed[node] = 1
                 any_changed = True
@@ -142,7 +156,11 @@ class BitSimulator:
             if xag.is_pi(node):
                 # PIs have no fan-ins: refresh immediately, propagate changes
                 word = self._pi_words[xag.pi_index(node)] & self.mask
-                if word != self._values[node]:
+                if self._store is not None:
+                    if not self._store.row_equals_int(node, word):
+                        self._store.set_int(node, word)
+                        changed[node] = 1
+                elif word != self._values[node]:
                     self._values[node] = word
                     changed[node] = 1
             else:
@@ -170,6 +188,8 @@ class BitSimulator:
         if xag._rollback_epoch != self._rollback_epoch:
             self._rollback_epoch = xag._rollback_epoch
             del self._values[:]
+            if self._store is not None:
+                self._store.resize(0)
             self._synced = 0
             self._pending_dirty.clear()
         pending = self._pending_dirty
@@ -177,7 +197,8 @@ class BitSimulator:
             return
         if len(self._pi_words) != xag.num_pis:
             raise ValueError("one simulation word per primary input is required")
-        self._values.extend([0] * (count - len(self._values)))
+        if self._store is None:
+            self._values.extend([0] * (count - len(self._values)))
         if xag.is_topo_clean() and not pending:
             self._simulate_range(self._synced, count)
             self.full_updates += count - self._synced
@@ -192,11 +213,15 @@ class BitSimulator:
         Entries of dead nodes are stale; only live-node values are meaningful.
         """
         self.sync()
+        if self._store is not None:
+            return self._store.as_ints()
         return self._values
 
     def value(self, node: int) -> int:
         """Packed value of one (live) node."""
         self.sync()
+        if self._store is not None:
+            return self._store.get_int(node)
         return self._values[node]
 
     def literal_value(self, lit: int) -> int:
@@ -207,6 +232,11 @@ class BitSimulator:
     def po_words(self) -> List[int]:
         """Packed values of all primary outputs."""
         self.sync()
+        if self._store is not None:
+            store = self._store
+            mask = self.mask
+            return [store.get_int(lit >> 1) ^ (mask if lit & 1 else 0)
+                    for lit in self.xag.po_literals()]
         values = self._values
         mask = self.mask
         out = []
@@ -217,10 +247,46 @@ class BitSimulator:
             out.append(word)
         return out
 
+    def po_matrix(self):
+        """PO values as a ``(num_pos, words)`` uint64 matrix, or ``None``.
+
+        Only available in numpy store mode; callers fall back to
+        :meth:`po_words` when this returns ``None``.
+        """
+        if self._store is None:
+            return None
+        self.sync()
+        from repro.kernels import numpy_backend
+
+        return numpy_backend.po_matrix(self)
+
+    def po_snapshot(self):
+        """Opaque snapshot of all PO values for later comparison.
+
+        In numpy store mode this is an array (no big-int conversion);
+        otherwise the :meth:`po_words` list.  Compare with
+        :meth:`po_matches` — the two are interchangeable semantically.
+        """
+        matrix = self.po_matrix()
+        return matrix if matrix is not None else self.po_words()
+
+    def po_matches(self, snapshot) -> bool:
+        """True when the current PO values equal an earlier snapshot."""
+        if self._store is not None and not isinstance(snapshot, list):
+            matrix = self.po_matrix()
+            return (matrix.shape == snapshot.shape
+                    and bool((matrix == snapshot).all()))
+        return self.po_words() == snapshot
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _simulate_range(self, start: int, end: int) -> None:
+        if self._store is not None:
+            from repro.kernels import numpy_backend
+
+            numpy_backend.sim_range(self, start, end)
+            return
         xag = self.xag
         kinds = xag._kind
         fanin0 = xag._fanin0
@@ -260,6 +326,13 @@ class BitSimulator:
         new, was rewired, or has a fan-in whose packed word changed; a
         recomputation that reproduces the stored word stops the propagation.
         """
+        if self._store is not None:
+            from repro.kernels import numpy_backend
+
+            appended, recomputed = numpy_backend.sim_resync(self, count)
+            self.full_updates += appended
+            self.incremental_updates += recomputed
+            return
         xag = self.xag
         kinds = xag._kind
         fanin0 = xag._fanin0
@@ -317,6 +390,12 @@ class BitSimulator:
         order; a recomputation that reproduces the stored word stops the
         propagation.
         """
+        if self._store is not None:
+            from repro.kernels import numpy_backend
+
+            updated = numpy_backend.sim_propagate(self, need, changed)
+            self.incremental_updates += updated
+            return updated
         xag = self.xag
         kinds = xag._kind
         fanin0 = xag._fanin0

@@ -16,7 +16,7 @@ unchanged side of a convergence-loop round) are not re-simulated at all.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.tt.bits import projection, table_mask
 from repro.xag.bitsim import SimulationCache
@@ -69,12 +69,16 @@ def equivalent(
         return False
     words, mask, _ = equivalence_stimulus(left.num_pis, exhaustive_limit,
                                           num_random_words, word_bits, rng)
-    return (_output_words(left, words, mask, sim_cache)
-            == _output_words(right, words, mask, sim_cache))
-
-
-def _output_words(xag: Xag, words: Sequence[int], mask: int,
-                  sim_cache: Optional[SimulationCache]) -> List[int]:
-    if sim_cache is None:
-        return simulate_words(xag, words, mask)
-    return sim_cache.simulator(xag, words, mask).po_words()
+    if sim_cache is not None:
+        left_sim = sim_cache.simulator(left, words, mask)
+        right_sim = sim_cache.simulator(right, words, mask)
+        left_matrix = left_sim.po_matrix()
+        right_matrix = right_sim.po_matrix()
+        if left_matrix is not None and right_matrix is not None:
+            # numpy store mode on both sides: one array compare, no big-int
+            # round trip
+            return (left_matrix.shape == right_matrix.shape
+                    and bool((left_matrix == right_matrix).all()))
+        return left_sim.po_words() == right_sim.po_words()
+    return (simulate_words(left, words, mask)
+            == simulate_words(right, words, mask))

@@ -429,7 +429,8 @@ def test_batch_report_summary_pins_meaningful_metrics():
     batch.cut_cache_stats = {"plan_hits": 30, "plan_misses": 10}
     batch.database_stats = {"stored_recipes": 4, "synthesis_calls": 5}
     summary = batch.render().splitlines()[-1]
-    assert summary == ("1/1 circuits in 1.50s [2 jobs] [warm start] | "
+    assert summary == ("1/1 circuits in 1.50s [2 jobs] [warm start] "
+                       "[python kernels] | "
                        "plan cache 30 hits / 10 misses (75% hit rate) | "
                        "db 4 recipes / 5 synthesis calls | "
                        "sim cache 0 hits / 0 misses")
