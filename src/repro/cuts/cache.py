@@ -8,13 +8,21 @@ behind one object that the cut enumerator (:func:`repro.cuts.enumeration
 .cut_function`) and the rewriter (:class:`repro.rewriting.rewrite
 .CutRewriter`) share:
 
-* **cone functions** are memoised per network, keyed by ``(root, leaves)``.
-  The cache subscribes to the bound network's mutation events: an in-place
+* **cone functions** are memoised per network, keyed by ``(root, leaves)``,
+  and *content-addressed* across networks by canonical cone hash
+  (:func:`repro.xag.structhash.cone_hash`).  The per-network memo
+  subscribes to the bound network's mutation events: an in-place
   substitution (:meth:`repro.xag.graph.Xag.substitute_node`) invalidates
   only the entries rooted in the **dirty transitive fanout** of the rewired
   nodes, so memoised functions for untouched cones survive whole
   convergence flows.  Binding to a different network — or a rollback of the
-  bound one — still drops the memo wholesale (:meth:`CutFunctionCache.bind`);
+  bound one — still drops the memo wholesale (:meth:`CutFunctionCache.bind`),
+  but the content-addressed table store survives *everything* except
+  :meth:`CutFunctionCache.clear`: a cone hash names a structure, not node
+  indices, so its truth table can never go stale.  Structurally identical
+  cones in different circuits — or restored from another run's bundle —
+  resolve without a single simulation.  The per-root ``(root, leaves)``
+  key lists survive purely as the invalidation index of the memo layer;
 
 * **implementation plans** are memoised by the network-independent key
   ``(truth table, num_vars)``.  This is the first level of a two-level
@@ -36,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.mc.database import ImplementationPlan, McDatabase
 from repro.tt.bits import projection, table_mask
 from repro.xag.graph import SubstitutionResult, Xag, lit_node
+from repro.xag.structhash import cone_hash as _cone_hash
 
 
 class CutFunctionCache:
@@ -51,6 +60,11 @@ class CutFunctionCache:
         self._interiors: Dict[Tuple[int, Tuple[int, ...]], List[int]] = {}
         #: root node → memo keys rooted there, for per-root invalidation.
         self._root_keys: Dict[int, List[Tuple[int, Tuple[int, ...]]]] = {}
+        #: canonical cone hashes, same keys and lifetime as the memo.
+        self._cone_hashes: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        #: cone hash → truth table: the content-addressed store.  Never
+        #: invalidated (a hash names a structure), only :meth:`clear` drops it.
+        self._cone_tables: Dict[int, int] = {}
         self._plans: Dict[Tuple[int, int], ImplementationPlan] = {}
         self._bound_xag: Optional[Xag] = None
         self._bound_epoch = -1
@@ -61,6 +75,8 @@ class CutFunctionCache:
         self.plan_misses = 0
         #: cone-function entries dropped by substitution events.
         self.function_invalidations = 0
+        #: memo misses served by the content-addressed table store.
+        self.cone_hash_hits = 0
 
     @classmethod
     def ensure(cls, cut_cache: Optional["CutFunctionCache"],
@@ -102,6 +118,7 @@ class CutFunctionCache:
         self._functions.clear()
         self._interiors.clear()
         self._root_keys.clear()
+        self._cone_hashes.clear()
         if self._bound_xag is not None and self._bound_xag is not xag:
             self._bound_xag.unsubscribe(self)
         self._bound_xag = xag
@@ -122,6 +139,7 @@ class CutFunctionCache:
         functions = self._functions
         interiors = self._interiors
         root_keys = self._root_keys
+        cone_hashes = self._cone_hashes
         for root in result.affected(xag):
             keys = root_keys.pop(root, None)
             if not keys:
@@ -130,20 +148,33 @@ class CutFunctionCache:
                 if functions.pop(key, None) is not None:
                     self.function_invalidations += 1
                 interiors.pop(key, None)
+                cone_hashes.pop(key, None)
         self._bound_mutation_epoch = xag._mutation_epoch
 
     def on_rollback(self, xag: Xag) -> None:
-        """A rollback recycles node indices: drop the whole cone-function memo."""
+        """A rollback recycles node indices: drop the whole cone-function memo.
+
+        The content-addressed table store survives — cone hashes name
+        structures, so a recycled node index cannot alias a stale entry.
+        """
         if xag is not self._bound_xag:
             return
         self._functions.clear()
         self._interiors.clear()
         self._root_keys.clear()
+        self._cone_hashes.clear()
         self._bound_epoch = xag._rollback_epoch
 
     def cone_function(self, xag: Xag, root: int, leaves: Tuple[int, ...],
                       interior: Optional[Sequence[int]] = None) -> int:
         """Truth table of ``root`` over ``leaves`` (leaf ``i`` = variable ``i``).
+
+        Resolution is two-level: the per-network ``(root, leaves)`` memo
+        first, then the content-addressed store under the cone's canonical
+        hash — a hash determines the cone structure over its leaves, hence
+        the truth table, so a content hit (counted in ``cone_hash_hits``)
+        is exact even when the table was computed in a different network,
+        round or process.  Only a miss at both levels simulates.
 
         ``interior`` may pass an already-computed topological ordering of the
         cone (as produced by :func:`repro.cuts.enumeration.cut_cone`) to skip
@@ -155,13 +186,63 @@ class CutFunctionCache:
         if table is not None:
             self.function_hits += 1
             return table
-        self.function_misses += 1
         if interior is None:
             interior = self.cone_interior(xag, root, leaves)
-        table = _simulate_cone(xag, root, leaves, interior)
+        digest = self.cone_hash_for(xag, root, leaves, interior)
+        table = self._cone_tables.get(digest)
+        if table is not None:
+            self.function_hits += 1
+            self.cone_hash_hits += 1
+        else:
+            self.function_misses += 1
+            table = _simulate_cone(xag, root, leaves, interior)
+            self._cone_tables[digest] = table
         self._functions[key] = table
         self._register_key(root, key)
         return table
+
+    def cone_hash_for(self, xag: Xag, root: int, leaves: Tuple[int, ...],
+                      interior: Optional[Sequence[int]] = None) -> int:
+        """Canonical content hash of the ``(root, leaves)`` cone, memoised.
+
+        Shares the memo layer's lifetime and per-root invalidation: a hash
+        is only stale when a rewired node sits inside the cone, exactly the
+        condition that evicts the cone's other memo entries.
+        """
+        self.bind(xag)
+        key = (root, leaves)
+        digest = self._cone_hashes.get(key)
+        if digest is None:
+            if interior is None:
+                interior = self.cone_interior(xag, root, leaves)
+            digest = _cone_hash(xag, root, leaves, interior)
+            self._cone_hashes[key] = digest
+            self._register_key(root, key)
+        return digest
+
+    def has_cone_function(self, xag: Xag, root: int, leaves: Tuple[int, ...],
+                          interior: Optional[Sequence[int]] = None) -> bool:
+        """True when :meth:`cone_function` will resolve without simulating.
+
+        The batching rewriter asks this while collecting the cones a drain
+        is missing: a memo entry answers outright; otherwise the cone is
+        hashed and a content-store hit is *promoted* into the memo (counted
+        in ``cone_hash_hits`` now, as a ``function_hits`` when
+        :meth:`cone_function` serves it) so the batch only simulates cones
+        no run has ever seen.
+        """
+        self.bind(xag)
+        key = (root, leaves)
+        if key in self._functions:
+            return True
+        digest = self.cone_hash_for(xag, root, leaves, interior)
+        table = self._cone_tables.get(digest)
+        if table is None:
+            return False
+        self.cone_hash_hits += 1
+        self._functions[key] = table
+        self._register_key(root, key)
+        return True
 
     def cone_interior(self, xag: Xag, root: int,
                       leaves: Tuple[int, ...]) -> List[int]:
@@ -199,6 +280,10 @@ class CutFunctionCache:
             self.function_misses += 1
             functions[key] = table
             self._register_key(key[0], key)
+            # land the table in the content-addressed store as well: the
+            # interior is memoised from the drain's own enumeration, so the
+            # hash costs one walk of nodes that were just simulated anyway.
+            self._cone_tables[self.cone_hash_for(xag, key[0], key[1])] = table
 
     def _register_key(self, root: int,
                       key: Tuple[int, Tuple[int, ...]]) -> None:
@@ -252,6 +337,33 @@ class CutFunctionCache:
             installed += 1
         return installed
 
+    def cone_entries(self) -> List[Tuple[str, int]]:
+        """Sorted ``(cone hash hex, table)`` pairs of the content store.
+
+        This is what a warm-start bundle persists for the content-addressed
+        layer: hashes are canonical, so entries restored into any process
+        serve structurally identical cones of any circuit.
+        """
+        return sorted((format(digest, "x"), table)
+                      for digest, table in self._cone_tables.items())
+
+    def warm_start_cones(self, entries: Sequence[Sequence]) -> int:
+        """Restore content-addressed cone tables (from a bundle or shard).
+
+        Counters are untouched — like :meth:`warm_start`, restoring another
+        run's work must not masquerade as this run's hits.  Returns the
+        number of entries installed.
+        """
+        installed = 0
+        tables = self._cone_tables
+        for digest_hex, table in entries:
+            digest = int(digest_hex, 16)
+            if digest in tables:
+                continue
+            tables[digest] = int(table)
+            installed += 1
+        return installed
+
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
@@ -261,10 +373,12 @@ class CutFunctionCache:
         plan_total = self.plan_hits + self.plan_misses
         return {
             "stored_functions": len(self._functions),
+            "stored_cone_tables": len(self._cone_tables),
             "stored_plans": len(self._plans),
             "function_hits": self.function_hits,
             "function_misses": self.function_misses,
             "function_invalidations": self.function_invalidations,
+            "cone_hash_hits": self.cone_hash_hits,
             "function_hit_rate": self.function_hits / function_total if function_total else 0.0,
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
@@ -276,6 +390,8 @@ class CutFunctionCache:
         self._functions.clear()
         self._interiors.clear()
         self._root_keys.clear()
+        self._cone_hashes.clear()
+        self._cone_tables.clear()
         self._plans.clear()
         if self._bound_xag is not None:
             self._bound_xag.unsubscribe(self)
@@ -287,6 +403,7 @@ class CutFunctionCache:
         self.plan_hits = 0
         self.plan_misses = 0
         self.function_invalidations = 0
+        self.cone_hash_hits = 0
 
     def __len__(self) -> int:
         return len(self._plans)

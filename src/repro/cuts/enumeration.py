@@ -9,7 +9,13 @@ merge step but is not reported to the rewriter.
 
 Cut functions are not computed during enumeration; they are evaluated on
 demand by simulating the cut cone with projection truth tables, which is much
-cheaper in pure Python than maintaining tables through every merge.
+cheaper in pure Python than maintaining tables through every merge.  When a
+shared :class:`repro.cuts.cache.CutFunctionCache` is supplied, even that
+simulation is usually skipped: the cache resolves cones by canonical
+structural hash (:func:`repro.xag.structhash.cone_hash`), so a cone already
+simulated in *any* network — this round, another circuit of the batch, or a
+restored warm-start bundle — serves its table from the content-addressed
+store.
 """
 
 from __future__ import annotations
@@ -277,7 +283,9 @@ def cut_function(xag: Xag, cut: Cut, cache: Optional["CutFunctionCache"] = None)
 
     ``cache`` may pass a shared :class:`repro.cuts.cache.CutFunctionCache` so
     that repeated queries for the same cut (e.g. by the rewriter and by the
-    ablation benchmarks) simulate the cone only once per network.
+    ablation benchmarks) simulate the cone only once per network — and, via
+    the cache's content-addressed store, only once per cone *structure*
+    across every network the cache has served.
     """
     num_vars = len(cut.leaves)
     if num_vars > 16:

@@ -105,7 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "processes (default: 1)")
     parser.add_argument("--db", metavar="PATH", default=None,
                         help="warm-start bundle: load it when present, save "
-                             "recipes/classifications/plans back on exit")
+                             "recipes/classifications/plans/cone tables "
+                             "(and --result-cache results) back on exit")
+    parser.add_argument("--result-cache", action="store_true",
+                        help="whole-circuit result cache: circuits are keyed "
+                             "by canonical structural hash + flow + cost "
+                             "model + cut parameters, and a circuit "
+                             "optimised before (under any name) returns the "
+                             "cached network and report without rerunning "
+                             "the pipeline; persists through --db")
     parser.add_argument("--rebuild", action="store_true",
                         help="rewrite by out-of-place reconstruction instead of "
                              "in-place substitution (A/B checking)")
@@ -148,6 +156,7 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
         warm_start=args.db,
         persist=args.db,
         backend=args.backend,
+        result_cache=args.result_cache,
     )
 
 
@@ -198,6 +207,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "cut_cache": batch.cut_cache_stats,
                 "sim_cache": {"hits": batch.sim_cache_hits,
                               "misses": batch.sim_cache_misses},
+                # None unless the run was started with --result-cache
+                "result_cache": batch.result_cache_stats,
             },
             "circuits": [
                 {
@@ -220,6 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "within_budget": report.within_budget,
                     "rounds": len(report.rounds),
                     "verified": report.verified,
+                    "result_cache_hit": report.result_cache_hit,
                     "stage_seconds": report.stage_timings(),
                 }
                 for report in batch.reports

@@ -53,7 +53,10 @@ from repro.rewriting.pipeline import (FlowSummary, Pass, PipelineResult,
                                       flow_script, parse_flow, run_pipeline,
                                       standard_flow)
 from repro.rewriting.rewrite import RewriteParams, RoundStats
+from repro.xag import serialize as xag_serialize
 from repro.xag.bitsim import SimulationCache
+from repro.xag.graph import Xag
+from repro.xag.structhash import graph_hash
 
 #: suite name → registry loader.
 SUITES = {
@@ -117,6 +120,13 @@ class EngineConfig:
     #: "numpy" (a hard error when numpy is not importable).  Both backends
     #: produce bit-identical results; the choice only affects speed.
     backend: str = "auto"
+    #: whole-circuit result cache (CLI ``--result-cache``): circuits are
+    #: keyed by ``(canonical graph hash, resolved flow, cost model, cut
+    #: parameters)`` and a key seen before returns the cached optimised
+    #: network and report without running the pipeline.  The cache travels
+    #: in the warm-start bundle, so with ``--db`` a circuit optimised in any
+    #: earlier run — under any name, in any process — is a hit.
+    result_cache: bool = False
 
 
 @dataclass
@@ -151,6 +161,9 @@ class CircuitReport(FlowSummary):
     balance_seconds: float = 0.0
     verified: Optional[bool] = None
     error: Optional[str] = None
+    #: True when the whole-circuit result cache served this report (the
+    #: pipeline did not run; round statistics are placeholders).
+    result_cache_hit: bool = False
 
     @property
     def verify_seconds(self) -> float:
@@ -190,6 +203,8 @@ class BatchReport:
     reports: List[CircuitReport] = field(default_factory=list)
     database_stats: Dict[str, float] = field(default_factory=dict)
     cut_cache_stats: Dict[str, float] = field(default_factory=dict)
+    #: whole-circuit result-cache counters (``None`` when the cache is off).
+    result_cache_stats: Optional[Dict[str, float]] = None
     sim_cache_hits: int = 0
     sim_cache_misses: int = 0
     total_seconds: float = 0.0
@@ -267,6 +282,12 @@ class BatchReport:
         if self.config.flow is not None:
             mode_note += f" [flow: {self.config.flow}]"
         mode_note += f" [{self.backend} kernels]"
+        result_note = ""
+        if self.result_cache_stats is not None:
+            result_note = (
+                f" | result cache "
+                f"{self.result_cache_stats.get('hits', 0):.0f} hits / "
+                f"{self.result_cache_stats.get('misses', 0):.0f} misses")
         lines.append(
             f"{len(self.succeeded)}/{len(self.reports)} circuits in "
             f"{self.total_seconds:.2f}s{jobs_note}{warm_note}{mode_note} | plan cache "
@@ -274,8 +295,144 @@ class BatchReport:
             f"({round(100 * plan_rate)}% hit rate) | db "
             f"{self.database_stats.get('stored_recipes', 0):.0f} recipes / "
             f"{self.database_stats.get('synthesis_calls', 0):.0f} synthesis calls | "
-            f"sim cache {self.sim_cache_hits} hits / {self.sim_cache_misses} misses")
+            f"sim cache {self.sim_cache_hits} hits / {self.sim_cache_misses} misses"
+            f"{result_note}")
         return "\n".join(lines)
+
+
+class ResultCache:
+    """Whole-circuit result cache, content-addressed by canonical graph hash.
+
+    An entry maps ``(graph hash, resolved flow, cost model, cut size, cut
+    limit)`` to the serialised optimised network plus the report numbers of
+    the run that produced it.  The graph hash
+    (:func:`repro.xag.structhash.graph_hash`) is invariant under PI/PO
+    renaming and gate creation order, so a renamed copy of an
+    already-optimised circuit — parsed from a different file, in a different
+    process — hits without running a single pipeline pass.  Entries travel
+    in the ``results`` section of the v3 warm-start bundle.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str, str, int, int], Dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(digest: int, config: "EngineConfig") -> Tuple[str, str, str, int, int]:
+        """Cache key of a circuit hashing to ``digest`` under ``config``.
+
+        Everything that changes what the pipeline would produce is part of
+        the key; everything that only changes how it is executed (backend,
+        jobs, in-place vs rebuild — bit-identical by the A/B contract) is
+        not.
+        """
+        model = cost_model(config.objective)
+        return (format(digest, "x"), resolved_flow(config), model.name,
+                config.cut_size, config.cut_limit)
+
+    def lookup(self, key: Tuple[str, str, str, int, int]) -> Optional[Dict]:
+        """Entry for ``key``, counting one hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, key: Tuple[str, str, str, int, int], network: Xag,
+              report: "CircuitReport") -> None:
+        """Record a finished run (first write wins, like every bundle merge)."""
+        if key in self._entries:
+            return
+        self._entries[key] = {
+            "key": list(key),
+            "network": xag_serialize.to_dict(network),
+            "network_hash": format(graph_hash(network), "x"),
+            "report": {
+                "num_pis": report.num_pis,
+                "num_pos": report.num_pos,
+                "ands_before": report.ands_before,
+                "xors_before": report.xors_before,
+                "ands_after": report.ands_after,
+                "xors_after": report.xors_after,
+                "depth_before": report.depth_before,
+                "depth_after": report.depth_after,
+                "cost_model": report.cost_model,
+                "cost_before": report.cost_before,
+                "cost_after": report.cost_after,
+                "within_budget": report.within_budget,
+                "rounds": len(report.rounds),
+                "verified": report.verified,
+            },
+        }
+
+    def network_for(self, key: Tuple[str, str, str, int, int]) -> Xag:
+        """Deserialise the cached optimised network (integrity-checked).
+
+        The stored network's recomputed graph hash must equal the recorded
+        ``network_hash`` — a mismatch means the bundle was corrupted or
+        hand-edited, and is rejected rather than handed to a consumer as an
+        optimised circuit.
+        """
+        entry = self._entries[key]
+        network = xag_serialize.from_dict(entry["network"])
+        digest = format(graph_hash(network), "x")
+        if digest != entry["network_hash"]:
+            raise ValueError(
+                f"result-cache entry {key[0]}: stored network hashes to "
+                f"{digest} but the entry claims {entry['network_hash']}; "
+                f"rejecting the corrupt entry")
+        return network
+
+    def entries(self) -> List[Dict]:
+        """Bundle payload: every entry, sorted by key."""
+        return [self._entries[key] for key in sorted(self._entries)]
+
+    def install(self, entries: Sequence[Dict], validate: bool = True,
+                origin: str = "bundle") -> int:
+        """Merge bundle entries (first write wins); returns the number added.
+
+        With ``validate`` each entry's network is deserialised and its
+        recomputed graph hash checked against the recorded ``network_hash``
+        before the entry is accepted.
+        """
+        installed = 0
+        for position, entry in enumerate(entries):
+            try:
+                raw_key = entry["key"]
+                key = (str(raw_key[0]), str(raw_key[1]), str(raw_key[2]),
+                       int(raw_key[3]), int(raw_key[4]))
+                entry["report"]  # noqa: B018 - presence check
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                raise ValueError(f"{origin}: malformed result entry "
+                                 f"#{position}: {exc}") from exc
+            if key in self._entries:
+                continue
+            if validate:
+                network = xag_serialize.from_dict(entry["network"])
+                digest = format(graph_hash(network), "x")
+                if digest != entry.get("network_hash"):
+                    raise ValueError(
+                        f"{origin}: result entry #{position} stores a network "
+                        f"hashing to {digest} but claims "
+                        f"{entry.get('network_hash')}; rejecting the bundle")
+            self._entries[key] = entry
+            installed += 1
+        return installed
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for the engine report."""
+        total = self.hits + self.misses
+        return {
+            "stored_results": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def available_cases(suites: Sequence[str] = ("epfl", "crypto"),
@@ -350,7 +507,8 @@ def resolved_flow(config: EngineConfig) -> str:
 def run_circuit(case: BenchmarkCase, config: EngineConfig,
                 database: Optional[McDatabase] = None,
                 cut_cache: Optional[CutFunctionCache] = None,
-                sim_cache: Optional[SimulationCache] = None) -> CircuitReport:
+                sim_cache: Optional[SimulationCache] = None,
+                result_cache: Optional[ResultCache] = None) -> CircuitReport:
     """Run the configured pipeline on one benchmark case, timing every stage.
 
     One generic path for every flow: the pipeline (canonical per objective,
@@ -372,6 +530,15 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
 
         report.num_pis = xag.num_pis
         report.num_pos = xag.num_pos
+
+        result_key = None
+        if result_cache is not None:
+            result_key = ResultCache.key_for(graph_hash(xag), config)
+            entry = result_cache.lookup(result_key)
+            if entry is not None:
+                _fill_report_from_entry(report, entry)
+                return report
+
         verify = 0 < (xag.num_ands + xag.num_xors) <= config.verify_limit
         params = RewriteParams(cut_size=config.cut_size, cut_limit=config.cut_limit,
                                objective=config.objective, verify=verify,
@@ -411,9 +578,37 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
             # None (not True) when the flow produced zero verified rounds —
             # an unchecked run must not read as a passed check.
             report.verified = result.verified
+        if result_key is not None:
+            result_cache.store(result_key, result.final, report)
     except Exception as exc:  # noqa: BLE001 - batch runs must survive one bad case
         report.error = f"{type(exc).__name__}: {exc}"
     return report
+
+
+def _fill_report_from_entry(report: CircuitReport, entry: Dict) -> None:
+    """Populate a report from a result-cache entry (the pipeline is skipped).
+
+    The stored numbers are bit-identical to what the pipeline would produce
+    — that is the content-addressing contract — so only the timings differ:
+    every stage except the build reads zero.  Rounds are restored as
+    placeholder :class:`RoundStats` so round-count consumers (the report
+    table, the JSON payload) see the original count.
+    """
+    stored = entry["report"]
+    report.ands_before = stored["ands_before"]
+    report.xors_before = stored["xors_before"]
+    report.ands_after = stored["ands_after"]
+    report.xors_after = stored["xors_after"]
+    report.depth_before = stored["depth_before"]
+    report.depth_after = stored["depth_after"]
+    report.cost_model = stored["cost_model"]
+    report.cost_before = stored["cost_before"]
+    report.cost_after = stored["cost_after"]
+    report.within_budget = stored["within_budget"]
+    report.verified = stored["verified"]
+    report.rounds = [RoundStats(mode="cached", objective=stored["cost_model"])
+                     for _ in range(int(stored["rounds"]))]
+    report.result_cache_hit = True
 
 
 def _one_round_seconds(result: PipelineResult) -> float:
@@ -439,12 +634,15 @@ def _one_round_seconds(result: PipelineResult) -> float:
 # warm-start persistence
 # ----------------------------------------------------------------------
 def load_warm_start(path: Union[str, Path], database: McDatabase,
-                    cut_cache: CutFunctionCache) -> bool:
+                    cut_cache: CutFunctionCache,
+                    result_cache: Optional[ResultCache] = None) -> bool:
     """Load a warm-start bundle into the shared store, if ``path`` exists.
 
     Restores the database's recipes and classification results, then
-    re-materialises the persisted cut-function plans on top of them (no
-    classification or synthesis is repeated, and the cache statistics are
+    re-materialises the persisted cut-function plans on top of them and
+    restores the content-addressed cone tables — and, when a
+    ``result_cache`` is given, the whole-circuit results (no classification,
+    synthesis or simulation is repeated, and the cache statistics are
     untouched).  Returns ``True`` when a bundle was found and loaded.
     """
     path = Path(path)
@@ -457,13 +655,20 @@ def load_warm_start(path: Union[str, Path], database: McDatabase,
     database.install_bundle(bundle, origin=str(path))
     if isinstance(bundle, dict):
         cut_cache.warm_start(bundle.get("plans", []))
+        cut_cache.warm_start_cones(bundle.get("cones", []))
+        if result_cache is not None:
+            result_cache.install(bundle.get("results", []), origin=str(path))
     return True
 
 
 def persist_warm_start(path: Union[str, Path], database: McDatabase,
-                       cut_cache: CutFunctionCache) -> None:
+                       cut_cache: CutFunctionCache,
+                       result_cache: Optional[ResultCache] = None) -> None:
     """Write the shared store (including plan keys) as a warm-start bundle."""
-    database.save(path, plan_keys=cut_cache.plan_keys())
+    database.save(path, plan_keys=cut_cache.plan_keys(),
+                  cones=cut_cache.cone_entries(),
+                  results=result_cache.entries() if result_cache is not None
+                  else None)
 
 
 # ----------------------------------------------------------------------
@@ -500,29 +705,39 @@ def _shard_worker(payload: Tuple[EngineConfig, List[Tuple[int, str]],
     database = McDatabase(use_classification=use_classification)
     cut_cache = CutFunctionCache(database)
     sim_cache = SimulationCache()
+    result_cache = ResultCache() if config.result_cache else None
     if bundle is not None:
         # the parent already validated the bundle (or built it itself)
         database.install_bundle(bundle, validate=False)
         cut_cache.warm_start(bundle.get("plans", []))
+        cut_cache.warm_start_cones(bundle.get("cones", []))
+        if result_cache is not None:
+            result_cache.install(bundle.get("results", []), validate=False)
     cases_by_name = {case.name: case
                      for case in available_cases(config.suites,
                                                  config.corpus_dirs)}
     reports = [
         (index, run_circuit(cases_by_name[name], config,
-                            cut_cache=cut_cache, sim_cache=sim_cache))
+                            cut_cache=cut_cache, sim_cache=sim_cache,
+                            result_cache=result_cache))
         for index, name in indexed_names
     ]
-    learnt = database.to_bundle(plan_keys=cut_cache.plan_keys())
+    learnt = database.to_bundle(
+        plan_keys=cut_cache.plan_keys(), cones=cut_cache.cone_entries(),
+        results=result_cache.entries() if result_cache is not None else None)
     stats = {
         "database": database.stats(),
         "cut_cache": cut_cache.stats(),
         "sim_cache": {"hits": sim_cache.hits, "misses": sim_cache.misses},
     }
+    if result_cache is not None:
+        stats["result_cache"] = result_cache.stats()
     return reports, learnt, stats
 
 
 def _aggregate_worker_stats(batch: BatchReport, database: McDatabase,
-                            cut_cache: CutFunctionCache) -> None:
+                            cut_cache: CutFunctionCache,
+                            result_cache: Optional[ResultCache] = None) -> None:
     """Sum per-worker counters into the batch-level statistics.
 
     Counter-like keys (hits, misses, synthesis calls) add up across workers;
@@ -532,12 +747,16 @@ def _aggregate_worker_stats(batch: BatchReport, database: McDatabase,
     database_stats: Dict[str, float] = {key: 0.0 for key in (
         "synthesis_calls", "classification_hits", "classification_misses")}
     cut_stats: Dict[str, float] = {key: 0.0 for key in (
-        "function_hits", "function_misses", "plan_hits", "plan_misses")}
+        "function_hits", "function_misses", "plan_hits", "plan_misses",
+        "cone_hash_hits")}
+    result_stats: Dict[str, float] = {"hits": 0.0, "misses": 0.0}
     for worker in batch.worker_stats:
         for key in database_stats:
             database_stats[key] += worker["database"].get(key, 0)
         for key in cut_stats:
             cut_stats[key] += worker["cut_cache"].get(key, 0)
+        for key in result_stats:
+            result_stats[key] += worker.get("result_cache", {}).get(key, 0)
         batch.sim_cache_hits += int(worker["sim_cache"]["hits"])
         batch.sim_cache_misses += int(worker["sim_cache"]["misses"])
     classification_total = (database_stats["classification_hits"]
@@ -557,13 +776,21 @@ def _aggregate_worker_stats(batch: BatchReport, database: McDatabase,
     cut_stats["stored_functions"] = sum(
         worker["cut_cache"].get("stored_functions", 0)
         for worker in batch.worker_stats)
+    cut_stats["stored_cone_tables"] = cut_cache.stats()["stored_cone_tables"]
     batch.database_stats = database_stats
     batch.cut_cache_stats = cut_stats
+    if result_cache is not None:
+        total = result_stats["hits"] + result_stats["misses"]
+        result_stats["hit_rate"] = (result_stats["hits"] / total
+                                    if total else 0.0)
+        result_stats["stored_results"] = len(result_cache)
+        batch.result_cache_stats = result_stats
 
 
 def _run_batch_sharded(batch: BatchReport, cases: Sequence[BenchmarkCase],
                        config: EngineConfig, database: McDatabase,
-                       cut_cache: CutFunctionCache) -> None:
+                       cut_cache: CutFunctionCache,
+                       result_cache: Optional[ResultCache] = None) -> None:
     """Fan the cases out over worker processes and merge the results."""
     shards = _partition_cases(cases, config.jobs)
     # workers run their shard sequentially and never touch the filesystem;
@@ -575,7 +802,9 @@ def _run_batch_sharded(batch: BatchReport, cases: Sequence[BenchmarkCase],
     # the parent recorded, whatever "auto" would resolve to over there
     worker_config = replace(config, jobs=1, warm_start=None, persist=None,
                             backend=kernels.backend_name())
-    seed_bundle = database.to_bundle(plan_keys=cut_cache.plan_keys())
+    seed_bundle = database.to_bundle(
+        plan_keys=cut_cache.plan_keys(), cones=cut_cache.cone_entries(),
+        results=result_cache.entries() if result_cache is not None else None)
     payloads = [(worker_config, shard, seed_bundle, database.use_classification)
                 for shard in shards]
     with multiprocessing.Pool(processes=len(shards)) as pool:
@@ -585,10 +814,13 @@ def _run_batch_sharded(batch: BatchReport, cases: Sequence[BenchmarkCase],
         indexed_reports.extend(reports)
         database.install_bundle(learnt, validate=False)
         cut_cache.warm_start(learnt.get("plans", []))
+        cut_cache.warm_start_cones(learnt.get("cones", []))
+        if result_cache is not None:
+            result_cache.install(learnt.get("results", []), validate=False)
         batch.worker_stats.append(stats)
     batch.reports.extend(report for _, report in
                          sorted(indexed_reports, key=lambda pair: pair[0]))
-    _aggregate_worker_stats(batch, database, cut_cache)
+    _aggregate_worker_stats(batch, database, cut_cache, result_cache)
 
 
 def run_batch(config: Optional[EngineConfig] = None,
@@ -612,26 +844,33 @@ def run_batch(config: Optional[EngineConfig] = None,
     database = database if database is not None else McDatabase()
     cut_cache = CutFunctionCache(database)
     sim_cache = SimulationCache()
+    result_cache = ResultCache() if config.result_cache else None
     batch = BatchReport(config=config, backend=backend)
     start = time.perf_counter()
     with kernels.use_backend(backend):
         if config.warm_start is not None:
-            batch.warm_start_loaded = load_warm_start(config.warm_start,
-                                                      database, cut_cache)
+            batch.warm_start_loaded = load_warm_start(
+                config.warm_start, database, cut_cache,
+                result_cache=result_cache)
         cases = select_cases(config)
         batch.jobs = min(config.jobs, max(1, len(cases)))
         if batch.jobs > 1:
-            _run_batch_sharded(batch, cases, config, database, cut_cache)
+            _run_batch_sharded(batch, cases, config, database, cut_cache,
+                               result_cache=result_cache)
         else:
             for case in cases:
                 batch.reports.append(
                     run_circuit(case, config, cut_cache=cut_cache,
-                                sim_cache=sim_cache))
+                                sim_cache=sim_cache,
+                                result_cache=result_cache))
             batch.database_stats = database.stats()
             batch.cut_cache_stats = cut_cache.stats()
             batch.sim_cache_hits = sim_cache.hits
             batch.sim_cache_misses = sim_cache.misses
+            if result_cache is not None:
+                batch.result_cache_stats = result_cache.stats()
     batch.total_seconds = time.perf_counter() - start
     if config.persist is not None:
-        persist_warm_start(config.persist, database, cut_cache)
+        persist_warm_start(config.persist, database, cut_cache,
+                           result_cache=result_cache)
     return batch

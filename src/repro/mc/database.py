@@ -18,9 +18,11 @@ reaches :meth:`McDatabase.plan_for` once per batch of circuits.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.affine.cache import ClassificationCache
 from repro.affine.classify import AffineClassifier
@@ -30,6 +32,7 @@ from repro.tt.bits import table_mask
 from repro.xag import serialize as xag_serialize
 from repro.xag.graph import Xag
 from repro.xag.simulate import output_truth_tables
+from repro.xag.structhash import graph_hash
 
 
 @dataclass
@@ -67,6 +70,10 @@ class McDatabase:
         #: synthesises every cut function directly (ablation mode).
         self.use_classification = use_classification
         self._recipes: Dict[Tuple[int, int], Xag] = {}
+        #: canonical structural hash (hex) of every stored recipe — the
+        #: content address entries carry in v3 bundles and the dedup index
+        #: that makes :meth:`install_bundle` idempotent by construction.
+        self._recipe_hashes: Dict[Tuple[int, int], str] = {}
         self.synthesis_calls = 0
 
     # ------------------------------------------------------------------
@@ -110,9 +117,14 @@ class McDatabase:
         recipe = self._recipes.get(key)
         if recipe is None:
             recipe = self.synthesizer.synthesize(representative, num_vars)
-            self._recipes[key] = recipe
+            self._store_recipe(key, recipe)
             self.synthesis_calls += 1
         return recipe
+
+    def _store_recipe(self, key: Tuple[int, int], recipe: Xag) -> None:
+        """Insert a recipe and its content address (recipes are immutable)."""
+        self._recipes[key] = recipe
+        self._recipe_hashes[key] = format(graph_hash(recipe), "x")
 
     # ------------------------------------------------------------------
     # persistence and inspection
@@ -131,48 +143,75 @@ class McDatabase:
             "total_recipe_ands": sum(r.num_ands for r in self._recipes.values()),
         }
 
-    #: bundle file magic / schema version (version 1 was a bare recipe list).
+    #: bundle file magic / schema version.  Version 1 was a bare recipe
+    #: list; version 2 added classifications and plan keys; version 3 made
+    #: the bundle a content-addressed store — every recipe entry carries
+    #: the canonical structural hash of its XAG (entries sorted by it) and
+    #: optional ``cones`` / ``results`` sections persist the cut cache's
+    #: content-addressed cone tables and the engine's whole-circuit result
+    #: cache.  v2 and v1 files still load.
     BUNDLE_FORMAT = "repro-warm-start"
-    BUNDLE_VERSION = 2
+    BUNDLE_VERSION = 3
 
-    def to_bundle(self, plan_keys: Optional[Iterable[Tuple[int, int]]] = None) -> Dict:
+    def to_bundle(self, plan_keys: Optional[Iterable[Tuple[int, int]]] = None,
+                  cones: Optional[Sequence[Sequence]] = None,
+                  results: Optional[Sequence[Dict]] = None) -> Dict:
         """Versioned warm-start bundle of everything the database has learnt.
 
-        The bundle carries the three layers of reusable state: synthesised
-        recipes, classification results (serialised through
-        :class:`~repro.affine.operations.AffineTransform`) and — when
-        ``plan_keys`` is given — the ``(table, num_vars)`` keys of the
-        :class:`~repro.cuts.cache.CutFunctionCache` plans resolved so far.
-        Plans are stored as keys only: their recipe and transform are shared
-        with the other two sections, so they are rebuilt on load without
-        re-running classification or synthesis.
+        The bundle carries the reusable state layer by layer: synthesised
+        recipes (each under its content hash, sorted by it), classification
+        results (serialised through
+        :class:`~repro.affine.operations.AffineTransform`), and — when the
+        caller passes them — the ``(table, num_vars)`` keys of the
+        :class:`~repro.cuts.cache.CutFunctionCache` plans resolved so far,
+        the cut cache's content-addressed ``(cone hash, table)`` entries and
+        the engine's whole-circuit ``results``.  Plans are stored as keys
+        only: their recipe and transform are shared with the other sections,
+        so they are rebuilt on load without re-running classification or
+        synthesis.
         """
+        entries = []
+        for key, recipe in self._recipes.items():
+            digest = self._recipe_hashes.get(key)
+            if digest is None:  # pre-filled store (tests) — hash lazily
+                digest = format(graph_hash(recipe), "x")
+                self._recipe_hashes[key] = digest
+            entries.append({"hash": digest,
+                            "representative": key[0], "num_vars": key[1],
+                            "recipe": xag_serialize.to_dict(recipe)})
+        entries.sort(key=lambda entry: entry["hash"])
         bundle: Dict = {
             "format": self.BUNDLE_FORMAT,
             "version": self.BUNDLE_VERSION,
-            "recipes": [
-                {"representative": rep, "num_vars": nv,
-                 "recipe": xag_serialize.to_dict(recipe)}
-                for (rep, nv), recipe in sorted(self._recipes.items())
-            ],
+            "recipes": entries,
             "classifications": self.classification_cache.to_payload(),
         }
         if plan_keys is not None:
             bundle["plans"] = [[table, num_vars]
                                for table, num_vars in sorted(plan_keys)]
+        if cones is not None:
+            bundle["cones"] = [list(entry) for entry in cones]
+        if results is not None:
+            bundle["results"] = list(results)
         return bundle
 
     def install_bundle(self, bundle: Union[Dict, List], validate: bool = True,
                        origin: str = "bundle") -> Dict[str, int]:
         """Merge a bundle (or legacy v1 recipe list) into this database.
 
-        Already-present keys win, which makes installation idempotent and
-        order-independent — exactly what the engine's shard merge needs.
+        Merging is idempotent and order-independent *by construction*: a v3
+        entry is identified by its content hash, so an entry whose hash is
+        already installed is skipped without even deserialising competitors
+        for the same ``(representative, num_vars)`` key, and already-present
+        keys win as before — exactly what the engine's shard merge needs.
         With ``validate`` every recipe is re-simulated over its ``num_vars``
-        inputs and checked against its claimed representative, and every
-        classification transform is checked to rebuild its table; a stale or
-        hand-edited bundle is rejected with a descriptive error instead of
-        silently producing wrong rewrites whenever verification is off.
+        inputs and checked against its claimed representative, every
+        classification transform is checked to rebuild its table, and every
+        claimed content hash is recomputed from the deserialised recipe; a
+        stale or hand-edited bundle is rejected with a descriptive error
+        instead of silently producing wrong rewrites whenever verification
+        is off.  v2 bundles (no hashes) and legacy v1 recipe lists still
+        install — their content addresses are computed here.
         """
         if isinstance(bundle, list):  # legacy v1 layout: bare recipe list
             recipes, classifications = bundle, []
@@ -193,7 +232,11 @@ class McDatabase:
                              f"recipe list, got {type(bundle).__name__}")
 
         installed = 0
+        installed_hashes = set(self._recipe_hashes.values())
         for position, entry in enumerate(recipes):
+            claimed_hash = entry.get("hash") if isinstance(entry, dict) else None
+            if claimed_hash is not None and claimed_hash in installed_hashes:
+                continue  # content already present — skip by address alone
             try:
                 representative = int(entry["representative"])
                 num_vars = int(entry["num_vars"])
@@ -201,12 +244,20 @@ class McDatabase:
             except (KeyError, TypeError, ValueError) as exc:
                 raise ValueError(f"{origin}: malformed recipe entry "
                                  f"#{position}: {exc}") from exc
+            digest = format(graph_hash(recipe), "x")
             if validate:
                 self._validate_recipe(recipe, representative, num_vars,
                                       f"{origin}: recipe entry #{position}")
+                if claimed_hash is not None and claimed_hash != digest:
+                    raise ValueError(
+                        f"{origin}: recipe entry #{position} claims content "
+                        f"hash {claimed_hash} but its XAG hashes to {digest}; "
+                        f"rejecting the bundle")
             key = (representative, num_vars)
             if key not in self._recipes:
                 self._recipes[key] = recipe
+                self._recipe_hashes[key] = digest
+                installed_hashes.add(digest)
                 installed += 1
         installed_classifications = self.classification_cache.install_payload(
             classifications, validate=validate, origin=origin)
@@ -214,6 +265,8 @@ class McDatabase:
             "recipes": installed,
             "classifications": installed_classifications,
             "plans": len(bundle.get("plans", [])) if isinstance(bundle, dict) else 0,
+            "cones": len(bundle.get("cones", [])) if isinstance(bundle, dict) else 0,
+            "results": len(bundle.get("results", [])) if isinstance(bundle, dict) else 0,
         }
 
     @staticmethod
@@ -237,9 +290,31 @@ class McDatabase:
                 f"{computed:#x}; rejecting the bundle")
 
     def save(self, path: Union[str, Path],
-             plan_keys: Optional[Iterable[Tuple[int, int]]] = None) -> None:
-        """Persist the warm-start bundle (recipes + classifications) as JSON."""
-        Path(path).write_text(json.dumps(self.to_bundle(plan_keys)))
+             plan_keys: Optional[Iterable[Tuple[int, int]]] = None,
+             cones: Optional[Sequence[Sequence]] = None,
+             results: Optional[Sequence[Dict]] = None) -> None:
+        """Persist the warm-start bundle as JSON, atomically.
+
+        The bundle is serialised into a temporary file in the destination
+        directory and moved over the target with :func:`os.replace`, so a
+        crash — or a raising serialiser — at any point leaves either the old
+        bundle or the new one on disk, never a truncated hybrid.
+        """
+        target = Path(path)
+        payload = json.dumps(self.to_bundle(plan_keys, cones=cones,
+                                            results=results))
+        fd, tmp_name = tempfile.mkstemp(dir=str(target.parent) or ".",
+                                        prefix=target.name + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def load(self, path: Union[str, Path], validate: bool = True) -> int:
         """Load a bundle from a JSON file; returns the number of recipes read.

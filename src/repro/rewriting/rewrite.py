@@ -418,7 +418,6 @@ class CutRewriter:
         # order this sweep produced them, so the selection decisions (and
         # the cache hit/miss counters) are identical on every backend.
         backend = kernels.active_backend()
-        functions = cache._functions
         work: List[Tuple[int, List[Tuple[Cut, int, int]]]] = []
         missing: List[Tuple[int, Tuple[int, ...], List[int]]] = []
         for node in xag.gates():
@@ -449,7 +448,11 @@ class CutRewriter:
                     # they may still lower the root's AND-level.
                     continue
                 items.append((cut, saved_ands, saved_gates))
-                if backend.accelerated and (node, cut.leaves) not in functions:
+                # has_cone_function promotes content-addressed tables into
+                # the memo (cones another circuit or run already simulated),
+                # so the batch only evaluates cones no run has ever seen.
+                if backend.accelerated and not cache.has_cone_function(
+                        xag, node, cut.leaves, interior):
                     missing.append((node, cut.leaves, interior))
             if items:
                 work.append((node, items))

@@ -60,9 +60,10 @@ from repro.testing.oracle import reference_stimulus
 from repro.testing.shrink import shrink_xag
 from repro.xag.bitsim import SimulationCache
 from repro.xag.depth import multiplicative_depth
-from repro.xag.graph import Xag
+from repro.xag.graph import Xag, lit_node
 from repro.xag.serialize import from_dict, to_dict
 from repro.xag.simulate import simulate_words
+from repro.xag.structhash import graph_hash
 
 #: flow scripts checked when none is given: the paper's mc pipeline and the
 #: depth flow's balance + guarded-mc + mc-depth script.
@@ -268,6 +269,84 @@ def _metrics(xag: Xag) -> Dict[str, int]:
 
 
 # ----------------------------------------------------------------------
+# structural-hash consistency
+# ----------------------------------------------------------------------
+def _permuted_copy(xag: Xag, rng: random.Random) -> Xag:
+    """Rebuild ``xag`` creating its gates in a random valid topological order.
+
+    The copy computes the same functions through the same structure — only
+    the node indices differ — so its canonical graph hash must equal the
+    original's.  Unreachable gates are dropped; the hash never sees them.
+    """
+    copy = Xag()
+    copy.name = xag.name
+    lit_of: Dict[int, int] = {0: 0}
+    for index, node in enumerate(xag.pis()):
+        lit_of[node] = copy.create_pi(xag.pi_name(index))
+    remaining: Dict[int, int] = {}
+    dependents: Dict[int, List[int]] = {}
+    ready: List[int] = []
+    for gate in xag.topological_order():
+        if not xag.is_gate(gate):
+            continue
+        f0, f1 = xag.fanins(gate)
+        pending = {lit_node(f0), lit_node(f1)} - set(lit_of)
+        remaining[gate] = len(pending)
+        for dep in pending:
+            dependents.setdefault(dep, []).append(gate)
+        if not pending:
+            ready.append(gate)
+    while ready:
+        gate = ready.pop(rng.randrange(len(ready)))
+        f0, f1 = xag.fanins(gate)
+        a = lit_of[lit_node(f0)] ^ (f0 & 1)
+        b = lit_of[lit_node(f1)] ^ (f1 & 1)
+        lit_of[gate] = (copy.create_and(a, b) if xag.is_and(gate)
+                        else copy.create_xor(a, b))
+        for waiter in dependents.pop(gate, []):
+            remaining[waiter] -= 1
+            if remaining[waiter] == 0:
+                ready.append(waiter)
+    for index, po in enumerate(xag.po_literals()):
+        copy.create_po(lit_of[lit_node(po)] ^ (po & 1), xag.po_name(index))
+    return copy
+
+
+def check_hash_consistency(xag: Xag,
+                           rng: Optional[random.Random] = None) -> List[str]:
+    """Invariance checks of the canonical graph hash; returns failures.
+
+    The hash (:func:`repro.xag.structhash.graph_hash`) is the identity every
+    cache layer keys on, so the harness pins its contract on every seed: it
+    must be invariant under a serialisation round-trip, under PI/PO renaming
+    and under gate creation-order permutation of equal graphs.  (Sensitivity
+    — different structures hashing differently — is checked against the
+    shrunk reproducers by :func:`run_diff`.)
+    """
+    rng = rng if rng is not None else random.Random(0xC0DE)
+    reference = graph_hash(xag)
+    failures: List[str] = []
+
+    restored = from_dict(to_dict(xag))
+    if graph_hash(restored) != reference:
+        failures.append("graph hash changed under a serialisation round-trip")
+
+    renamed_dict = to_dict(xag)
+    renamed_dict["name"] = "renamed"
+    renamed_dict["pi_names"] = [f"pi_{index}" for index
+                                in range(len(renamed_dict["pi_names"]))]
+    renamed_dict["po_names"] = [f"po_{index}" for index
+                                in range(len(renamed_dict["po_names"]))]
+    if graph_hash(from_dict(renamed_dict)) != reference:
+        failures.append("graph hash changed under PI/PO renaming")
+
+    if graph_hash(_permuted_copy(xag, rng)) != reference:
+        failures.append(
+            "graph hash changed under gate creation-order permutation")
+    return failures
+
+
+# ----------------------------------------------------------------------
 # reproducers
 # ----------------------------------------------------------------------
 def write_reproducer(directory: Union[str, Path], seed: int, flow: str,
@@ -335,6 +414,13 @@ def run_diff(config: Optional[DiffConfig] = None,
         xag = random_xag(random.Random(seed), **knobs)
         xag.name = f"seed{seed}"
         report.seeds_run += 1
+        hash_outcome = SeedOutcome(seed=seed, flow="<structural-hash>")
+        hash_outcome.failures = check_hash_consistency(
+            xag, random.Random(seed ^ 0x5A5A))
+        if verbose:
+            status = "DIVERGED" if hash_outcome.diverged else "ok"
+            print(f"seed {seed:>4} hash consistency: {status}", flush=True)
+        report.outcomes.append(hash_outcome)
         for flow in config.flows:
             outcome = SeedOutcome(seed=seed, flow=flow)
             outcome.failures = check_modes(
@@ -350,6 +436,15 @@ def run_diff(config: Optional[DiffConfig] = None,
                         cut_size=config.cut_size,
                         cut_limit=config.cut_limit)),
                     max_evaluations=config.shrink_budget)
+                # hash sensitivity: the shrunk reproducer is a different
+                # (smaller, non-equivalent) structure, so the identity the
+                # caches key on must tell the two networks apart.
+                if (shrunk.num_gates != xag.num_gates
+                        and graph_hash(shrunk) == graph_hash(xag)):
+                    outcome.failures.append(
+                        "graph hash collision: the shrunk reproducer "
+                        "hashes equal to the structurally different "
+                        "original")
                 outcome.reproducer = str(write_reproducer(
                     config.output_dir, seed, flow, knobs, outcome.failures,
                     shrunk, evaluations, xag.num_gates))

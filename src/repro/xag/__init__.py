@@ -25,6 +25,13 @@ from repro.xag.depth import depth, multiplicative_depth, node_levels
 from repro.xag.levels import LevelCache, LevelTracker
 from repro.xag.balance import BalanceStats, balance, balance_in_place
 from repro.xag.cleanup import is_swept, sweep, sweep_owned, sweep_with_map
+from repro.xag.structhash import (
+    StructHashCache,
+    StructHashTracker,
+    cone_hash,
+    graph_hash,
+    node_hashes,
+)
 from repro.xag.equivalence import equivalence_stimulus, equivalent
 from repro.xag.serialize import to_dict, from_dict, save, load
 from repro.xag.dot import to_dot
@@ -57,6 +64,11 @@ __all__ = [
     "BalanceStats",
     "balance",
     "balance_in_place",
+    "StructHashCache",
+    "StructHashTracker",
+    "cone_hash",
+    "graph_hash",
+    "node_hashes",
     "is_swept",
     "sweep",
     "sweep_owned",

@@ -4,14 +4,16 @@ import random
 
 import pytest
 
+from repro import kernels
 from repro.testing import random_xag
 from repro.circuits import arithmetic as A
 from repro.circuits import control as C
 from repro.cuts.cache import CutFunctionCache
 from repro.cuts.enumeration import CutSetCache, enumerate_cuts
 from repro.rewriting import CutRewriter, RewriteParams, optimize, paper_flow
-from repro.xag import (BitSimulator, LevelTracker, balance_in_place,
-                       equivalent, is_swept, node_levels, node_values, sweep)
+from repro.xag import (BitSimulator, LevelTracker, StructHashTracker,
+                       balance_in_place, equivalent, is_swept, node_hashes,
+                       node_levels, node_values, sweep)
 from repro.xag.equivalence import equivalence_stimulus
 from repro.xag.graph import Xag, lit_node, lit_not, literal
 
@@ -238,6 +240,63 @@ def test_maintained_levels_under_random_edit_and_balance_sequences():
                 for node in xag.topological_order():
                     assert maintained[node] == fresh[node], \
                         f"seed {seed} step {step} node {node} and_only {and_only}"
+
+
+@pytest.mark.parametrize("backend_name", [
+    "python",
+    pytest.param("numpy", marks=pytest.mark.skipif(
+        not kernels.numpy_available(),
+        reason="numpy backend not importable")),
+])
+def test_maintained_hashes_under_random_edit_and_balance_sequences(backend_name):
+    """Maintained structural hashes must equal a fresh ``node_hashes``
+    recompute after random substitute/rollback/balance sequences — the same
+    discipline the level tracker pins, on both kernel backends (satellite)."""
+    total_full = total_incremental = 0
+    with kernels.use_backend(backend_name):
+        for seed in range(6):
+            rng = random.Random(2000 + seed)
+            xag = random_xag(rng, num_pis=5, num_gates=30, and_bias=0.6)
+            tracker = StructHashTracker(xag)
+            tracker.sync()
+
+            for step in range(10):
+                action = rng.random()
+                live_gates = list(xag.gates())
+                if action < 0.4 and live_gates:
+                    node = rng.choice(live_gates)
+                    forbidden = xag.transitive_fanout([node])
+                    candidates = [n for n in xag.topological_order()
+                                  if n != node and not xag.is_constant(n)
+                                  and n not in forbidden]
+                    if not candidates:
+                        continue
+                    xag.substitute_node(node, literal(rng.choice(candidates),
+                                                      rng.random() < 0.5))
+                elif action < 0.55 and live_gates:
+                    xag.substitute_node(rng.choice(live_gates),
+                                        rng.randint(0, 1))
+                elif action < 0.75:
+                    checkpoint = xag.checkpoint()
+                    pis = xag.pi_literals()
+                    xag.create_and(
+                        xag.create_xor(rng.choice(pis), rng.choice(pis)),
+                        rng.choice(pis))
+                    tracker.sync()
+                    xag.rollback(checkpoint)
+                else:
+                    balance_in_place(xag, verify=True)
+
+                fresh = node_hashes(xag)
+                maintained = tracker.hashes()
+                for node in xag.topological_order():
+                    assert maintained[node] == fresh[node], \
+                        f"seed {seed} step {step} node {node}"
+            total_full += tracker.full_updates
+            total_incremental += tracker.incremental_updates
+    # the sequences must exercise both maintenance paths
+    assert total_full >= 1
+    assert total_incremental >= 1
 
 
 def test_construction_path_revive_notifies_observers():

@@ -1,6 +1,7 @@
 """Tests for the representative database (XAG_DB analogue)."""
 
 import json
+import os
 import random
 
 import pytest
@@ -9,6 +10,7 @@ from repro.mc import McDatabase, McSynthesizer
 from repro.tt import random_table, table_mask
 from repro.tt.bits import projection
 from repro.xag.simulate import output_truth_tables
+from repro.xag.structhash import graph_hash
 
 
 def apply_plan_to_tables(plan):
@@ -220,6 +222,120 @@ def test_export_combined_xag():
     assert combined.num_pos == len(database._recipes)
     assert combined.num_pis == 5
     assert combined.name == "XAG_DB"
+
+
+def test_save_is_atomic_under_crash(tmp_path, monkeypatch):
+    """A crash mid-save must leave the previous bundle intact and loadable
+    (satellite: temp file + ``os.replace``, no truncated hybrid)."""
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    path = tmp_path / "bundle.json"
+    database.save(path)
+    original = path.read_text()
+
+    database.plan_for(0x96, 3)
+    real_replace = os.replace
+
+    def crash(src, dst):
+        raise OSError("simulated crash before the atomic rename")
+
+    monkeypatch.setattr(os, "replace", crash)
+    with pytest.raises(OSError, match="simulated crash"):
+        database.save(path)
+    monkeypatch.setattr(os, "replace", real_replace)
+
+    # the old bundle is byte-identical, still loads, and the temporary
+    # file was cleaned up
+    assert path.read_text() == original
+    assert list(tmp_path.glob("*.tmp")) == []
+    restored = McDatabase()
+    assert restored.load(path) == 1
+    assert restored.plan_for(0xE8, 3).num_ands == 1
+
+
+def test_bundle_v3_entries_are_content_addressed(tmp_path):
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    database.plan_for(0x96, 3)
+    bundle = database.to_bundle()
+    assert bundle["version"] == 3
+    hashes = [entry["hash"] for entry in bundle["recipes"]]
+    assert hashes == sorted(hashes)
+    for entry in bundle["recipes"]:
+        key = (entry["representative"], entry["num_vars"])
+        assert entry["hash"] == format(graph_hash(database._recipes[key]), "x")
+
+
+def test_install_bundle_skips_known_hashes_without_deserialising():
+    """An entry whose content hash is already installed is skipped by
+    address alone — even a corrupted payload under a known hash never gets
+    deserialised (that is what content addressing buys the shard merge)."""
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    bundle = database.to_bundle()
+    # corrupt the payload but keep the (already-installed) hash
+    bundle["recipes"][0]["recipe"] = {"not": "a network"}
+    bundle["recipes"][0]["representative"] = "garbage"
+
+    merged = McDatabase()
+    merged.install_bundle(database.to_bundle())
+    counts = merged.install_bundle(bundle)  # would raise if deserialised
+    assert counts["recipes"] == 0
+    assert len(merged) == 1
+
+
+def test_install_bundle_rejects_wrong_content_hash():
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    bundle = database.to_bundle()
+    bundle["recipes"][0]["hash"] = "deadbeef"
+    with pytest.raises(ValueError, match="content hash"):
+        McDatabase().install_bundle(bundle)
+    # ... unless validation is explicitly waived
+    unchecked = McDatabase()
+    assert unchecked.install_bundle(bundle, validate=False)["recipes"] == 1
+
+
+def test_load_accepts_v2_bundle_without_hashes(tmp_path):
+    """v2 bundles predate content addressing; their hashes are computed on
+    install and the recipes land normally."""
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    bundle = database.to_bundle()
+    for entry in bundle["recipes"]:
+        del entry["hash"]
+    bundle["version"] = 2
+    path = tmp_path / "v2.json"
+    path.write_text(json.dumps(bundle))
+
+    restored = McDatabase()
+    assert restored.load(path) == 1
+    assert restored.plan_for(0xE8, 3).num_ands == 1
+    # the computed hash makes a re-install of the v3 form a no-op
+    assert restored.install_bundle(database.to_bundle())["recipes"] == 0
+
+
+def test_bundle_round_trips_cones_and_results(tmp_path):
+    database = McDatabase()
+    database.plan_for(0xE8, 3)
+    cones = [["00ff", 0xE8], ["ab12", 0x96]]
+    results = [{"key": ["1234", "mc,mc*", "mc", 6, 12],
+                "network": {"num_pis": 1, "gates": [], "outputs": [2]},
+                "network_hash": "irrelevant-here",
+                "report": {"rounds": 1}}]
+    path = tmp_path / "bundle.json"
+    database.save(path, cones=cones, results=results)
+
+    payload = json.loads(path.read_text())
+    assert payload["cones"] == cones
+    assert payload["results"] == results
+    counts = McDatabase().install_bundle(payload)
+    assert counts["cones"] == 2
+    assert counts["results"] == 1
+    # sections are omitted entirely when nothing is passed
+    database.save(path)
+    payload = json.loads(path.read_text())
+    assert "cones" not in payload and "results" not in payload
 
 
 def test_stats_keys():
