@@ -48,8 +48,19 @@ class ClassificationCache:
     # ------------------------------------------------------------------
     # persistence (warm-start bundles)
     # ------------------------------------------------------------------
-    def to_payload(self) -> List[Dict]:
-        """JSON-friendly list of all cached classifications."""
+    def keys(self) -> List[Tuple[int, int]]:
+        """``(table, num_vars)`` keys of every cached classification."""
+        return list(self._entries)
+
+    def to_payload(self, keys: Optional[List[Tuple[int, int]]] = None) -> List[Dict]:
+        """JSON-friendly list of cached classifications.
+
+        ``None`` serialises every entry (the full-bundle case); a key subset
+        produces a delta-sized payload in the identical entry format, sorted
+        by key either way.
+        """
+        selected = (sorted(self._entries.items()) if keys is None
+                    else sorted((key, self._entries[key]) for key in keys))
         return [
             {
                 "table": entry.table,
@@ -59,7 +70,7 @@ class ClassificationCache:
                 "method": entry.method,
                 "canonical": entry.canonical,
             }
-            for _, entry in sorted(self._entries.items())
+            for _, entry in selected
         ]
 
     def install_payload(self, payload: List[Dict], validate: bool = True,

@@ -285,6 +285,25 @@ class CutFunctionCache:
             # hash costs one walk of nodes that were just simulated anyway.
             self._cone_tables[self.cone_hash_for(xag, key[0], key[1])] = table
 
+    def prime_interiors(self, xag: Xag,
+                        entries: Sequence[Tuple[Tuple[int, Tuple[int, ...]],
+                                                List[int]]]) -> None:
+        """Install precomputed cone interiors into the memo (first write wins).
+
+        The parallel Phase-1 prefetch computes interiors for a drain's cuts
+        across threads and lands them here serially; a subsequent
+        :meth:`cone_interior` for the same key is then a plain memo hit.
+        Entries are registered for per-root invalidation exactly like
+        memo-miss computations, so the invalidation contract is unchanged.
+        """
+        self.bind(xag)
+        interiors = self._interiors
+        for key, interior in entries:
+            if key in interiors:
+                continue
+            interiors[key] = interior
+            self._register_key(key[0], key)
+
     def _register_key(self, root: int,
                       key: Tuple[int, Tuple[int, ...]]) -> None:
         """Record ``key`` for per-root invalidation (at most once per key)."""

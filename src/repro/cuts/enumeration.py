@@ -218,11 +218,23 @@ class CutSetCache:
         self._cuts.clear()
         self._bound_epoch = xag._rollback_epoch
 
-    def cuts(self, xag: Xag) -> Dict[int, List[Cut]]:
-        """Cut sets for every live gate (recomputing only missing entries)."""
+    def cuts(self, xag: Xag, grain: int = 1) -> Dict[int, List[Cut]]:
+        """Cut sets for every live gate (recomputing only missing entries).
+
+        With ``grain > 1`` the missing gates are recomputed level by level —
+        a gate's level is one above its deepest *pending* fan-in, so within
+        one level every merge depends only on already-installed merge sets —
+        with each level's nodes fanned across ``grain`` threads
+        (:func:`repro.engine.parallel.map_chunks`).
+        :func:`_merge_node_cuts` is pure given the merge sets, and results
+        are installed serially in the level's topological order, so the cut
+        sets and the ``nodes_recomputed`` counter are identical at every
+        grain.
+        """
         self.bind(xag)
         merge_sets = self._merge
         result = self._cuts
+        pending: List[int] = []
         for node in xag.topological_order():
             if node in merge_sets:
                 continue
@@ -234,13 +246,50 @@ class CutSetCache:
                 merge_sets[node] = [(node,)]
                 result[node] = []
                 continue
-            kept = _merge_node_cuts(xag, node, merge_sets,
-                                    self.cut_size, self.cut_limit)
-            result[node] = [Cut(node, leaves) for leaves in kept
-                            if leaves != (node,)]
-            merge_sets[node] = kept + [(node,)]
-            self.nodes_recomputed += 1
+            pending.append(node)
+        if grain > 1 and len(pending) > 1:
+            self._compute_levelwise(xag, pending, grain)
+        else:
+            for node in pending:
+                self._install_node(node, _merge_node_cuts(
+                    xag, node, merge_sets, self.cut_size, self.cut_limit))
         return result
+
+    def _install_node(self, node: int, kept: List[Tuple[int, ...]]) -> None:
+        """Record one recomputed gate's cut set and merge set."""
+        self._cuts[node] = [Cut(node, leaves) for leaves in kept
+                            if leaves != (node,)]
+        # the trivial cut participates in the merges of the fan-outs
+        self._merge[node] = kept + [(node,)]
+        self.nodes_recomputed += 1
+
+    def _compute_levelwise(self, xag: Xag, pending: List[int],
+                           grain: int) -> None:
+        """Recompute the pending gates level-wise across ``grain`` threads."""
+        from repro.engine.parallel import map_chunks
+        merge_sets = self._merge
+        pending_set = set(pending)
+        depth: Dict[int, int] = {}
+        groups: List[List[int]] = []
+        for node in pending:  # already in topological order
+            level = 0
+            for fanin in xag.fanins(node):
+                parent = lit_node(fanin)
+                if parent in pending_set:
+                    level = max(level, depth[parent] + 1)
+            depth[node] = level
+            while len(groups) <= level:
+                groups.append([])
+            groups[level].append(node)
+        for group in groups:
+            computed = map_chunks(
+                lambda chunk: [(node, _merge_node_cuts(xag, node, merge_sets,
+                                                       self.cut_size,
+                                                       self.cut_limit))
+                               for node in chunk],
+                group, grain)
+            for node, kept in computed:
+                self._install_node(node, kept)
 
 
 def cut_cone(xag: Xag, root: int, leaves: Sequence[int]) -> List[int]:

@@ -10,8 +10,13 @@ one round, convergence, verification), and renders the batch as a report.
 The engine scales past a single process along two axes: warm-start bundles
 (``EngineConfig.warm_start`` / ``EngineConfig.persist``, CLI ``--db``)
 persist every recipe, classification and plan across invocations, and
-``EngineConfig.jobs`` (CLI ``--jobs``) shards the selected circuits over
-worker processes whose learnt state is merged back into the shared store.
+``EngineConfig.jobs`` (CLI ``--jobs``, ``auto`` = one worker per CPU) runs
+the selected circuits over the persistent worker pool of
+:mod:`repro.engine.parallel` — longest-first scheduling from a shared work
+queue, with newly learnt cache entries streamed between workers as
+content-addressed deltas while the batch runs.  ``EngineConfig.par_grain``
+(CLI ``--par-grain``) adds intra-circuit thread parallelism to Phase-1 of
+every rewrite drain on top.
 
 The CLI entry point lives in :mod:`repro.engine.cli` and is reachable both
 as ``python -m repro.engine`` and as the ``repro-engine`` console script.
@@ -27,14 +32,28 @@ from repro.engine.core import (
     run_batch,
     run_circuit,
 )
+from repro.engine.parallel import (
+    DeltaCursor,
+    install_delta,
+    map_chunks,
+    resolve_jobs,
+    schedule_cases,
+    size_estimate,
+)
 
 __all__ = [
     "BatchReport",
     "CircuitReport",
+    "DeltaCursor",
     "EngineConfig",
     "available_cases",
+    "install_delta",
     "load_warm_start",
+    "map_chunks",
     "persist_warm_start",
+    "resolve_jobs",
     "run_batch",
     "run_circuit",
+    "schedule_cases",
+    "size_estimate",
 ]

@@ -8,8 +8,10 @@ Examples::
     # everything in the crypto registry, reduced scale, no convergence cap
     python -m repro.engine --suite crypto --rounds 0
 
-    # shard the control half of Table 1 over four worker processes
+    # run the control half of Table 1 over a pool of four workers
+    # (longest-first scheduling, streamed cache deltas); 'auto' = one per CPU
     python -m repro.engine --suite epfl --groups control --jobs 4
+    python -m repro.engine --suite epfl --jobs auto --par-grain 4
 
     # warm-start: the second run reuses every recipe/classification/plan
     python -m repro.engine --circuits decoder,int2float --db /tmp/db.json
@@ -53,6 +55,27 @@ def positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"expected a positive integer, got {value}")
+    return value
+
+
+def jobs_spec(text: str) -> int:
+    """argparse type of ``--jobs``: a positive integer, or ``auto`` (= 0).
+
+    ``auto`` maps to the :class:`EngineConfig` sentinel 0, which
+    :func:`repro.engine.parallel.resolve_jobs` turns into one worker per
+    CPU at run time.  0 itself is rejected — ``auto`` is the one spelling
+    of the automatic width.
+    """
+    if text.strip().lower() == "auto":
+        return 0
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value}")
     return value
 
 
@@ -100,9 +123,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cap on rewriting rounds, 0 = run to convergence "
                              "(default: 2); under mc-depth the cap applies "
                              "per stage and iteration of the depth flow")
-    parser.add_argument("--jobs", type=positive_int, default=1, metavar="N",
-                        help="shard the selected circuits over N worker "
-                             "processes (default: 1)")
+    parser.add_argument("--jobs", type=jobs_spec, default=1, metavar="N|auto",
+                        help="run the selected circuits over a persistent "
+                             "pool of N worker processes fed longest-first "
+                             "from a shared work queue, with learnt cache "
+                             "entries streamed between workers; 'auto' = one "
+                             "worker per CPU (default: 1)")
+    parser.add_argument("--par-grain", type=positive_int, default=1,
+                        metavar="N",
+                        help="intra-circuit parallelism: fan Phase-1 "
+                             "selection work of each rewrite drain across N "
+                             "threads; results are bit-identical at any "
+                             "grain (default: 1)")
     parser.add_argument("--db", metavar="PATH", default=None,
                         help="warm-start bundle: load it when present, save "
                              "recipes/classifications/plans/cone tables "
@@ -153,6 +185,7 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
         full_scale=args.full_scale,
         verify_limit=args.verify_limit,
         jobs=args.jobs,
+        par_grain=args.par_grain,
         warm_start=args.db,
         persist=args.db,
         backend=args.backend,
@@ -195,7 +228,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 # else the canonical pipeline serialised (never null)
                 "flow": resolved_flow(batch.config),
                 "rounds": args.rounds,
+                # requested jobs after auto-resolution, and the worker
+                # processes actually spawned (clamped to the case count)
                 "jobs": batch.jobs,
+                "workers": batch.workers,
+                "par_grain": batch.config.par_grain,
                 "in_place": batch.config.in_place,
                 # the backend that actually ran (never "auto")
                 "backend": batch.backend,
@@ -209,6 +246,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "misses": batch.sim_cache_misses},
                 # None unless the run was started with --result-cache
                 "result_cache": batch.result_cache_stats,
+                # scheduling observability: the slowest per-case wall times
+                "slowest_cases": [
+                    {"name": name, "seconds": seconds}
+                    for name, seconds in batch.slowest_cases()],
             },
             "circuits": [
                 {
@@ -232,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "rounds": len(report.rounds),
                     "verified": report.verified,
                     "result_cache_hit": report.result_cache_hit,
+                    "wall_seconds": report.total_seconds,
                     "stage_seconds": report.stage_timings(),
                 }
                 for report in batch.reports

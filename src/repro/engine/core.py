@@ -18,11 +18,17 @@ Two scaling axes extend the amortisation beyond a single process:
   keys persist as a versioned JSON bundle (``EngineConfig.warm_start`` /
   ``EngineConfig.persist``, CLI ``--db``), so nothing is ever classified or
   synthesised twice *across invocations* either;
-* **sharding** — ``EngineConfig.jobs`` partitions the selected circuits
-  across worker processes, each with its own cache trio; worker state is
-  merged back into the shared store afterwards and per-worker statistics are
-  aggregated, so a sharded run reports (and persists) the same state as a
-  sequential one.
+* **the worker pool** — ``EngineConfig.jobs`` (``0`` = one worker per CPU)
+  runs the selected circuits over a persistent pool of worker processes fed
+  from a shared longest-first work queue, with newly learnt cache entries
+  streamed between workers as content-addressed deltas while the batch is
+  still running (see :mod:`repro.engine.parallel`).  The merged report is
+  registry-ordered and — apart from timings and the per-worker statistics —
+  identical to a sequential run, as is the bundle a ``persist`` writes.
+
+``EngineConfig.par_grain`` adds intra-circuit parallelism on top: Phase-1
+selection work of each rewrite drain fans out across that many threads
+(``apply`` stays serial), with bit-identical results at any grain.
 
 Every stage is timed separately (build, one round, convergence,
 verification) so regressions in any layer show up directly in the report.
@@ -31,7 +37,6 @@ verification) so regressions in any layer show up directly in the report.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -108,9 +113,16 @@ class EngineConfig:
     in_place: bool = True
     #: verify equivalence for networks up to this many gates (0 disables).
     verify_limit: int = 20000
-    #: worker processes; the cases are partitioned round-robin across them
-    #: and the results merged back (1 = run in-process, sequentially).
+    #: worker processes: the cases are dispatched longest-first over a
+    #: persistent pool (see :mod:`repro.engine.parallel`) and the results
+    #: merged back in registry order.  1 = run in-process, sequentially;
+    #: 0 = auto (one worker per CPU).
     jobs: int = 1
+    #: intra-circuit parallelism: fan Phase-1 selection work of each rewrite
+    #: drain (cut-set recomputation, cone interiors/MFFCs, batched cone
+    #: simulation) across this many threads (1 = serial).  Results are
+    #: bit-identical at any grain.
+    par_grain: int = 1
     #: warm-start bundle to load before the run (ignored when missing).
     warm_start: Optional[Union[str, Path]] = None
     #: bundle path to write after the run (recipes + classifications + plans).
@@ -208,8 +220,13 @@ class BatchReport:
     sim_cache_hits: int = 0
     sim_cache_misses: int = 0
     total_seconds: float = 0.0
-    #: worker processes actually used (1 = sequential in-process run).
+    #: requested job count after auto-resolution (``jobs=0`` reports the CPU
+    #: count it resolved to); the pool may use fewer — see :attr:`workers`.
     jobs: int = 1
+    #: worker processes *actually* spawned (1 = sequential in-process run;
+    #: clamped to the number of selected cases), mirroring the
+    #: resolved-backend convention of :attr:`backend`.
+    workers: int = 1
     #: True when a warm-start bundle was found and loaded.
     warm_start_loaded: bool = False
     #: per-worker cache statistics of a sharded run (empty when jobs == 1).
@@ -228,6 +245,19 @@ class BatchReport:
         """Reports of circuits that raised during build or optimisation."""
         return [report for report in self.reports if report.error is not None]
 
+    def slowest_cases(self, count: int = 5) -> List[Tuple[str, float]]:
+        """The ``count`` slowest circuits as ``(name, wall seconds)`` pairs.
+
+        Wall time is the per-case total (build + baseline + optimisation),
+        sorted descending with name tie-breaks — the observable the pool's
+        longest-first scheduling is meant to optimise, surfaced in the JSON
+        summary so scheduling quality can be checked from a report alone.
+        """
+        ordered = sorted(self.succeeded,
+                         key=lambda report: (-report.total_seconds, report.name))
+        return [(report.name, report.total_seconds)
+                for report in ordered[:count]]
+
     def render(self) -> str:
         """Human-readable batch table plus cache summary.
 
@@ -243,7 +273,8 @@ class BatchReport:
         header = (f"{'Name':<20} {'Grp':<6} {'In':>5} {'Out':>5} | "
                   f"{'AND0':>7} {'AND':>7} {'impr':>6} "
                   f"{'D0':>4} {'D':>4} {'rnds':>5}{cost_header} | "
-                  f"{'build':>7} {'1rnd':>7} {'conv':>7} {'verify':>7} {'ok':>3}")
+                  f"{'build':>7} {'1rnd':>7} {'conv':>7} {'verify':>7} "
+                  f"{'wall':>7} {'ok':>3}")
         lines = [header, "-" * len(header)]
         for report in self.reports:
             if report.error is not None:
@@ -264,7 +295,8 @@ class BatchReport:
                 f"{report.depth_before:>4} {report.depth_after:>4} "
                 f"{len(report.rounds):>5}{cost_cells} | "
                 f"{report.build_seconds:>7.2f} {stages['one_round']:>7.2f} "
-                f"{stages['convergence']:>7.2f} {stages['verify']:>7.2f} {verified:>3}")
+                f"{stages['convergence']:>7.2f} {stages['verify']:>7.2f} "
+                f"{report.total_seconds:>7.2f} {verified:>3}")
         lines.append("-" * len(header))
         # NOTE: the classification hit rate is deliberately absent here — the
         # plan memo shares the (table, num_vars) key and absorbs every repeat
@@ -274,7 +306,9 @@ class BatchReport:
         plan_misses = self.cut_cache_stats.get("plan_misses", 0)
         plan_total = plan_hits + plan_misses
         plan_rate = plan_hits / plan_total if plan_total else 0.0
-        jobs_note = f" [{self.jobs} jobs]" if self.jobs > 1 else ""
+        # report the workers *actually* spawned, not the configured jobs —
+        # a clamped or auto-resolved pool must not misreport its width
+        jobs_note = f" [{self.workers} workers]" if self.workers > 1 else ""
         warm_note = " [warm start]" if self.warm_start_loaded else ""
         mode_note = "" if self.config.in_place else " [rebuild]"
         if model.name != "mc":
@@ -542,7 +576,8 @@ def run_circuit(case: BenchmarkCase, config: EngineConfig,
         verify = 0 < (xag.num_ands + xag.num_xors) <= config.verify_limit
         params = RewriteParams(cut_size=config.cut_size, cut_limit=config.cut_limit,
                                objective=config.objective, verify=verify,
-                               in_place=config.in_place)
+                               in_place=config.in_place,
+                               par_grain=config.par_grain)
         if contains_depth_guard(passes) or not flow_mode_comparable(passes):
             # guarded rounds — and rounds priced by a depth-aware model —
             # decide in place against maintained levels; --rebuild replays
@@ -672,69 +707,8 @@ def persist_warm_start(path: Union[str, Path], database: McDatabase,
 
 
 # ----------------------------------------------------------------------
-# sharded execution
+# parallel execution (the pool itself lives in repro.engine.parallel)
 # ----------------------------------------------------------------------
-def _partition_cases(cases: Sequence[BenchmarkCase],
-                     jobs: int) -> List[List[Tuple[int, str]]]:
-    """Round-robin split into ``(registry position, case name)`` shards.
-
-    Positions travel with the names so the merged report can be restored to
-    registry order regardless of which worker finished first.
-    """
-    shards: List[List[Tuple[int, str]]] = [[] for _ in range(min(jobs, len(cases)))]
-    for index, case in enumerate(cases):
-        shards[index % len(shards)].append((index, case.name))
-    return shards
-
-
-def _shard_worker(payload: Tuple[EngineConfig, List[Tuple[int, str]],
-                                 Optional[Dict], bool]) -> Tuple:
-    """Run one shard of cases in a worker process.
-
-    Receives case *names* rather than cases (the registry builders are
-    lambdas, which do not survive pickling under the spawn start method) and
-    re-resolves them from the registry.  Each worker owns a fresh cache trio,
-    optionally warm-started from the parent's bundle, and returns its indexed
-    reports plus the bundle of everything it learnt so the parent can merge
-    shards into the shared store.
-    """
-    config, indexed_names, bundle, use_classification = payload
-    # workers are fresh processes: activate the batch's kernel backend
-    # before any simulation or classification happens
-    kernels.set_backend(config.backend)
-    database = McDatabase(use_classification=use_classification)
-    cut_cache = CutFunctionCache(database)
-    sim_cache = SimulationCache()
-    result_cache = ResultCache() if config.result_cache else None
-    if bundle is not None:
-        # the parent already validated the bundle (or built it itself)
-        database.install_bundle(bundle, validate=False)
-        cut_cache.warm_start(bundle.get("plans", []))
-        cut_cache.warm_start_cones(bundle.get("cones", []))
-        if result_cache is not None:
-            result_cache.install(bundle.get("results", []), validate=False)
-    cases_by_name = {case.name: case
-                     for case in available_cases(config.suites,
-                                                 config.corpus_dirs)}
-    reports = [
-        (index, run_circuit(cases_by_name[name], config,
-                            cut_cache=cut_cache, sim_cache=sim_cache,
-                            result_cache=result_cache))
-        for index, name in indexed_names
-    ]
-    learnt = database.to_bundle(
-        plan_keys=cut_cache.plan_keys(), cones=cut_cache.cone_entries(),
-        results=result_cache.entries() if result_cache is not None else None)
-    stats = {
-        "database": database.stats(),
-        "cut_cache": cut_cache.stats(),
-        "sim_cache": {"hits": sim_cache.hits, "misses": sim_cache.misses},
-    }
-    if result_cache is not None:
-        stats["result_cache"] = result_cache.stats()
-    return reports, learnt, stats
-
-
 def _aggregate_worker_stats(batch: BatchReport, database: McDatabase,
                             cut_cache: CutFunctionCache,
                             result_cache: Optional[ResultCache] = None) -> None:
@@ -787,55 +761,27 @@ def _aggregate_worker_stats(batch: BatchReport, database: McDatabase,
         batch.result_cache_stats = result_stats
 
 
-def _run_batch_sharded(batch: BatchReport, cases: Sequence[BenchmarkCase],
-                       config: EngineConfig, database: McDatabase,
-                       cut_cache: CutFunctionCache,
-                       result_cache: Optional[ResultCache] = None) -> None:
-    """Fan the cases out over worker processes and merge the results."""
-    shards = _partition_cases(cases, config.jobs)
-    # workers run their shard sequentially and never touch the filesystem;
-    # warm-start state travels in as a bundle value, results travel back the
-    # same way.  The shared database's classification mode is propagated so
-    # ablation runs stay identical to sequential ones (custom classifier /
-    # synthesizer instances are not shipped — workers use the defaults).
-    # ship the *resolved* backend so every worker runs the same kernels
-    # the parent recorded, whatever "auto" would resolve to over there
-    worker_config = replace(config, jobs=1, warm_start=None, persist=None,
-                            backend=kernels.backend_name())
-    seed_bundle = database.to_bundle(
-        plan_keys=cut_cache.plan_keys(), cones=cut_cache.cone_entries(),
-        results=result_cache.entries() if result_cache is not None else None)
-    payloads = [(worker_config, shard, seed_bundle, database.use_classification)
-                for shard in shards]
-    with multiprocessing.Pool(processes=len(shards)) as pool:
-        results = pool.map(_shard_worker, payloads)
-    indexed_reports: List[Tuple[int, CircuitReport]] = []
-    for reports, learnt, stats in results:
-        indexed_reports.extend(reports)
-        database.install_bundle(learnt, validate=False)
-        cut_cache.warm_start(learnt.get("plans", []))
-        cut_cache.warm_start_cones(learnt.get("cones", []))
-        if result_cache is not None:
-            result_cache.install(learnt.get("results", []), validate=False)
-        batch.worker_stats.append(stats)
-    batch.reports.extend(report for _, report in
-                         sorted(indexed_reports, key=lambda pair: pair[0]))
-    _aggregate_worker_stats(batch, database, cut_cache, result_cache)
-
-
 def run_batch(config: Optional[EngineConfig] = None,
               database: Optional[McDatabase] = None) -> BatchReport:
     """Run the configured suites with shared database and caches.
 
-    With ``config.jobs > 1`` the selected cases are partitioned across worker
-    processes; the merged report is ordered and (apart from timings and the
-    shard statistics) identical to a sequential run.  ``config.warm_start``
-    and ``config.persist`` bracket the run with bundle I/O so consecutive
+    With more than one worker (``config.jobs > 1``, or ``jobs=0`` resolving
+    to several CPUs) the selected cases run over the persistent worker pool
+    of :func:`repro.engine.parallel.run_pool_batch`; the merged report is
+    registry-ordered and (apart from timings and the per-worker statistics)
+    identical to a sequential run.  ``config.warm_start`` and
+    ``config.persist`` bracket the run with bundle I/O so consecutive
     invocations never repeat classification or synthesis work.
     """
+    from repro.engine import parallel
+
     config = config if config is not None else EngineConfig()
-    if config.jobs < 1:
-        raise ValueError(f"jobs must be a positive integer (got {config.jobs})")
+    if config.jobs < 0:
+        raise ValueError(f"jobs must be a non-negative integer "
+                         f"(got {config.jobs}; 0 means auto)")
+    if config.par_grain < 1:
+        raise ValueError(f"par_grain must be a positive integer "
+                         f"(got {config.par_grain})")
     cost_model(config.objective)  # fail fast with the registry's message
     backend = kernels.resolve_backend(config.backend)  # fail fast here too
     if config.flow is not None:
@@ -853,10 +799,12 @@ def run_batch(config: Optional[EngineConfig] = None,
                 config.warm_start, database, cut_cache,
                 result_cache=result_cache)
         cases = select_cases(config)
-        batch.jobs = min(config.jobs, max(1, len(cases)))
-        if batch.jobs > 1:
-            _run_batch_sharded(batch, cases, config, database, cut_cache,
-                               result_cache=result_cache)
+        batch.jobs = parallel.resolve_jobs(config.jobs)
+        batch.workers = min(batch.jobs, max(1, len(cases)))
+        if batch.workers > 1:
+            parallel.run_pool_batch(batch, cases, config, database, cut_cache,
+                                    result_cache=result_cache,
+                                    workers=batch.workers)
         else:
             for case in cases:
                 batch.reports.append(

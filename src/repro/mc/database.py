@@ -170,20 +170,10 @@ class McDatabase:
         so they are rebuilt on load without re-running classification or
         synthesis.
         """
-        entries = []
-        for key, recipe in self._recipes.items():
-            digest = self._recipe_hashes.get(key)
-            if digest is None:  # pre-filled store (tests) — hash lazily
-                digest = format(graph_hash(recipe), "x")
-                self._recipe_hashes[key] = digest
-            entries.append({"hash": digest,
-                            "representative": key[0], "num_vars": key[1],
-                            "recipe": xag_serialize.to_dict(recipe)})
-        entries.sort(key=lambda entry: entry["hash"])
         bundle: Dict = {
             "format": self.BUNDLE_FORMAT,
             "version": self.BUNDLE_VERSION,
-            "recipes": entries,
+            "recipes": self.recipe_entries(),
             "classifications": self.classification_cache.to_payload(),
         }
         if plan_keys is not None:
@@ -194,6 +184,32 @@ class McDatabase:
         if results is not None:
             bundle["results"] = list(results)
         return bundle
+
+    def recipe_keys(self) -> List[Tuple[int, int]]:
+        """``(representative, num_vars)`` keys of every stored recipe."""
+        return list(self._recipes)
+
+    def recipe_entries(self, keys: Optional[Sequence[Tuple[int, int]]] = None
+                       ) -> List[Dict]:
+        """Content-addressed bundle entries for the given recipe keys.
+
+        ``None`` selects every stored recipe (the full-bundle case); a key
+        subset produces a delta-sized payload in the identical entry format,
+        sorted by content hash either way so equal stores serialise equal.
+        """
+        selected = (list(self._recipes.items()) if keys is None
+                    else [(key, self._recipes[key]) for key in keys])
+        entries = []
+        for key, recipe in selected:
+            digest = self._recipe_hashes.get(key)
+            if digest is None:  # pre-filled store (tests) — hash lazily
+                digest = format(graph_hash(recipe), "x")
+                self._recipe_hashes[key] = digest
+            entries.append({"hash": digest,
+                            "representative": key[0], "num_vars": key[1],
+                            "recipe": xag_serialize.to_dict(recipe)})
+        entries.sort(key=lambda entry: entry["hash"])
+        return entries
 
     def install_bundle(self, bundle: Union[Dict, List], validate: bool = True,
                        origin: str = "bundle") -> Dict[str, int]:
@@ -345,3 +361,40 @@ class McDatabase:
             out = recipe.copy_cone(combined, [recipe.po_literal(0)], leaf_map)[0]
             combined.create_po(out, f"rep_{nv}_{rep:x}")
         return combined
+
+
+class BundleCursor:
+    """Incremental view over a database's recipes and classifications.
+
+    Construction marks everything currently stored as already seen; each
+    :meth:`collect` returns bundle-format entries for only the recipes and
+    classifications learnt since — the database half of the engine pool's
+    streaming delta protocol (:class:`repro.engine.parallel.DeltaCursor`
+    composes this with the cut-cache and result-cache diffs).  Both stores
+    are append-only (first write wins everywhere), so tracking *keys* is
+    sufficient: an entry can be added but never changed or removed.
+    """
+
+    def __init__(self, database: McDatabase) -> None:
+        self._database = database
+        self._recipes = set(database.recipe_keys())
+        self._classifications = set(database.classification_cache.keys())
+
+    def advance(self) -> None:
+        """Mark the current contents as seen without building any payload."""
+        self._recipes.update(self._database.recipe_keys())
+        self._classifications.update(
+            self._database.classification_cache.keys())
+
+    def collect(self) -> Tuple[List[Dict], List[Dict]]:
+        """New ``(recipes, classifications)`` bundle entries since last call."""
+        new_recipes = [key for key in self._database.recipe_keys()
+                       if key not in self._recipes]
+        self._recipes.update(new_recipes)
+        new_classifications = [
+            key for key in self._database.classification_cache.keys()
+            if key not in self._classifications]
+        self._classifications.update(new_classifications)
+        return (self._database.recipe_entries(new_recipes),
+                self._database.classification_cache.to_payload(
+                    new_classifications))

@@ -47,7 +47,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 from repro import kernels
 from repro.cuts.cache import CutFunctionCache
 from repro.cuts.cut import Cut
-from repro.cuts.enumeration import CutSetCache
+from repro.cuts.enumeration import CutSetCache, cut_cone
 from repro.cuts.mffc import mffc
 from repro.mc.database import ImplementationPlan, McDatabase
 from repro.rewriting.cost import CostModel, cost_model
@@ -100,6 +100,13 @@ class RewriteParams:
     #: equality.  The depth flow enables this when the engine runs
     #: ``--rebuild`` — see :func:`repro.rewriting.flow.depth_flow`.
     ab_check: bool = False
+    #: intra-circuit parallelism grain: fan the pure Phase-1 work of each
+    #: drain — cut-set recomputation, cone interior walks, MFFC computation
+    #: and the batched cone simulation — across this many threads (1 =
+    #: serial).  Plan pricing and Phase-2 ``apply`` always stay serial, so
+    #: the selections, the cache hit/miss counters and the substitution
+    #: event order are identical at every grain.
+    par_grain: int = 1
 
     @property
     def cost(self) -> CostModel:
@@ -394,10 +401,14 @@ class CutRewriter:
                            worklist: Optional[Set[int]] = None) -> Dict[int, Candidate]:
         params = self.params
         model = self._model()
-        cuts = self.cut_sets.cuts(xag)
+        grain = params.par_grain
+        cuts = self.cut_sets.cuts(xag, grain=grain)
         selections: Dict[int, Candidate] = {}
         cache = self.cut_cache
         cache.bind(xag)
+        pre_mffcs: Optional[Dict[int, Set[int]]] = None
+        if grain > 1:
+            pre_mffcs = self._prefetch_phase1(xag, cuts, worklist, model, grain)
         function_hits_before = cache.function_hits
         plan_hits_before = cache.plan_hits
         plan_misses_before = cache.plan_misses
@@ -440,7 +451,10 @@ class CutRewriter:
                     # objective (XOR gates are depth-transparent too).
                     continue
                 if node_mffc is None:
-                    node_mffc = mffc(xag, node)
+                    if pre_mffcs is not None:
+                        node_mffc = pre_mffcs.get(node)
+                    if node_mffc is None:
+                        node_mffc = mffc(xag, node)
                 saved_ands = sum(1 for n in interior_ands if n in node_mffc)
                 saved_gates = sum(1 for n in interior if n in node_mffc)
                 if skip_zero_saving and saved_ands == 0:
@@ -463,7 +477,15 @@ class CutRewriter:
         # per-cone ``cone_function`` misses would have produced.
         prefetched: Dict[Tuple[int, Tuple[int, ...]], int] = {}
         if missing:
-            tables = backend.simulate_cones(xag, missing)
+            if grain > 1:
+                # chunked over threads, concatenated in input order — the
+                # install below is unchanged, so the counters stay identical
+                from repro.engine.parallel import map_chunks
+                tables = map_chunks(
+                    lambda chunk: list(backend.simulate_cones(xag, chunk)),
+                    missing, grain)
+            else:
+                tables = backend.simulate_cones(xag, missing)
             entries = []
             for (root, leaves, _), table in zip(missing, tables):
                 prefetched[(root, leaves)] = table
@@ -511,6 +533,49 @@ class CutRewriter:
         stats.plan_cache_hits = cache.plan_hits - plan_hits_before
         stats.plan_cache_misses = cache.plan_misses - plan_misses_before
         return selections
+
+    def _prefetch_phase1(self, xag: Xag, cuts: Dict[int, List[Cut]],
+                         worklist: Optional[Set[int]], model: CostModel,
+                         grain: int) -> Dict[int, Set[int]]:
+        """Precompute Sweep A's cone interiors and MFFCs across threads.
+
+        Both are pure functions of the (read-only during Phase 1) network,
+        so chunks of worklist nodes fan out safely.  Interiors are computed
+        for exactly the cuts the serial sweep would walk (every size-valid
+        cut) and primed into the cut cache's memo; an MFFC is computed for
+        exactly the nodes whose sweep would need one (some cut survives the
+        AND-free filter).  The sweep then runs unchanged over warm memo
+        entries — same filters, same order, same counters.
+        """
+        from repro.engine.parallel import map_chunks
+        params = self.params
+        examine_free = model.examine_and_free_cones
+        nodes = [node for node in xag.gates()
+                 if (worklist is None or node in worklist) and cuts.get(node)]
+
+        def analyse(chunk: List[int]) -> List[Tuple]:
+            out = []
+            for node in chunk:
+                interiors = []
+                needs_mffc = False
+                for cut in cuts[node]:
+                    if cut.size < 2 or cut.size > params.cut_size \
+                            or node in cut.leaves:
+                        continue
+                    interior = cut_cone(xag, node, cut.leaves)
+                    interiors.append(((node, cut.leaves), interior))
+                    if not needs_mffc and (examine_free or
+                                           any(xag.is_and(n) for n in interior)):
+                        needs_mffc = True
+                out.append((node, interiors,
+                            mffc(xag, node) if needs_mffc else None))
+            return out
+
+        analysed = map_chunks(analyse, nodes, grain)
+        self.cut_cache.prime_interiors(
+            xag, [entry for _, interiors, _ in analysed for entry in interiors])
+        return {node: node_mffc for node, _, node_mffc in analysed
+                if node_mffc is not None}
 
     @staticmethod
     def _plan_and_level(plan: ImplementationPlan,

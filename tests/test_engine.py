@@ -1,6 +1,7 @@
 """Tests for the cut-function cache and the batch orchestration engine."""
 
 import json
+import os
 import random
 
 import pytest
@@ -243,6 +244,9 @@ def test_cli_rejects_bad_jobs(capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--jobs", bad])
         assert excinfo.value.code == 2
+    # 'auto' is the one CLI spelling of the automatic pool width (jobs=0)
+    args = build_parser().parse_args(["--jobs", "auto"])
+    assert config_from_args(args).jobs == 0
 
 
 def test_cli_rejects_non_positive_cut_parameters(capsys):
@@ -356,58 +360,75 @@ def test_run_batch_missing_warm_start_is_cold(tmp_path):
 
 
 # ----------------------------------------------------------------------
-# sharding (tentpole)
+# worker pool (tentpole)
 # ----------------------------------------------------------------------
 def test_jobs_two_matches_jobs_one():
-    """Sharded runs must report identical results in registry order."""
+    """Pool runs must report identical results in registry order."""
     base = dict(suites=("epfl",), circuits=["decoder", "int2float"], max_rounds=1)
     sequential = run_batch(EngineConfig(**base, jobs=1))
-    sharded = run_batch(EngineConfig(**base, jobs=2))
-    assert sharded.jobs == 2
-    assert len(sharded.worker_stats) == 2
-    assert [r.name for r in sharded.reports] == [r.name for r in sequential.reports]
-    for seq, par in zip(sequential.reports, sharded.reports):
+    pooled = run_batch(EngineConfig(**base, jobs=2))
+    assert pooled.jobs == 2
+    assert pooled.workers == 2
+    assert len(pooled.worker_stats) == 2
+    assert [r.name for r in pooled.reports] == [r.name for r in sequential.reports]
+    for seq, par in zip(sequential.reports, pooled.reports):
         assert seq.error is None and par.error is None
         assert (seq.ands_before, seq.xors_before) == (par.ands_before, par.xors_before)
         assert (seq.ands_after, seq.xors_after) == (par.ands_after, par.xors_after)
         assert seq.verified == par.verified
     # aggregated worker counters land in the batch-level statistics
-    assert sharded.cut_cache_stats["plan_misses"] > 0
-    assert sharded.database_stats["synthesis_calls"] > 0
+    assert pooled.cut_cache_stats["plan_misses"] > 0
+    assert pooled.database_stats["synthesis_calls"] > 0
     # the merged shared store holds every worker's recipes
-    assert sharded.database_stats["stored_recipes"] > 0
+    assert pooled.database_stats["stored_recipes"] > 0
 
 
-def test_jobs_capped_by_case_count():
+def test_workers_capped_by_case_count():
     batch = run_batch(EngineConfig(suites=("epfl",), circuits=["decoder"],
                                    max_rounds=1, jobs=8))
-    assert batch.jobs == 1                # one case → no point forking
+    assert batch.jobs == 8                # the requested width is reported...
+    assert batch.workers == 1             # ...but one case → no point forking
     assert not batch.failed
 
 
-def test_run_batch_rejects_non_positive_jobs():
+def test_run_batch_rejects_negative_jobs():
     with pytest.raises(ValueError):
-        run_batch(EngineConfig(suites=("epfl",), circuits=["decoder"], jobs=0))
+        run_batch(EngineConfig(suites=("epfl",), circuits=["decoder"], jobs=-1))
 
 
-def test_shard_worker_honours_direct_mode():
-    """Workers must inherit the shared database's classification mode, so an
-    ablation run (use_classification=False) stays identical under --jobs."""
-    from repro.engine.core import _shard_worker
+def test_jobs_zero_resolves_to_cpu_count():
+    """jobs=0 is the auto sentinel: one worker per CPU, clamped by cases."""
+    batch = run_batch(EngineConfig(suites=("epfl",), circuits=["decoder"],
+                                   max_rounds=1, jobs=0))
+    assert batch.jobs == (os.cpu_count() or 1)
+    assert batch.workers == 1
+    assert not batch.failed
+
+
+def test_worker_state_honours_direct_mode():
+    """Workers must inherit the batch's classification mode, so an ablation
+    run (use_classification=False) stays identical under --jobs."""
+    from repro.engine.parallel import _WorkerState
 
     config = EngineConfig(suites=("epfl",), max_rounds=1)
-    reports, learnt, stats = _shard_worker((config, [(0, "alu_ctrl")], None, False))
-    assert reports[0][1].error is None
+    state = _WorkerState(config, None, use_classification=False)
+    report = state.run("alu_ctrl")
+    stats = state.stats()
+    assert report.error is None
     assert stats["database"]["classification_misses"] == 0   # classifier unused
     assert stats["database"]["synthesis_calls"] > 0
+    # everything the worker learnt streams back as one content-addressed delta
+    delta = state.push()
+    assert delta is not None and delta["recipes"]
+    assert state.push() is None           # cursor drained: nothing new
 
 
-def test_sharded_run_persists_merged_bundle(tmp_path):
-    """A sharded run's bundle must warm-start a later sequential run."""
+def test_pool_run_persists_merged_bundle(tmp_path):
+    """A pool run's bundle must warm-start a later sequential run."""
     bundle = tmp_path / "merged.json"
     base = dict(suites=("epfl",), circuits=["decoder", "int2float"], max_rounds=1)
-    sharded = run_batch(EngineConfig(**base, jobs=2, persist=bundle))
-    assert not sharded.failed and bundle.exists()
+    pooled = run_batch(EngineConfig(**base, jobs=2, persist=bundle))
+    assert not pooled.failed and bundle.exists()
 
     warm = run_batch(EngineConfig(**base, warm_start=bundle))
     assert warm.warm_start_loaded is True
@@ -568,13 +589,14 @@ def test_batch_report_summary_pins_meaningful_metrics():
     classification hit rate (structurally 0 behind the plan memo)."""
     from repro.engine.core import BatchReport, CircuitReport
 
-    batch = BatchReport(config=EngineConfig(), jobs=2, warm_start_loaded=True)
+    batch = BatchReport(config=EngineConfig(), jobs=2, workers=2,
+                        warm_start_loaded=True)
     batch.reports = [CircuitReport(name="decoder", group="control")]
     batch.total_seconds = 1.5
     batch.cut_cache_stats = {"plan_hits": 30, "plan_misses": 10}
     batch.database_stats = {"stored_recipes": 4, "synthesis_calls": 5}
     summary = batch.render().splitlines()[-1]
-    assert summary == ("1/1 circuits in 1.50s [2 jobs] [warm start] "
+    assert summary == ("1/1 circuits in 1.50s [2 workers] [warm start] "
                        "[python kernels] | "
                        "plan cache 30 hits / 10 misses (75% hit rate) | "
                        "db 4 recipes / 5 synthesis calls | "
